@@ -1,0 +1,290 @@
+(* Benchmark harness regenerating the paper's evaluation artifacts.
+
+   Usage:
+     dune exec bench/main.exe                 -- everything below
+     dune exec bench/main.exe table1          -- Table 1 (PTA vs SkipFlow, all suites)
+     dune exec bench/main.exe figure9         -- Figure 9 (normalized metrics per suite)
+     dune exec bench/main.exe ablation        -- extra: feature ablation
+     dune exec bench/main.exe micro           -- bechamel micro-benchmarks
+
+   Environment:
+     SKIPFLOW_SCALE   workload scale relative to the paper's method counts
+                      (default 0.02; the paper's absolute sizes are 20-400k
+                      methods — see EXPERIMENTS.md for scale sensitivity)
+
+   Absolute numbers differ from the paper (different machine, synthetic
+   workloads, OCaml vs Java); the *shape* is what must match: SkipFlow
+   strictly reduces reachable methods on every benchmark, sunflow is a
+   ~50% outlier, counters track reachable methods, and analysis time does
+   not systematically increase. *)
+
+module C = Skipflow_core
+module W = Skipflow_workloads
+open Skipflow_ir
+
+let scale =
+  match Sys.getenv_opt "SKIPFLOW_SCALE" with
+  | Some s -> float_of_string s
+  | None -> 0.02
+
+(* modeled compile throughput for the "total time" proxy: the paper's total
+   time is analysis + compilation, and compilation cost is proportional to
+   reachable code volume *)
+let compile_cost_per_insn = 20e-6
+
+type row = {
+  r_bench : W.Suites.bench;
+  r_config : string;
+  r_time_s : float;
+  r_total_s : float;
+  r_m : C.Metrics.t;
+}
+
+let median l =
+  let a = List.sort compare l in
+  List.nth a (List.length a / 2)
+
+let measure ~reps config prog main =
+  let times = ref [] in
+  let result = ref None in
+  for _ = 1 to max 1 reps do
+    let t0 = Unix.gettimeofday () in
+    let r = C.Analysis.run ~config prog ~roots:[ main ] in
+    times := (Unix.gettimeofday () -. t0) :: !times;
+    result := Some r
+  done;
+  (Option.get !result, median !times)
+
+let run_bench (b : W.Suites.bench) : row * row =
+  let params = W.Suites.params_of ~scale b in
+  let prog, main = W.Gen.compile params in
+  let n = Program.num_meths prog in
+  let reps = if n < 2000 then 5 else if n < 10000 then 3 else 1 in
+  let mk config name =
+    let r, t = measure ~reps config prog main in
+    let m = r.C.Analysis.metrics in
+    {
+      r_bench = b;
+      r_config = name;
+      r_time_s = t;
+      r_total_s = t +. (float_of_int m.C.Metrics.binary_size *. compile_cost_per_insn);
+      r_m = m;
+    }
+  in
+  let pta = mk C.Config.pta "PTA" in
+  let sf = mk C.Config.skipflow "SkipFlow" in
+  (pta, sf)
+
+let pct a b = if b = 0. then 0. else 100. *. (a -. b) /. b
+let pcti a b = pct (float_of_int a) (float_of_int b)
+
+(* ------------------------------- Table 1 ------------------------------ *)
+
+let print_table1 (rows : (row * row) list) =
+  Printf.printf "\n===== Table 1: PTA vs SkipFlow on all benchmark suites =====\n";
+  Printf.printf "(scale %.3f of the paper's method counts; lower is better everywhere)\n\n"
+    scale;
+  Printf.printf "%-12s %-22s %-9s %8s %8s %7s %7s %7s %7s %7s %8s\n" "suite" "benchmark"
+    "config" "time[ms]" "total[s]" "reach" "type" "null" "prim" "poly" "size";
+  List.iter
+    (fun (pta, sf) ->
+      let b = pta.r_bench in
+      let pr name (r : row) =
+        let m = r.r_m in
+        Printf.printf "%-12s %-22s %-9s %8.1f %8.2f %7d %7d %7d %7d %7d %8d\n"
+          b.W.Suites.suite
+          (if name = "PTA" then b.W.Suites.name else "")
+          name (r.r_time_s *. 1000.) r.r_total_s m.C.Metrics.reachable_methods
+          m.C.Metrics.type_checks m.C.Metrics.null_checks m.C.Metrics.prim_checks
+          m.C.Metrics.poly_calls m.C.Metrics.binary_size
+      in
+      pr "PTA" pta;
+      pr "SkipFlow" sf;
+      let d f = pcti (f sf.r_m) (f pta.r_m) in
+      Printf.printf "%-12s %-22s %-9s %7.1f%% %7.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% %7.1f%%   (paper reach: %+.1f%%)\n"
+        "" "" "delta"
+        (pct sf.r_time_s pta.r_time_s)
+        (pct sf.r_total_s pta.r_total_s)
+        (d (fun m -> m.C.Metrics.reachable_methods))
+        (d (fun m -> m.C.Metrics.type_checks))
+        (d (fun m -> m.C.Metrics.null_checks))
+        (d (fun m -> m.C.Metrics.prim_checks))
+        (d (fun m -> m.C.Metrics.poly_calls))
+        (d (fun m -> m.C.Metrics.binary_size))
+        (-.b.W.Suites.paper_reduction_pct))
+    rows
+
+(* ------------------------------- Figure 9 ----------------------------- *)
+
+let suite_rows rows suite =
+  List.filter (fun (p, _) -> String.equal p.r_bench.W.Suites.suite suite) rows
+
+let bar width ratio =
+  (* ratio <= 1.0 is an improvement; draw |#####----| anchored at 1.0 *)
+  let n = int_of_float (Float.min 1.2 ratio /. 1.2 *. float_of_int width) in
+  String.init width (fun i -> if i < n then '#' else '-')
+
+let print_figure9 (rows : (row * row) list) =
+  Printf.printf "\n===== Figure 9: normalized metrics per bench suite =====\n";
+  Printf.printf "(SkipFlow / PTA; below 1.0 is an improvement)\n";
+  let metrics : (string * (row -> float)) list =
+    [
+      ("analysis time", fun r -> r.r_time_s);
+      ("total time", fun r -> r.r_total_s);
+      ("reach. methods", fun r -> float_of_int r.r_m.C.Metrics.reachable_methods);
+      ("type checks", fun r -> float_of_int r.r_m.C.Metrics.type_checks);
+      ("null checks", fun r -> float_of_int r.r_m.C.Metrics.null_checks);
+      ("prim checks", fun r -> float_of_int r.r_m.C.Metrics.prim_checks);
+      ("poly calls", fun r -> float_of_int r.r_m.C.Metrics.poly_calls);
+      ("binary size", fun r -> float_of_int r.r_m.C.Metrics.binary_size);
+    ]
+  in
+  List.iter
+    (fun (suite, _) ->
+      let srows = suite_rows rows suite in
+      Printf.printf "\n--- %s ---\n" suite;
+      List.iter
+        (fun (name, f) ->
+          let ratios = List.map (fun (p, s) -> f s /. Float.max 1e-9 (f p)) srows in
+          let avg = List.fold_left ( +. ) 0. ratios /. float_of_int (List.length ratios) in
+          let mn = List.fold_left Float.min infinity ratios in
+          let mx = List.fold_left Float.max neg_infinity ratios in
+          Printf.printf "%-15s avg %.3f  min %.3f  max %.3f  |%s|\n" name avg mn mx
+            (bar 30 avg))
+        metrics)
+    W.Suites.suites;
+  (* per-suite reachable-method averages vs the paper's *)
+  Printf.printf "\n--- average reachable-method reduction vs paper ---\n";
+  let paper_avgs = [ ("DaCapo", 13.3); ("Micro", 6.3); ("Renaissance", 8.4) ] in
+  List.iter
+    (fun (suite, _) ->
+      let srows = suite_rows rows suite in
+      let reds =
+        List.map
+          (fun (p, s) ->
+            -.pcti s.r_m.C.Metrics.reachable_methods p.r_m.C.Metrics.reachable_methods)
+          srows
+      in
+      let avg = List.fold_left ( +. ) 0. reds /. float_of_int (List.length reds) in
+      Printf.printf "%-12s measured %5.1f%%   paper %5.1f%%\n" suite avg
+        (List.assoc suite paper_avgs))
+    W.Suites.suites;
+  let all_times =
+    List.map (fun (p, s) -> pct s.r_time_s p.r_time_s) rows
+  in
+  let avg_t = List.fold_left ( +. ) 0. all_times /. float_of_int (List.length all_times) in
+  Printf.printf "%-12s measured %+5.1f%%   paper  -1.6%%\n" "analysis-time" avg_t;
+  let all_tot = List.map (fun (p, s) -> pct s.r_total_s p.r_total_s) rows in
+  let avg_tot = List.fold_left ( +. ) 0. all_tot /. float_of_int (List.length all_tot) in
+  Printf.printf "%-12s measured %+5.1f%%   paper  -4.4%%\n" "total-time" avg_tot
+
+(* ------------------------------- ablation ----------------------------- *)
+
+let print_ablation () =
+  Printf.printf "\n===== Ablation: predicates and primitives in isolation =====\n";
+  Printf.printf "%-22s %-22s %9s %8s %8s %8s %8s\n" "benchmark" "configuration" "reach"
+    "type" "null" "prim" "poly";
+  List.iter
+    (fun name ->
+      let b = Option.get (W.Suites.find name) in
+      let prog, main = W.Gen.compile (W.Suites.params_of ~scale:(scale /. 2.) b) in
+      List.iter
+        (fun (cname, config) ->
+          let r = C.Analysis.run ~config prog ~roots:[ main ] in
+          let m = r.C.Analysis.metrics in
+          Printf.printf "%-22s %-22s %9d %8d %8d %8d %8d\n" name cname
+            m.C.Metrics.reachable_methods m.C.Metrics.type_checks
+            m.C.Metrics.null_checks m.C.Metrics.prim_checks m.C.Metrics.poly_calls)
+        [
+          ("PTA", C.Config.pta);
+          ("primitives-only", C.Config.primitives_only);
+          ("predicates-only", C.Config.predicates_only);
+          ("SkipFlow", C.Config.skipflow);
+          ("SkipFlow+sat64", { C.Config.skipflow with C.Config.saturation = Some 64 });
+        ])
+    [ "sunflow"; "pmd"; "spring-petclinic"; "chi-square" ]
+
+(* --------------------------- bechamel micro --------------------------- *)
+
+let print_micro () =
+  Printf.printf "\n===== Micro-benchmarks (bechamel) =====\n%!";
+  let open Bechamel in
+  let open Toolkit in
+  (* fixed small workloads so bechamel can iterate *)
+  let small = { W.Gen.default_params with live_units = 20; dead_units = 3; unused_units = 2 } in
+  let src = W.Gen.source small in
+  let prog, main = W.Gen.compile small in
+  let tests =
+    [
+      Test.make ~name:"frontend: lex+parse+typecheck+lower"
+        (Staged.stage (fun () -> Skipflow_frontend.Frontend.compile src));
+      Test.make ~name:"analysis: PTA"
+        (Staged.stage (fun () -> C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ]));
+      Test.make ~name:"analysis: SkipFlow"
+        (Staged.stage (fun () ->
+             C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ]));
+      Test.make ~name:"analysis: SkipFlow preds-only"
+        (Staged.stage (fun () ->
+             C.Analysis.run ~config:C.Config.predicates_only prog ~roots:[ main ]));
+      Test.make ~name:"baseline: RTA"
+        (Staged.stage (fun () -> Skipflow_baselines.Rta.run prog ~roots:[ main ]));
+      Test.make ~name:"baseline: CHA"
+        (Staged.stage (fun () -> Skipflow_baselines.Cha.run prog ~roots:[ main ]));
+      Test.make ~name:"interpreter: run main (fuel 50k)"
+        (Staged.stage (fun () ->
+             Skipflow_interp.Interp.run ~fuel:50_000 ~record_defs:false prog main));
+    ]
+  in
+  let test = Test.make_grouped ~name:"skipflow" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let t = Hashtbl.find results name in
+      match Analyze.OLS.estimates t with
+      | Some [ est ] -> Printf.printf "%-45s %12.3f ms/run\n" name (est /. 1e6)
+      | _ -> Printf.printf "%-45s (no estimate)\n" name)
+    (List.sort compare names)
+
+(* -------------------------------- driver ------------------------------ *)
+
+let collect () =
+  Printf.printf "running Table 1 workloads at scale %.3f (SKIPFLOW_SCALE to change)...\n%!"
+    scale;
+  List.map
+    (fun b ->
+      Printf.printf "  %-22s ...%!" b.W.Suites.name;
+      let r = run_bench b in
+      let p, s = r in
+      Printf.printf " PTA %d -> SkipFlow %d (%.1f%%)\n%!"
+        p.r_m.C.Metrics.reachable_methods s.r_m.C.Metrics.reachable_methods
+        (pcti s.r_m.C.Metrics.reachable_methods p.r_m.C.Metrics.reachable_methods);
+      r)
+    W.Suites.all
+
+let () =
+  let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match what with
+  | "table1" ->
+      let rows = collect () in
+      print_table1 rows
+  | "figure9" ->
+      let rows = collect () in
+      print_figure9 rows
+  | "ablation" -> print_ablation ()
+  | "micro" -> print_micro ()
+  | "all" ->
+      let rows = collect () in
+      print_table1 rows;
+      print_figure9 rows;
+      print_ablation ();
+      print_micro ()
+  | other ->
+      Printf.eprintf "unknown command %s (table1|figure9|ablation|micro|all)\n" other;
+      exit 1

@@ -1,0 +1,224 @@
+(** The [skipflow] command-line tool.
+
+    Subcommands:
+    - [analyze FILE.mj] — run an analysis on a MiniJava program and report
+      reachable methods and metrics; optionally dump the PVPG as DOT or the
+      lowered IR;
+    - [compare FILE.mj] — run SkipFlow, PTA, RTA and CHA side by side;
+    - [run FILE.mj] — execute the program in the concrete interpreter;
+    - [gen] — emit a synthetic benchmark program as MiniJava source;
+    - [bench-list] — list the benchmark catalog. *)
+
+open Skipflow_ir
+module C = Skipflow_core
+module W = Skipflow_workloads
+open Cmdliner
+
+let config_of_string = function
+  | "skipflow" -> C.Config.skipflow
+  | "pta" -> C.Config.pta
+  | "preds-only" -> C.Config.predicates_only
+  | "prims-only" -> C.Config.primitives_only
+  | s -> invalid_arg (Printf.sprintf "unknown analysis %S" s)
+
+let load_program file =
+  try Skipflow_frontend.Frontend.compile_file file
+  with Skipflow_frontend.Frontend.Error msg ->
+    Printf.eprintf "%s: %s\n" file msg;
+    exit 1
+
+let roots_of prog = function
+  | [] -> (
+      match Skipflow_frontend.Frontend.main_of prog with
+      | Some m -> [ m ]
+      | None ->
+          prerr_endline "error: no static main method found and no --root given";
+          exit 1)
+  | names -> (
+      try C.Analysis.roots_by_name prog names
+      with Not_found | Invalid_argument _ ->
+        prerr_endline "error: a --root was not found (use Class.method)";
+        exit 1)
+
+(* ------------------------------- analyze ------------------------------ *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file")
+
+let analysis_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("skipflow", "skipflow"); ("pta", "pta"); ("preds-only", "preds-only");
+               ("prims-only", "prims-only") ])
+        "skipflow"
+    & info [ "a"; "analysis" ] ~doc:"Analysis configuration: skipflow, pta, preds-only, prims-only")
+
+let roots_arg =
+  Arg.(value & opt_all string [] & info [ "root" ] ~docv:"Class.method" ~doc:"Root method (repeatable); defaults to the static main")
+
+let list_arg = Arg.(value & flag & info [ "list-reachable" ] ~doc:"Print every reachable method")
+let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"OUT.dot" ~doc:"Dump the fixed-point PVPG as Graphviz")
+let ir_arg = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the lowered SSA base-language IR")
+let sat_arg = Arg.(value & opt (some int) None & info [ "saturation" ] ~docv:"K" ~doc:"Enable type-set saturation with cutoff K")
+
+let analyze_cmd =
+  let run file analysis roots list_reachable dot dump_ir saturation =
+    let prog = load_program file in
+    if dump_ir then Format.printf "%a@." Ir_pp.pp_program prog;
+    let config = { (config_of_string analysis) with C.Config.saturation } in
+    let roots = roots_of prog roots in
+    let t0 = Unix.gettimeofday () in
+    let r = C.Analysis.run ~config prog ~roots in
+    let dt = Unix.gettimeofday () -. t0 in
+    Format.printf "analysis: %s@." (C.Config.name config);
+    Format.printf "%a@." C.Metrics.pp r.C.Analysis.metrics;
+    Format.printf "wall time:        %.3f s@." dt;
+    if list_reachable then
+      List.iter
+        (fun (m : Program.meth) ->
+          Format.printf "  %s@." (Program.qualified_name prog m.Program.m_id))
+        (C.Engine.reachable_methods r.C.Analysis.engine);
+    match dot with
+    | Some path ->
+        C.Dot.write_file prog ~path (C.Engine.graphs r.C.Analysis.engine);
+        Format.printf "PVPG written to %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Analyze a MiniJava program")
+    Term.(const run $ file_arg $ analysis_arg $ roots_arg $ list_arg $ dot_arg $ ir_arg $ sat_arg)
+
+(* ------------------------------- compare ------------------------------ *)
+
+let compare_cmd =
+  let run file roots =
+    let prog = load_program file in
+    let roots = roots_of prog roots in
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let pta, t_pta = time (fun () -> C.Analysis.run ~config:C.Config.pta prog ~roots) in
+    let sf, t_sf = time (fun () -> C.Analysis.run ~config:C.Config.skipflow prog ~roots) in
+    let rta, t_rta = time (fun () -> Skipflow_baselines.Rta.run prog ~roots) in
+    let cha, t_cha = time (fun () -> Skipflow_baselines.Cha.run prog ~roots) in
+    Format.printf "%-10s %10s %10s@." "analysis" "reachable" "time[ms]";
+    let row name n t = Format.printf "%-10s %10d %10.1f@." name n (t *. 1000.) in
+    row "CHA" (Ids.Meth.Set.cardinal cha.Skipflow_baselines.Cha.reachable) t_cha;
+    row "RTA" (Ids.Meth.Set.cardinal rta.Skipflow_baselines.Rta.reachable) t_rta;
+    row "PTA" pta.C.Analysis.metrics.C.Metrics.reachable_methods t_pta;
+    row "SkipFlow" sf.C.Analysis.metrics.C.Metrics.reachable_methods t_sf;
+    let p = pta.C.Analysis.metrics.C.Metrics.reachable_methods in
+    let s = sf.C.Analysis.metrics.C.Metrics.reachable_methods in
+    if p > 0 then
+      Format.printf "@.SkipFlow reduction over PTA: %.1f%%@."
+        (100. *. float_of_int (p - s) /. float_of_int p)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare CHA / RTA / PTA / SkipFlow on one program")
+    Term.(const run $ file_arg $ roots_arg)
+
+(* ------------------------------ deadcode ------------------------------ *)
+
+let deadcode_cmd =
+  let run file roots verify =
+    let prog = load_program file in
+    let roots = roots_of prog roots in
+    let pta = C.Analysis.run ~config:C.Config.pta prog ~roots in
+    let sf = C.Analysis.run ~config:C.Config.skipflow prog ~roots in
+    let report =
+      C.Report.compare_runs ~baseline:pta.C.Analysis.engine ~precise:sf.C.Analysis.engine
+    in
+    Format.printf "%a@." C.Report.pp report;
+    if verify then begin
+      match C.Verify.run sf.C.Analysis.engine with
+      | [] -> Format.printf "fixed point certified: all Figure 15 rules hold@."
+      | vs ->
+          Format.printf "FIXED POINT VIOLATIONS:@.";
+          List.iter (fun v -> Format.printf "  %s@." v) vs;
+          exit 1
+    end
+  in
+  let verify = Arg.(value & flag & info [ "verify" ] ~doc:"Re-check the Figure 15 rules over the fixed point") in
+  Cmd.v
+    (Cmd.info "deadcode"
+       ~doc:"Report dead methods, foldable branches, and devirtualizable calls (SkipFlow vs PTA)")
+    Term.(const run $ file_arg $ roots_arg $ verify)
+
+(* --------------------------------- run -------------------------------- *)
+
+let run_cmd =
+  let run file fuel =
+    let prog = load_program file in
+    match Skipflow_frontend.Frontend.main_of prog with
+    | None ->
+        prerr_endline "error: no static main method";
+        exit 1
+    | Some main ->
+        let trace, halt = Skipflow_interp.Interp.run ~fuel prog main in
+        Format.printf "halt: %s@."
+          (match halt with
+          | Skipflow_interp.Interp.Finished -> "finished"
+          | Null_deref -> "null dereference"
+          | Div_by_zero -> "division by zero"
+          | Out_of_fuel -> "out of fuel"
+          | Index_oob -> "array index out of bounds"
+          | Class_cast -> "class cast error"
+          | Uncaught -> "uncaught exception");
+        Format.printf "steps: %d@." trace.Skipflow_interp.Interp.steps;
+        Format.printf "methods executed: %d@."
+          (Ids.Meth.Set.cardinal trace.Skipflow_interp.Interp.called);
+        Ids.Meth.Set.iter
+          (fun m -> Format.printf "  %s@." (Program.qualified_name prog m))
+          trace.Skipflow_interp.Interp.called
+  in
+  let fuel = Arg.(value & opt int 1_000_000 & info [ "fuel" ] ~doc:"Step budget") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a MiniJava program in the concrete interpreter")
+    Term.(const run $ file_arg $ fuel)
+
+(* --------------------------------- gen -------------------------------- *)
+
+let gen_cmd =
+  let run bench seed out =
+    let params =
+      match bench with
+      | Some name -> (
+          match W.Suites.find name with
+          | Some b -> W.Suites.params_of b
+          | None ->
+              Printf.eprintf "unknown benchmark %s (see bench-list)\n" name;
+              exit 1)
+      | None -> { W.Gen.default_params with seed }
+    in
+    let src = W.Gen.source params in
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc src;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+    | None -> print_string src
+  in
+  let bench = Arg.(value & opt (some string) None & info [ "bench" ] ~doc:"Generate a named Table 1 benchmark") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Seed for the default generator") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Emit a synthetic benchmark program as MiniJava source")
+    Term.(const run $ bench $ seed $ out)
+
+let bench_list_cmd =
+  let run () =
+    List.iter
+      (fun (b : W.Suites.bench) ->
+        Printf.printf "%-12s %-22s paper: %6.1fk methods, -%4.1f%%\n" b.W.Suites.suite
+          b.W.Suites.name b.W.Suites.paper_pta_kmethods b.W.Suites.paper_reduction_pct)
+      W.Suites.all
+  in
+  Cmd.v (Cmd.info "bench-list" ~doc:"List the Table 1 benchmark catalog") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "skipflow" ~version:"1.0.0" ~doc:"SkipFlow predicated points-to analysis (CGO 2025 reproduction)" in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; compare_cmd; deadcode_cmd; run_cmd; gen_cmd; bench_list_cmd ]))

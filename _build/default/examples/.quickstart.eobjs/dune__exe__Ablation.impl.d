@@ -1,0 +1,1 @@
+examples/ablation.ml: List Option Printf Skipflow_core Skipflow_ir Skipflow_workloads

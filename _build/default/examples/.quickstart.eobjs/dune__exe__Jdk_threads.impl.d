@@ -1,0 +1,1 @@
+examples/jdk_threads.ml: Format List Option Printf Program Skipflow_core Skipflow_frontend Skipflow_ir String

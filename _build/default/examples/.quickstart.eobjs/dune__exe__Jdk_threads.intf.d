@@ -1,0 +1,1 @@
+examples/jdk_threads.mli:

@@ -1,0 +1,1 @@
+examples/microservice.ml: Ids Option Printf Program Skipflow_baselines Skipflow_core Skipflow_ir Skipflow_workloads Unix

@@ -1,0 +1,1 @@
+examples/sunflow.ml: List Option Printf Program Skipflow_core Skipflow_frontend Skipflow_ir String

@@ -1,0 +1,90 @@
+(* The DaCapo Sunflow motivating example (paper, Figure 1).
+
+   Scene.render has a Display parameter that is assigned a newly allocated
+   FrameDisplay when null — but no caller ever passes null.  FrameDisplay
+   transitively drags in a GUI library (stand-ins for AWT/Swing below).
+   SkipFlow's predicate edge  'display == null ~~>pred new FrameDisplay()'
+   never triggers, so the entire GUI cluster is proven unreachable; the
+   baseline flow-insensitive PTA keeps it alive.
+
+   Run with:  dune exec examples/sunflow.exe
+   (writes sunflow_pvpg.dot with the fixed-point graph of Scene.render)
+*)
+
+open Skipflow_ir
+module C = Skipflow_core
+module F = Skipflow_frontend
+
+let source =
+  {|
+class Display {
+  void imageBegin() { }
+}
+class FileDisplay extends Display {
+  void imageBegin() { }
+}
+class FrameDisplay extends Display {
+  void imageBegin() { this.initToolkit(); }
+  void initToolkit() { Awt.init(); }
+}
+class Awt {
+  static void init() { Awt.loadFonts(); Swing.init(); }
+  static void loadFonts() { }
+}
+class Swing {
+  static void init() { }
+}
+class Scene {
+  void render(Display display) {
+    if (display == null) {
+      display = new FrameDisplay();
+    }
+    BucketRenderer r = new BucketRenderer();
+    r.render(display);
+  }
+}
+class BucketRenderer {
+  void render(Display display) {
+    display.imageBegin();
+  }
+}
+class Main {
+  static void main() {
+    Scene scene = new Scene();
+    scene.render(new FileDisplay());
+  }
+}
+|}
+
+let reachable prog r q =
+  List.exists
+    (fun (m : Program.meth) -> String.equal (Program.qualified_name prog m.Program.m_id) q)
+    (C.Engine.reachable_methods r.C.Analysis.engine)
+
+let () =
+  let prog = F.Frontend.compile source in
+  let main = Option.get (F.Frontend.main_of prog) in
+  let sf = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
+  let pta = C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ] in
+  let gui = [ "FrameDisplay.imageBegin"; "FrameDisplay.initToolkit"; "Awt.init"; "Awt.loadFonts"; "Swing.init" ] in
+  Printf.printf "%-28s %-10s %-10s\n" "method" "PTA" "SkipFlow";
+  List.iter
+    (fun q ->
+      Printf.printf "%-28s %-10s %-10s\n" q
+        (if reachable prog pta q then "reachable" else "dead")
+        (if reachable prog sf q then "reachable" else "dead"))
+    ([ "Scene.render"; "BucketRenderer.render"; "FileDisplay.imageBegin" ] @ gui);
+  Printf.printf "\nreachable methods: PTA=%d SkipFlow=%d\n"
+    pta.C.Analysis.metrics.C.Metrics.reachable_methods
+    sf.C.Analysis.metrics.C.Metrics.reachable_methods;
+  (* dump the PVPG of Scene.render at the fixed point *)
+  let scene_render =
+    List.filter
+      (fun (g : C.Graph.method_graph) ->
+        String.equal
+          (Program.qualified_name prog g.C.Graph.g_meth.Program.m_id)
+          "Scene.render")
+      (C.Engine.graphs sf.C.Analysis.engine)
+  in
+  C.Dot.write_file prog ~path:"sunflow_pvpg.dot" scene_render;
+  print_endline "\nwrote sunflow_pvpg.dot (render with: dot -Tsvg sunflow_pvpg.dot)"

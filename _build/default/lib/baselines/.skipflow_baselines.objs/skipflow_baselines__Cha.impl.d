@@ -1,0 +1,1 @@
+lib/baselines/cha.ml: Array Bl Ids List Program Queue Skipflow_ir

@@ -1,0 +1,1 @@
+lib/baselines/cha.mli: Skipflow_ir

@@ -1,0 +1,1 @@
+lib/baselines/rta.ml: Array Bl Ids List Program Queue Skipflow_ir

@@ -1,0 +1,1 @@
+lib/baselines/rta.mli: Skipflow_ir

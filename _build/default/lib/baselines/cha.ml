@@ -1,0 +1,63 @@
+(** Class Hierarchy Analysis (Dean, Grove, Chambers 1995).
+
+    The coarsest call-graph construction discussed in the paper's
+    evaluation (Section 6): a virtual call on a receiver of declared type
+    [C] may dispatch to the implementation selected by {e any} concrete
+    subtype of [C], regardless of which classes are instantiated.  Included
+    as the lower end of the precision spectrum
+
+      CHA ⊒ RTA ⊒ PTA ⊒ SkipFlow
+
+    which the property-test suite checks on generated programs. *)
+
+open Skipflow_ir
+
+type result = {
+  reachable : Ids.Meth.Set.t;
+  edges : int;  (** resolved call edges, a rough precision indicator *)
+}
+
+let targets_of_call prog (i : Bl.insn) : Program.meth list =
+  match i with
+  | Bl.Invoke { target; virtual_; _ } ->
+      let tm = Program.meth prog target in
+      if virtual_ then
+        (* any concrete subtype of the target's declaring class *)
+        List.filter_map
+          (fun c -> Program.resolve prog ~recv_cls:c ~target)
+          (Program.concrete_subtypes prog tm.Program.m_class)
+      else [ tm ]
+  | _ -> []
+
+let dedup ms =
+  List.sort_uniq
+    (fun (a : Program.meth) b -> Ids.Meth.compare a.Program.m_id b.Program.m_id)
+    ms
+
+let run prog ~(roots : Program.meth list) : result =
+  let reachable = ref Ids.Meth.Set.empty in
+  let edges = ref 0 in
+  let queue = Queue.create () in
+  let push m =
+    if not (Ids.Meth.Set.mem m.Program.m_id !reachable) then begin
+      reachable := Ids.Meth.Set.add m.Program.m_id !reachable;
+      Queue.add m queue
+    end
+  in
+  List.iter push roots;
+  while not (Queue.is_empty queue) do
+    let m = Queue.take queue in
+    match m.Program.m_body with
+    | None -> ()
+    | Some body ->
+        Array.iter
+          (fun blk ->
+            List.iter
+              (fun i ->
+                let ts = dedup (targets_of_call prog i) in
+                edges := !edges + List.length ts;
+                List.iter push ts)
+              blk.Bl.b_insns)
+          body.Bl.blocks
+  done;
+  { reachable = !reachable; edges = !edges }

@@ -1,0 +1,12 @@
+(** Class Hierarchy Analysis (Dean, Grove, Chambers 1995): the coarsest
+    call-graph construction of the precision spectrum discussed in the
+    paper's Section 6 — a virtual call may dispatch to the implementation
+    selected by {e any} concrete subtype of the target's declaring class,
+    regardless of instantiation. *)
+
+type result = {
+  reachable : Skipflow_ir.Ids.Meth.Set.t;
+  edges : int;  (** resolved call edges, a rough precision indicator *)
+}
+
+val run : Skipflow_ir.Program.t -> roots:Skipflow_ir.Program.meth list -> result

@@ -1,0 +1,93 @@
+(** Rapid Type Analysis (Bacon & Sweeney 1996).
+
+    Refines CHA by only dispatching virtual calls to implementations
+    selected by classes that are actually instantiated somewhere in the
+    reachable code.  Discovery of instantiations and of reachable methods
+    is mutually recursive, so the computation iterates to a fixed point:
+    when a new class is instantiated, virtual call sites already seen are
+    reconsidered. *)
+
+open Skipflow_ir
+
+type result = {
+  reachable : Ids.Meth.Set.t;
+  instantiated : Ids.Class.Set.t;
+  edges : int;
+}
+
+type state = {
+  prog : Program.t;
+  mutable reachable : Ids.Meth.Set.t;
+  mutable instantiated : Ids.Class.Set.t;
+  mutable pending_sites : (Ids.Meth.t * Ids.Class.t) list;
+      (** virtual call sites seen so far: (declared target, declaring class
+          of the receiver's static target) *)
+  queue : Program.meth Queue.t;
+  mutable edges : int;
+}
+
+let push st (m : Program.meth) =
+  if not (Ids.Meth.Set.mem m.Program.m_id st.reachable) then begin
+    st.reachable <- Ids.Meth.Set.add m.Program.m_id st.reachable;
+    Queue.add m st.queue
+  end
+
+let link_site st (target : Ids.Meth.t) =
+  let tm = Program.meth st.prog target in
+  List.iter
+    (fun c ->
+      if Ids.Class.Set.mem c st.instantiated then
+        match Program.resolve st.prog ~recv_cls:c ~target with
+        | Some callee ->
+            st.edges <- st.edges + 1;
+            push st callee
+        | None -> ())
+    (Program.concrete_subtypes st.prog tm.Program.m_class)
+
+let instantiate st (c : Ids.Class.t) =
+  if not (Ids.Class.Set.mem c st.instantiated) then begin
+    st.instantiated <- Ids.Class.Set.add c st.instantiated;
+    (* reconsider every virtual site already seen *)
+    List.iter (fun (target, _) -> link_site st target) st.pending_sites
+  end
+
+let scan_method st (m : Program.meth) =
+  match m.Program.m_body with
+  | None -> ()
+  | Some body ->
+      Array.iter
+        (fun blk ->
+          List.iter
+            (fun i ->
+              match i with
+              | Bl.Assign (_, Bl.New c) -> instantiate st c
+              | Bl.Invoke { target; virtual_; _ } ->
+                  if virtual_ then begin
+                    let tm = Program.meth st.prog target in
+                    st.pending_sites <- (target, tm.Program.m_class) :: st.pending_sites;
+                    link_site st target
+                  end
+                  else begin
+                    st.edges <- st.edges + 1;
+                    push st (Program.meth st.prog target)
+                  end
+              | _ -> ())
+            blk.Bl.b_insns)
+        body.Bl.blocks
+
+let run prog ~(roots : Program.meth list) : result =
+  let st =
+    {
+      prog;
+      reachable = Ids.Meth.Set.empty;
+      instantiated = Ids.Class.Set.empty;
+      pending_sites = [];
+      queue = Queue.create ();
+      edges = 0;
+    }
+  in
+  List.iter (push st) roots;
+  while not (Queue.is_empty st.queue) do
+    scan_method st (Queue.take st.queue)
+  done;
+  { reachable = st.reachable; instantiated = st.instantiated; edges = st.edges }

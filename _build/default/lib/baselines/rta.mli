@@ -1,0 +1,11 @@
+(** Rapid Type Analysis (Bacon & Sweeney 1996): CHA restricted to classes
+    actually instantiated in reachable code; instantiation discovery and
+    reachability iterate to a mutual fixed point. *)
+
+type result = {
+  reachable : Skipflow_ir.Ids.Meth.Set.t;
+  instantiated : Skipflow_ir.Ids.Class.Set.t;
+  edges : int;
+}
+
+val run : Skipflow_ir.Program.t -> roots:Skipflow_ir.Program.meth list -> result

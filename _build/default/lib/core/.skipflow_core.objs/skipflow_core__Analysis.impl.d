@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Config Engine List Metrics Program Skipflow_ir String Sys

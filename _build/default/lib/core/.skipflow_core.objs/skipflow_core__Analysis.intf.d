@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Config Engine Metrics Skipflow_ir

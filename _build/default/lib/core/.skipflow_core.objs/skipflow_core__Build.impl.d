@@ -1,0 +1,1 @@
+lib/core/build.ml: Array Bl Config Edges Flow Graph Hashtbl Ids List Masks Option Printf Program Skipflow_ir Ty Vstate

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Flow Format Graph Hashtbl Ids List Printf Program Skipflow_ir String Vstate

@@ -1,0 +1,1 @@
+lib/core/dot.mli: Format Graph Skipflow_ir

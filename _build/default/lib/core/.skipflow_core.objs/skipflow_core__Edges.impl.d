@@ -1,0 +1,1 @@
+lib/core/edges.ml: Flow Vstate

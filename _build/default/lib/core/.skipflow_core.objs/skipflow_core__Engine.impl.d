@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bl Build Config Edges Flow Graph Ids List Masks Printf Program Queue Skipflow_ir Ty Typeset Vstate

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Config Flow Graph Skipflow_ir

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Format Ids Printf Skipflow_ir Typeset Vstate

@@ -1,0 +1,1 @@
+lib/core/graph.ml: Bl Flow List Program Skipflow_ir Vstate

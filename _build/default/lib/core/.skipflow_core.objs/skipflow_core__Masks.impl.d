@@ -1,0 +1,1 @@
+lib/core/masks.ml: Array Ids Program Skipflow_ir Typeset

@@ -1,0 +1,1 @@
+lib/core/masks.mli: Skipflow_ir Typeset

@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Bl Engine Flow Format Graph Ids List Skipflow_ir

@@ -1,0 +1,1 @@
+lib/core/report.ml: Engine Flow Format Graph Ids List Program Skipflow_ir Ty Vstate

@@ -1,0 +1,1 @@
+lib/core/typeset.ml: Array Format Hashtbl List Skipflow_ir Sys

@@ -1,0 +1,1 @@
+lib/core/typeset.mli: Format Skipflow_ir

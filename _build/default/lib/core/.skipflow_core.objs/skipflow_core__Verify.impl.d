@@ -1,0 +1,1 @@
+lib/core/verify.ml: Engine Flow Format Graph Ids List Program Skipflow_ir Ty Typeset Vstate

@@ -1,0 +1,1 @@
+lib/core/vstate.ml: Format Int Skipflow_ir Typeset

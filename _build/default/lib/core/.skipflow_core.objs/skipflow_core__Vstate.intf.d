@@ -1,0 +1,1 @@
+lib/core/vstate.mli: Format Skipflow_ir Typeset

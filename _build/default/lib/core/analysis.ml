@@ -1,0 +1,49 @@
+(** Top-level analysis driver: build the engine, register roots, solve to a
+    fixed point, and collect metrics.  This is the entry point examples,
+    tests, the CLI and the benchmark harness use. *)
+
+open Skipflow_ir
+
+type result = {
+  config : Config.t;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  cpu_time_s : float;
+      (** CPU time of graph construction + solving ([Sys.time]-based; the
+          benchmark harness measures wall-clock time around [run]
+          itself). *)
+}
+
+(** [run ~config prog ~roots] analyzes [prog] starting from the given root
+    methods.  Root-method parameters are seeded according to
+    [config.seed_root_params] (Section 5's reflection/JNI policy). *)
+let run ?(config = Config.skipflow) ?random_order (prog : Program.t)
+    ~(roots : Program.meth list) =
+  let t0 = Sys.time () in
+  let engine = Engine.create prog config in
+  List.iter (fun m -> Engine.add_root engine m) roots;
+  Engine.run ?random_order engine;
+  let cpu_time_s = Sys.time () -. t0 in
+  { config; engine; metrics = Metrics.compute engine; cpu_time_s }
+
+(** Convenience: resolve root methods by ["Class.method"] qualified names.
+    @raise Not_found if a name does not exist. *)
+let roots_by_name (prog : Program.t) names =
+  List.map
+    (fun qname ->
+      match String.split_on_char '.' qname with
+      | [ cname; mname ] -> (
+          match Program.find_class prog cname with
+          | Some c -> (
+              match Program.find_meth prog c mname with
+              | Some m -> m
+              | None -> raise Not_found)
+          | None -> raise Not_found)
+      | _ -> invalid_arg "roots_by_name: expected Class.method")
+    names
+
+let reachable_names (r : result) =
+  List.map
+    (fun (m : Program.meth) ->
+      Program.qualified_name (Engine.prog_of r.engine) m.Program.m_id)
+    (Engine.reachable_methods r.engine)

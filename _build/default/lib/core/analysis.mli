@@ -1,0 +1,30 @@
+(** Top-level analysis driver: build the engine, register roots, solve to
+    the fixed point, collect metrics.  This is the main entry point for
+    examples, tests, the CLI, and the benchmark harness. *)
+
+type result = {
+  config : Config.t;
+  engine : Engine.t;
+      (** the solved engine: reachable methods, per-flow value states *)
+  metrics : Metrics.t;
+  cpu_time_s : float;
+      (** CPU time of graph construction + solving ([Sys.time]-based) *)
+}
+
+val run :
+  ?config:Config.t ->
+  ?random_order:int ->
+  Skipflow_ir.Program.t ->
+  roots:Skipflow_ir.Program.meth list ->
+  result
+(** [run ~config prog ~roots] analyzes [prog] from the given root methods
+    (default config: {!Config.skipflow}).  [random_order] processes the
+    worklist in a seeded pseudo-random order instead of FIFO — the fixed
+    point must not change; used by determinism tests. *)
+
+val roots_by_name : Skipflow_ir.Program.t -> string list -> Skipflow_ir.Program.meth list
+(** Resolve roots from ["Class.method"] names.
+    @raise Not_found if a name does not exist. *)
+
+val reachable_names : result -> string list
+(** Qualified names of the reachable methods, in discovery order. *)

@@ -1,0 +1,381 @@
+(** PVPG construction: one linear pass over a method body (paper,
+    Appendix B.4, Figures 12–14).
+
+    Basic blocks are traversed in reverse postorder and instructions top to
+    bottom.  Per block, the traversal maintains
+
+    - a mapping from variables to flows.  Because our input is already in
+      SSA form with explicit phi instructions (produced by
+      {!Skipflow_ir.Ssa_builder}), every variable has a canonical defining
+      flow; the per-block mapping only records the {e filtering-flow
+      re-definitions} introduced by branch conditions (Figure 14) plus the
+      shadow-phi flows that [propagate] (Figure 13) creates when
+      re-definitions collide at control-flow merges.  Explicit SSA phis are
+      turned into [Phi] flows directly (the paper's dynamic collision
+      detection re-derives exactly these for ordinary values, so the result
+      is the same graph);
+    - the current predicate [pred], updated by every invoke and branch, used
+      as the source of the predicate edge every newly created flow receives.
+
+    Merge blocks get a [φ_pred] flow that joins the predicates of all
+    incoming edges and predicates the block's phi flows and subsequent
+    instructions (Section 3, "Joining Values using φ Flows").
+
+    The returned {!Graph.method_graph} records the branch sites and invoke
+    sites used by the counter metrics. *)
+
+open Skipflow_ir
+
+type ctx = {
+  prog : Program.t;
+  config : Config.t;
+  masks : Masks.t;
+  pred_on : Flow.t;
+  emit : Edges.emit;
+  field_flow : Ids.Field.t -> Flow.t;
+      (** the engine's global per-field flow; used to link static field
+          accesses at construction time (no receiver to observe) *)
+}
+
+type block_state = {
+  map : (int, Flow.t) Hashtbl.t;  (** filter/shadow re-definitions, by var id *)
+  shadow_phis : (int, unit) Hashtbl.t;
+      (** vars whose [map] entry is a shadow phi created by this merge *)
+  mutable cur_pred : Flow.t;
+  mutable touched : bool;  (** has any predecessor propagated into this merge? *)
+}
+
+let run ctx (meth : Program.meth) : Graph.method_graph =
+  let body =
+    match meth.Program.m_body with
+    | Some b -> b
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Build.run: method %s has no body" meth.Program.m_name)
+  in
+  let emit = ctx.emit in
+  let use_edge = Edges.use_edge ~emit in
+  let pred_edge = Edges.pred_edge ~emit in
+  let obs_edge = Edges.obs_edge ~emit in
+  let return_flow = Flow.make ~meth:meth.Program.m_id Flow.Return in
+  let g : Graph.method_graph =
+    {
+      g_meth = meth;
+      g_body = body;
+      g_params = [];
+      g_return = return_flow;
+      g_flows = [ return_flow ];
+      g_branches = [];
+      g_invokes = [];
+      g_defs = [||];
+    }
+  in
+  let register f =
+    g.g_flows <- f :: g.g_flows;
+    (match f.Flow.kind with Flow.Invoke _ -> g.g_invokes <- f :: g.g_invokes | _ -> ());
+    f
+  in
+  let mk ?filter kind = register (Flow.make ~meth:meth.Program.m_id ?filter kind) in
+  (* canonical defining flow per SSA variable *)
+  let def : Flow.t option array = Array.make body.Bl.var_count None in
+  let set_def v f = def.(Ids.Var.to_int v) <- Some f in
+  let def_flow v =
+    match def.(Ids.Var.to_int v) with
+    | Some f -> f
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Build.run: variable v%d has no defining flow"
+             (Ids.Var.to_int v))
+  in
+  (* per-block states, created lazily (merges are touched by [propagate]
+     before they are visited) *)
+  let states : block_state option array = Array.make (Array.length body.Bl.blocks) None in
+  let fresh_state cur_pred =
+    {
+      map = Hashtbl.create 8;
+      shadow_phis = Hashtbl.create 4;
+      cur_pred;
+      touched = false;
+    }
+  in
+  let get_merge_state (bid : Ids.Block.t) =
+    let i = Ids.Block.to_int bid in
+    match states.(i) with
+    | Some s -> s
+    | None ->
+        let blk = Bl.block body bid in
+        assert (blk.Bl.b_kind = Bl.Merge);
+        let phi_pred = mk Flow.Phi_pred in
+        let s = fresh_state phi_pred in
+        (* Phi flows for the block's explicit SSA phis, predicated by the
+           block's φ_pred (Figure 5); their use edges are added per
+           incoming edge by [propagate]. *)
+        List.iter
+          (fun (phi : Bl.phi) ->
+            let f = mk Flow.Phi in
+            pred_edge phi_pred f;
+            set_def phi.Bl.phi_var f)
+          blk.Bl.b_phis;
+        states.(i) <- Some s;
+        s
+  in
+  let label_state (bid : Ids.Block.t) s = states.(Ids.Block.to_int bid) <- Some s in
+  let get_state (bid : Ids.Block.t) =
+    match states.(Ids.Block.to_int bid) with
+    | Some s -> s
+    | None -> get_merge_state bid
+  in
+  (* variable lookup: branch-scoped re-definition, else the SSA def *)
+  let lookup (s : block_state) v =
+    match Hashtbl.find_opt s.map (Ids.Var.to_int v) with
+    | Some f -> f
+    | None -> def_flow v
+  in
+  (* ---------------- parameters (start instruction) ------------------- *)
+  let entry_state = fresh_state ctx.pred_on in
+  label_state body.Bl.entry entry_state;
+  let param_flows =
+    List.mapi
+      (fun i v ->
+        let filter =
+          match Bl.var_ty body v with
+          | Ty.Obj c ->
+              Some (Flow.Declared { mask_with_null = Masks.decl ctx.masks c; cls = c })
+          | _ -> None
+        in
+        let f = mk ?filter (Flow.Param i) in
+        pred_edge ctx.pred_on f;
+        set_def v f;
+        f)
+      body.Bl.params
+  in
+  g.Graph.g_params <- param_flows;
+  (* ------------------------- propagate (Fig. 13) --------------------- *)
+  let propagate (b : block_state) (src : Bl.block) (tgt : Ids.Block.t) =
+    let ts = get_merge_state tgt in
+    let tblk = Bl.block body tgt in
+    pred_edge b.cur_pred ts.cur_pred;
+    (* connect this incoming edge's phi operands *)
+    List.iter
+      (fun (phi : Bl.phi) ->
+        let pf = def_flow phi.Bl.phi_var in
+        match List.assoc_opt src.Bl.b_id phi.Bl.phi_args with
+        | Some arg -> use_edge (lookup b arg) pf
+        | None -> ())
+      tblk.Bl.b_phis;
+    (* merge branch-scoped re-definitions *)
+    if not ts.touched then begin
+      ts.touched <- true;
+      Hashtbl.iter (fun v f -> Hashtbl.replace ts.map v f) b.map
+    end
+    else begin
+      let keys = Hashtbl.create 8 in
+      Hashtbl.iter (fun v _ -> Hashtbl.replace keys v ()) ts.map;
+      Hashtbl.iter (fun v _ -> Hashtbl.replace keys v ()) b.map;
+      Hashtbl.iter
+        (fun v () ->
+          let var = Ids.Var.of_int v in
+          let tv =
+            match Hashtbl.find_opt ts.map v with Some f -> f | None -> def_flow var
+          in
+          let pv = lookup b var in
+          if tv != pv then
+            if Hashtbl.mem ts.shadow_phis v then
+              (* shadow phi already created for this merge: just add the
+                 new operand (the isPhi branch of Figure 13) *)
+              use_edge pv tv
+            else begin
+              let f = mk Flow.Phi in
+              pred_edge ts.cur_pred f;
+              use_edge tv f;
+              use_edge pv f;
+              Hashtbl.replace ts.map v f;
+              Hashtbl.replace ts.shadow_phis v ()
+            end)
+        keys
+    end
+  in
+  (* --------------------- initBlock (Fig. 14) ------------------------- *)
+  let branches = ref [] in
+  let init_block (b : block_state) (tgt : Ids.Block.t) (cond : Bl.cond) ~negated =
+    let ts = fresh_state b.cur_pred (* overwritten below *) in
+    Hashtbl.iter (fun v f -> Hashtbl.replace ts.map v f) b.map;
+    (match cond with
+    | Bl.InstanceOf (x, cls) ->
+        let f =
+          mk
+            ~filter:(Flow.Instanceof { mask = Masks.sub ctx.masks cls; negated; cls })
+            (Flow.Filter { check = Flow.Type_check; branch_then = not negated })
+        in
+        pred_edge b.cur_pred f;
+        use_edge (lookup b x) f;
+        Hashtbl.replace ts.map (Ids.Var.to_int x) f;
+        ts.cur_pred <- f
+    | Bl.Cmp (op0, l, r) ->
+        let check =
+          let object_side v = Ty.is_object (Bl.var_ty body v) in
+          if object_side l || object_side r then Flow.Null_check else Flow.Prim_check
+        in
+        let op = (match op0 with `Eq -> Vstate.Eq | `Lt -> Vstate.Lt) in
+        let op = if negated then Vstate.inv op else op in
+        let lf = lookup b l and rf = lookup b r in
+        let f_l =
+          mk
+            ~filter:(Flow.Compare { op; other = rf })
+            (Flow.Filter { check; branch_then = not negated })
+        in
+        pred_edge b.cur_pred f_l;
+        use_edge lf f_l;
+        obs_edge rf f_l;
+        let f_r =
+          mk
+            ~filter:(Flow.Compare { op = Vstate.flip op; other = lf })
+            (Flow.Filter { check; branch_then = not negated })
+        in
+        pred_edge f_l f_r;
+        use_edge rf f_r;
+        obs_edge lf f_r;
+        Hashtbl.replace ts.map (Ids.Var.to_int l) f_l;
+        Hashtbl.replace ts.map (Ids.Var.to_int r) f_r;
+        ts.cur_pred <- f_r);
+    label_state tgt ts;
+    ts.cur_pred
+  in
+  (* ------------------------ instructions (Fig. 12) ------------------- *)
+  let source_value (e : Bl.expr) =
+    match e with
+    | Bl.Const n -> if ctx.config.Config.primitives then Vstate.const n else Vstate.any
+    | Bl.Null -> Vstate.null
+    | Bl.Arith _ | Bl.AnyInt -> Vstate.any
+    | Bl.New _ | Bl.NewArr _ -> assert false
+  in
+  let process_insn (b : block_state) (i : Bl.insn) =
+    match i with
+    | Bl.Assign (v, (Bl.New cls | Bl.NewArr (cls, _))) ->
+        (* an array allocation instantiates the array class; the length is
+           a primitive the analysis does not track *)
+        let f = mk (Flow.Alloc cls) in
+        pred_edge b.cur_pred f;
+        set_def v f
+    | Bl.Assign (v, e) ->
+        let f = mk (Flow.Source (source_value e)) in
+        pred_edge b.cur_pred f;
+        set_def v f
+    | Bl.Load { dst; recv; field } ->
+        let rf = lookup b recv in
+        let f =
+          mk (Flow.Field_load { fa_field = field; fa_recv = rf; fa_linked = [] })
+        in
+        pred_edge b.cur_pred f;
+        obs_edge rf f;
+        set_def dst f
+    | Bl.Store { recv; field; src } ->
+        let rf = lookup b recv in
+        let f =
+          mk (Flow.Field_store { fa_field = field; fa_recv = rf; fa_linked = [] })
+        in
+        pred_edge b.cur_pred f;
+        use_edge (lookup b src) f;
+        obs_edge rf f
+    | Bl.LoadStatic { dst; field } ->
+        let f = mk (Flow.Static_load field) in
+        pred_edge b.cur_pred f;
+        use_edge (ctx.field_flow field) f;
+        set_def dst f
+    | Bl.StoreStatic { field; src } ->
+        let f = mk (Flow.Static_store field) in
+        pred_edge b.cur_pred f;
+        use_edge (lookup b src) f;
+        use_edge f (ctx.field_flow field)
+    | Bl.ArrLoad { dst; arr; idx = _; elem } ->
+        (* an array read is a load of the element pseudo-field: one element
+           flow per array type, linked through the receiver's value state *)
+        let rf = lookup b arr in
+        let f = mk (Flow.Field_load { fa_field = elem; fa_recv = rf; fa_linked = [] }) in
+        pred_edge b.cur_pred f;
+        obs_edge rf f;
+        set_def dst f
+    | Bl.ArrStore { arr; idx = _; src; elem } ->
+        let rf = lookup b arr in
+        let f = mk (Flow.Field_store { fa_field = elem; fa_recv = rf; fa_linked = [] }) in
+        pred_edge b.cur_pred f;
+        use_edge (lookup b src) f;
+        obs_edge rf f
+    | Bl.ArrLen { dst; arr = _ } ->
+        (* array lengths are opaque primitives (Any) *)
+        let f = mk (Flow.Source Vstate.any) in
+        pred_edge b.cur_pred f;
+        set_def dst f
+    | Bl.Cast { dst; src; cls } ->
+        (* checkcast: a filtering flow in value position that keeps
+           subtypes of the cast type plus null *)
+        let f =
+          mk
+            ~filter:(Flow.Declared { mask_with_null = Masks.decl ctx.masks cls; cls })
+            (Flow.Cast cls)
+        in
+        pred_edge b.cur_pred f;
+        use_edge (lookup b src) f;
+        set_def dst f
+    | Bl.Invoke { dst; recv; target; args; virtual_ } ->
+        let recv_f = Option.map (lookup b) recv in
+        let args_f = List.map (lookup b) args in
+        let f =
+          mk
+            (Flow.Invoke
+               {
+                 inv_target = target;
+                 inv_virtual = virtual_;
+                 inv_recv = recv_f;
+                 inv_args = args_f;
+                 inv_linked = Ids.Meth.Set.empty;
+               })
+        in
+        pred_edge b.cur_pred f;
+        (match recv_f with Some r -> obs_edge r f | None -> ());
+        set_def dst f;
+        (* the invocation becomes the predicate of the following
+           statements: "Method Invocations as Predicates" (Section 3) *)
+        b.cur_pred <- f
+  in
+  let process_term (b : block_state) (blk : Bl.block) =
+    match blk.Bl.b_term with
+    | None -> assert false
+    | Some (Bl.Return v) ->
+        (match v with
+        | Some v -> use_edge (lookup b v) return_flow
+        | None -> ());
+        pred_edge b.cur_pred return_flow
+    | Some (Bl.Throw v) ->
+        (* exception values are not tracked interprocedurally (Section 5);
+           the thrown object's own flows were created by earlier
+           instructions, and control never reaches the return *)
+        ignore (lookup b v)
+    | Some (Bl.Jump t) -> propagate b blk t
+    | Some (Bl.If { cond; then_; else_ }) ->
+        let check =
+          match cond with
+          | Bl.InstanceOf _ -> Flow.Type_check
+          | Bl.Cmp (_, l, r) ->
+              if Ty.is_object (Bl.var_ty body l) || Ty.is_object (Bl.var_ty body r)
+              then Flow.Null_check
+              else Flow.Prim_check
+        in
+        let then_live = init_block b then_ cond ~negated:false in
+        let else_live = init_block b else_ cond ~negated:true in
+        branches :=
+          { Graph.bs_kind = check; bs_then_live = then_live; bs_else_live = else_live }
+          :: !branches
+  in
+  (* ------------------------------ driver ----------------------------- *)
+  List.iter
+    (fun (blk : Bl.block) ->
+      let b = get_state blk.Bl.b_id in
+      List.iter (process_insn b) blk.Bl.b_insns;
+      process_term b blk)
+    (Bl.reverse_postorder body);
+  g.Graph.g_branches <- List.rev !branches;
+  g.Graph.g_flows <- List.rev g.Graph.g_flows;
+  g.Graph.g_invokes <- List.rev g.Graph.g_invokes;
+  g.Graph.g_defs <- def;
+  g

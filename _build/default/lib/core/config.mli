@@ -1,0 +1,31 @@
+(** Analysis configurations: SkipFlow, the baseline PTA the paper compares
+    against, and the two single-ingredient ablations.  See the module body
+    for the exact semantics of each feature bit. *)
+
+type t = {
+  predicates : bool;
+      (** when false every flow is enabled at creation — the
+          flow-insensitive baseline behaviour *)
+  primitives : bool;
+      (** when false primitive constants are abstracted to [Any], so
+          comparison filters degenerate to pass-through *)
+  saturation : int option;
+      (** optional type-set growth cutoff (Wimmer et al. 2024); [None]
+          matches the paper's evaluated configuration *)
+  seed_root_params : bool;
+      (** seed root-method object parameters with all instantiated
+          subtypes of their declared type (the Section 5 reflection/JNI
+          policy) *)
+}
+
+val skipflow : t
+(** The paper's contribution: predicates + primitives. *)
+
+val pta : t
+(** The baseline type-based flow-insensitive context-insensitive points-to
+    analysis of the evaluation. *)
+
+val predicates_only : t
+val primitives_only : t
+val name : t -> string
+val pp : Format.formatter -> t -> unit

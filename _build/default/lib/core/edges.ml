@@ -1,0 +1,38 @@
+(** Edge insertion with propagation tasks.
+
+    Both PVPG construction ({!Build}) and interprocedural linking
+    ({!Engine}) add edges to a graph whose fixed-point computation may
+    already be under way, so adding an edge must schedule the propagation
+    work the edge implies:
+
+    - a {e use} edge from an enabled source with a non-empty state pushes
+      that state to the new target;
+    - a {e predicate} edge from an enabled, non-empty source immediately
+      enables the target;
+    - an {e observe} edge from a source with a non-empty state notifies the
+      new observer.
+
+    Tasks are drained FIFO by the engine; because all transfer functions
+    are monotone joins over a finite-height lattice, the fixed point does
+    not depend on the order (a property the test-suite checks by running
+    with randomized orders). *)
+
+type task =
+  | Enable of Flow.t
+  | Input of Flow.t * Vstate.t  (** join the value into the target's VS_in *)
+  | Notify of Flow.t  (** re-run the observer's flow-specific action *)
+
+type emit = task -> unit
+
+let use_edge ~(emit : emit) (s : Flow.t) (t : Flow.t) =
+  s.Flow.uses <- t :: s.Flow.uses;
+  if s.Flow.enabled && not (Vstate.is_empty s.Flow.state) then
+    emit (Input (t, s.Flow.state))
+
+let pred_edge ~(emit : emit) (s : Flow.t) (t : Flow.t) =
+  s.Flow.pred_out <- t :: s.Flow.pred_out;
+  if s.Flow.enabled && not (Vstate.is_empty s.Flow.state) then emit (Enable t)
+
+let obs_edge ~(emit : emit) (s : Flow.t) (t : Flow.t) =
+  s.Flow.observers <- t :: s.Flow.observers;
+  if not (Vstate.is_empty s.Flow.state) then emit (Notify t)

@@ -1,0 +1,399 @@
+(** The fixed-point propagation engine: an operational implementation of
+    the inference rules of Figure 15 (Appendix C).
+
+    The engine maintains a FIFO worklist of three task kinds:
+
+    - [Input (f, v)]: join [v] into [f]'s VS_in (the Propagate / Load /
+      Store / Invoke-linking rules push values this way);
+    - [Enable f]: mark [f] executable (the Predicate rule);
+    - [Notify f]: re-run [f]'s flow-specific action because an observed
+      flow's state changed (method resolution and linking for invokes,
+      field linking for loads/stores, re-filtering for comparison filters).
+
+    Methods become reachable ([ℝ] in the paper) when their PVPG is built:
+    either as analysis roots or when an invoke links them.  Virtual invokes
+    resolve every type in the receiver's value state with [Resolve] and link
+    actual-argument flows to formal-parameter flows and the callee's return
+    flow back to the invoke flow (which represents the returned value in the
+    caller).
+
+    All transfer functions are monotone over the finite-height lattice [𝕃],
+    so the worklist drains to a unique fixed point regardless of task
+    order. *)
+
+open Skipflow_ir
+
+type stats = {
+  mutable tasks_processed : int;
+  mutable use_edges : int;  (** counted at link time only *)
+  mutable links : int;
+  mutable max_queue : int;
+}
+
+type t = {
+  prog : Program.t;
+  config : Config.t;
+  masks : Masks.t;
+  queue : Edges.task Queue.t;
+  graphs : Graph.method_graph Ids.Meth.Tbl.t;
+  mutable reachable_order : Program.meth list;  (** reverse discovery order *)
+  field_flows : Flow.t Ids.Field.Tbl.t;
+  all_inst : Flow.t Ids.Class.Tbl.t;
+  all_inst_any : Flow.t;
+      (** all instantiated types, regardless of declared type; feeds
+          saturated flows *)
+  mutable instantiated : Typeset.t;
+  pred_on : Flow.t;
+  stats : stats;
+}
+
+let always_on kind state =
+  let f = Flow.make kind in
+  f.Flow.enabled <- true;
+  f.Flow.raw <- state;
+  f.Flow.state <- state;
+  f
+
+let create prog config =
+  ignore (Program.freeze prog);
+  {
+    prog;
+    config;
+    masks = Masks.compute prog;
+    queue = Queue.create ();
+    graphs = Ids.Meth.Tbl.create 256;
+    reachable_order = [];
+    field_flows = Ids.Field.Tbl.create 64;
+    all_inst = Ids.Class.Tbl.create 32;
+    all_inst_any = always_on (Flow.All_instantiated Program.null_class) Vstate.empty;
+    instantiated = Typeset.empty;
+    pred_on = always_on Flow.Pred_on (Vstate.const 1);
+    stats = { tasks_processed = 0; use_edges = 0; links = 0; max_queue = 0 };
+  }
+
+let emit t task = Queue.add task t.queue
+
+(* ------------------------- global flows ------------------------------ *)
+
+(** The global flow holding all instantiated subtypes of [c] (including
+    types instantiated later).  Implements the "any instantiated subtype of
+    the declared type" policy for root-method parameters (Section 5). *)
+let all_inst_flow t (c : Ids.Class.t) =
+  match Ids.Class.Tbl.find_opt t.all_inst c with
+  | Some f -> f
+  | None ->
+      let init =
+        Vstate.types (Typeset.inter t.instantiated (Masks.sub t.masks c))
+      in
+      let f = always_on (Flow.All_instantiated c) init in
+      Ids.Class.Tbl.replace t.all_inst c f;
+      f
+
+(** Default value of a field before any store is observed: [null] for
+    object fields, [0] for primitive fields (Java default initialization;
+    needed for soundness with respect to the concrete interpreter). *)
+let field_default t (fld : Program.field) =
+  match fld.Program.f_ty with
+  | Ty.Obj _ | Ty.Null -> Vstate.null
+  | Ty.Int | Ty.Bool -> if t.config.Config.primitives then Vstate.const 0 else Vstate.any
+  | Ty.Void -> Vstate.empty
+
+let field_flow t (fid : Ids.Field.t) =
+  match Ids.Field.Tbl.find_opt t.field_flows fid with
+  | Some f -> f
+  | None ->
+      let fld = Program.field t.prog fid in
+      let f = always_on (Flow.Field_state fid) (field_default t fld) in
+      Ids.Field.Tbl.replace t.field_flows fid f;
+      f
+
+(* --------------------------- propagation ------------------------------ *)
+
+let gen_value t (f : Flow.t) =
+  match f.Flow.kind with
+  | Flow.Source v -> v
+  | Flow.Alloc c -> Vstate.of_class c
+  | Flow.Phi_pred -> Vstate.const 1 (* reachability token *)
+  | Flow.Return -> (
+      (* A method with void return type still returns the predicate of the
+         return instruction as an artificial value (Section 3). *)
+      match f.Flow.meth with
+      | Some m when Ty.equal (Program.meth t.prog m).Program.m_ret_ty Ty.Void ->
+          Vstate.const 0
+      | _ -> Vstate.empty)
+  | _ -> Vstate.empty
+
+let saturate_check t (f : Flow.t) (s : Vstate.t) =
+  match (t.config.Config.saturation, s) with
+  | Some cutoff, Vstate.Types ts
+    when (not f.Flow.saturated) && Typeset.cardinal ts > cutoff ->
+      f.Flow.saturated <- true;
+      Edges.use_edge ~emit:(emit t) t.all_inst_any f
+  | _ -> ()
+
+let on_state_change t (f : Flow.t) =
+  if f.Flow.enabled then begin
+    if not (Vstate.is_empty f.Flow.state) then begin
+      List.iter (fun u -> emit t (Edges.Input (u, f.Flow.state))) f.Flow.uses;
+      List.iter (fun p -> emit t (Edges.Enable p)) f.Flow.pred_out
+    end
+  end;
+  List.iter (fun o -> emit t (Edges.Notify o)) f.Flow.observers
+
+let recompute t (f : Flow.t) =
+  let s = Flow.apply_filter f f.Flow.raw in
+  (* Joining with the previous state keeps the per-flow state monotone even
+     while an observed operand is still growing. *)
+  let s = Vstate.join f.Flow.state s in
+  if not (Vstate.equal s f.Flow.state) then begin
+    f.Flow.state <- s;
+    saturate_check t f s;
+    on_state_change t f
+  end
+
+let input t (f : Flow.t) v =
+  let raw = Vstate.join f.Flow.raw v in
+  if not (Vstate.equal raw f.Flow.raw) then begin
+    f.Flow.raw <- raw;
+    recompute t f
+  end
+
+(* ----------------------- reachability & linking ----------------------- *)
+
+let rec ensure_reachable t (m : Program.meth) =
+  match Ids.Meth.Tbl.find_opt t.graphs m.Program.m_id with
+  | Some g -> g
+  | None ->
+      let g =
+        Build.run
+          {
+            Build.prog = t.prog;
+            config = t.config;
+            masks = t.masks;
+            pred_on = t.pred_on;
+            emit = emit t;
+            field_flow = field_flow t;
+          }
+          m
+      in
+      Ids.Meth.Tbl.replace t.graphs m.Program.m_id g;
+      t.reachable_order <- m :: t.reachable_order;
+      (* Baseline configuration: no predicate edges — every flow of a
+         reachable method propagates unconditionally. *)
+      if not t.config.Config.predicates then
+        List.iter (fun f -> emit t (Edges.Enable f)) g.Graph.g_flows;
+      g
+
+and link_callee t (inv_flow : Flow.t) (inv : Flow.invoke_site) (callee : Program.meth) =
+  if not (Ids.Meth.Set.mem callee.Program.m_id inv.Flow.inv_linked) then begin
+    inv.Flow.inv_linked <- Ids.Meth.Set.add callee.Program.m_id inv.Flow.inv_linked;
+    t.stats.links <- t.stats.links + 1;
+    let cg = ensure_reachable t callee in
+    let actuals =
+      match inv.Flow.inv_recv with
+      | Some r when not callee.Program.m_static -> r :: inv.Flow.inv_args
+      | _ -> inv.Flow.inv_args
+    in
+    (if List.length actuals <> List.length cg.Graph.g_params then
+       invalid_arg
+         (Printf.sprintf "Engine: arity mismatch calling %s (%d actuals, %d formals)"
+            (Program.qualified_name t.prog callee.Program.m_id)
+            (List.length actuals)
+            (List.length cg.Graph.g_params)));
+    List.iter2
+      (fun a p ->
+        t.stats.use_edges <- t.stats.use_edges + 1;
+        Edges.use_edge ~emit:(emit t) a p)
+      actuals cg.Graph.g_params;
+    (* the invoke flow represents the returned value in the caller *)
+    Edges.use_edge ~emit:(emit t) cg.Graph.g_return inv_flow
+  end
+
+(** The Invoke rule: resolve and link every possible callee.  Virtual
+    invokes resolve per receiver type; [null] receivers resolve to nothing
+    (a would-be NullPointerException, which the analysis does not model). *)
+and try_link t (f : Flow.t) =
+  match f.Flow.kind with
+  | Flow.Invoke inv when f.Flow.enabled ->
+      if inv.Flow.inv_virtual then begin
+        let recv =
+          match inv.Flow.inv_recv with
+          | Some r -> r
+          | None -> invalid_arg "Engine: virtual invoke without receiver"
+        in
+        let tyset =
+          match recv.Flow.state with
+          | Vstate.Types ts -> ts
+          | Vstate.Any ->
+              (* Object flows never reach [Any] in well-typed programs;
+                 be conservative if they do. *)
+              t.instantiated
+          | Vstate.Empty | Vstate.Const _ -> Typeset.empty
+        in
+        Typeset.iter_classes
+          (fun c ->
+            if not (Program.is_null_class c) then
+              match Program.resolve t.prog ~recv_cls:c ~target:inv.Flow.inv_target with
+              | Some callee -> link_callee t f inv callee
+              | None -> ())
+          tyset
+      end
+      else
+        link_callee t f inv (Program.meth t.prog inv.Flow.inv_target)
+  | _ -> ()
+
+(** The Load / Store rules: connect the instruction flow with the global
+    per-declared-field flows ([LookUp]) of every type in the receiver's
+    value state. *)
+and try_field t (f : Flow.t) =
+  if f.Flow.enabled then
+    match f.Flow.kind with
+    | Flow.Field_load fa | Flow.Field_store fa ->
+        let tyset = Vstate.type_set fa.Flow.fa_recv.Flow.state in
+        Typeset.iter_classes
+          (fun c ->
+            if not (Program.is_null_class c) then
+              match Program.lookup_field t.prog ~recv_cls:c ~field:fa.Flow.fa_field with
+              | Some fld ->
+                  if not (List.mem fld.Program.f_id fa.Flow.fa_linked) then begin
+                    fa.Flow.fa_linked <- fld.Program.f_id :: fa.Flow.fa_linked;
+                    let ff = field_flow t fld.Program.f_id in
+                    match f.Flow.kind with
+                    | Flow.Field_load _ -> Edges.use_edge ~emit:(emit t) ff f
+                    | _ -> Edges.use_edge ~emit:(emit t) f ff
+                  end
+              | None -> ())
+          tyset
+    | _ -> ()
+
+and mark_instantiated t (c : Ids.Class.t) =
+  if not (Typeset.class_mem c t.instantiated) then begin
+    t.instantiated <- Typeset.class_add c t.instantiated;
+    let v = Vstate.of_class c in
+    input t t.all_inst_any v;
+    Ids.Class.Tbl.iter
+      (fun cls f ->
+        if Typeset.class_mem c (Masks.sub t.masks cls) then input t f v)
+      t.all_inst
+  end
+
+and enable t (f : Flow.t) =
+  if not f.Flow.enabled then begin
+    f.Flow.enabled <- true;
+    (match f.Flow.kind with Flow.Alloc c -> mark_instantiated t c | _ -> ());
+    let gv = gen_value t f in
+    if not (Vstate.is_empty gv) then f.Flow.raw <- Vstate.join f.Flow.raw gv;
+    let s = Vstate.join f.Flow.state (Flow.apply_filter f f.Flow.raw) in
+    f.Flow.state <- s;
+    saturate_check t f s;
+    (* Becoming enabled makes the (possibly previously accumulated) state
+       visible to use/predicate successors for the first time, and counts
+       as a state change for observers. *)
+    on_state_change t f;
+    (* enabling gates the flow-specific actions of Figure 15 *)
+    match f.Flow.kind with
+    | Flow.Invoke _ -> try_link t f
+    | Flow.Field_load _ | Flow.Field_store _ -> try_field t f
+    | _ -> ()
+  end
+
+and notify t (f : Flow.t) =
+  match f.Flow.kind with
+  | Flow.Invoke _ -> try_link t f
+  | Flow.Field_load _ | Flow.Field_store _ -> try_field t f
+  | _ ->
+      (* comparison filters re-apply their condition against the observed
+         operand's new state *)
+      recompute t f
+
+(* ------------------------------ driver -------------------------------- *)
+
+let add_root ?seed_params t (m : Program.meth) =
+  let seed =
+    match seed_params with Some s -> s | None -> t.config.Config.seed_root_params
+  in
+  let g = ensure_reachable t m in
+  if seed then begin
+    let body = g.Graph.g_body in
+    List.iter2
+      (fun v pf ->
+        match Bl.var_ty body v with
+        | Ty.Obj c ->
+            Edges.use_edge ~emit:(emit t) (all_inst_flow t c) pf;
+            emit t (Edges.Input (pf, Vstate.null))
+        | Ty.Int | Ty.Bool -> emit t (Edges.Input (pf, Vstate.any))
+        | Ty.Null | Ty.Void -> ())
+      body.Bl.params g.Graph.g_params
+  end
+
+(** [run ?random_order t] drains the worklist to the fixed point.
+
+    By default tasks are processed FIFO.  With [random_order:seed] tasks
+    are picked pseudo-randomly instead — the fixed point must not change
+    (all transfer functions are monotone joins over a finite lattice),
+    which the property-test suite verifies by comparing runs. *)
+let run ?random_order t =
+  let process task =
+    t.stats.tasks_processed <- t.stats.tasks_processed + 1;
+    let q = Queue.length t.queue in
+    if q > t.stats.max_queue then t.stats.max_queue <- q;
+    match task with
+    | Edges.Enable f -> enable t f
+    | Edges.Input (f, v) -> input t f v
+    | Edges.Notify f -> notify t f
+  in
+  match random_order with
+  | None ->
+      let continue_ = ref true in
+      while !continue_ do
+        match Queue.take_opt t.queue with
+        | None -> continue_ := false
+        | Some task -> process task
+      done
+  | Some seed ->
+      (* array-backed bag with swap-remove; deterministic LCG *)
+      let state = ref (seed land 0x3FFFFFFF) in
+      let next bound =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod bound
+      in
+      let bag = ref [||] in
+      let len = ref 0 in
+      let refill () =
+        let l = Queue.length t.queue in
+        if l > 0 then begin
+          bag := Array.init l (fun _ -> Queue.pop t.queue);
+          len := l
+        end
+      in
+      refill ();
+      while !len > 0 do
+        let i = next !len in
+        let task = !bag.(i) in
+        !bag.(i) <- !bag.(!len - 1);
+        decr len;
+        process task;
+        if !len = 0 then refill ()
+      done
+
+(* ------------------------------ results ------------------------------- *)
+
+let prog_of t = t.prog
+let config_of t = t.config
+
+let is_reachable t (m : Ids.Meth.t) = Ids.Meth.Tbl.mem t.graphs m
+
+let reachable_methods t = List.rev t.reachable_order
+
+let reachable_count t = Ids.Meth.Tbl.length t.graphs
+
+let graphs t =
+  List.rev_map
+    (fun m -> Ids.Meth.Tbl.find t.graphs m.Program.m_id)
+    t.reachable_order
+
+let graph_of t (m : Ids.Meth.t) = Ids.Meth.Tbl.find_opt t.graphs m
+
+let instantiated_types t = Typeset.classes t.instantiated
+
+let stats t = t.stats

@@ -1,0 +1,63 @@
+(** The fixed-point propagation engine: an operational implementation of
+    the inference rules of Figure 15 (Appendix C).
+
+    The engine drains a worklist of enable / input / notify tasks over the
+    predicated value propagation graphs built by {!Build}.  Methods become
+    reachable ([ℝ]) when their PVPG is built — as roots or when an invoke
+    links them; virtual invokes resolve every type in the receiver's value
+    state and link actual arguments to formal parameters and the callee
+    return back to the invoke flow.
+
+    All transfer functions are monotone over the finite-height lattice, so
+    the fixed point is unique regardless of task order. *)
+
+type stats = {
+  mutable tasks_processed : int;
+  mutable use_edges : int;  (** counted at link time only *)
+  mutable links : int;
+  mutable max_queue : int;
+}
+
+type t
+
+val create : Skipflow_ir.Program.t -> Config.t -> t
+
+val add_root : ?seed_params:bool -> t -> Skipflow_ir.Program.meth -> unit
+(** Make a method an analysis root (building its PVPG).  [seed_params]
+    (default from the config) seeds object parameters with all
+    instantiated subtypes of their declared type and primitives with
+    [Any] — the Section 5 reflection/JNI root policy. *)
+
+val run : ?random_order:int -> t -> unit
+(** Drain the worklist to the fixed point.  With [random_order:seed],
+    tasks are picked pseudo-randomly instead of FIFO; the fixed point must
+    not change (checked by the property tests). *)
+
+(** {2 Results} *)
+
+val prog_of : t -> Skipflow_ir.Program.t
+val config_of : t -> Config.t
+val is_reachable : t -> Skipflow_ir.Ids.Meth.t -> bool
+
+val reachable_methods : t -> Skipflow_ir.Program.meth list
+(** In discovery order. *)
+
+val reachable_count : t -> int
+
+val graphs : t -> Graph.method_graph list
+(** The per-method PVPGs with their fixed-point flow states, in discovery
+    order. *)
+
+val graph_of : t -> Skipflow_ir.Ids.Meth.t -> Graph.method_graph option
+val instantiated_types : t -> Skipflow_ir.Ids.Class.t list
+val stats : t -> stats
+
+(** {2 Internals exposed for {!Build} and white-box tests} *)
+
+val all_inst_flow : t -> Skipflow_ir.Ids.Class.t -> Flow.t
+(** The always-enabled global flow holding all instantiated subtypes of a
+    class (grows as allocations are discovered). *)
+
+val field_flow : t -> Skipflow_ir.Ids.Field.t -> Flow.t
+(** The global per-declared-field flow ([LookUp]'s codomain), created on
+    first use with the field's Java default value. *)

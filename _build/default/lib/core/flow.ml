@@ -1,0 +1,143 @@
+(** Flows: the vertices of a predicated value propagation graph (PVPG)
+    (paper, Section 4 / Appendix B.3).
+
+    Each flow carries:
+    - a {e value state} — the conservative over-approximation of the values
+      the underlying base-language element can hold at runtime.  Following
+      the paper's implementation note ("the actual implementation uses one
+      value state per flow"), we store both the joined input [VS_in] (in
+      [raw]) and the filtered output [VS_out] (in [state]); the split is
+      needed operationally because a comparison filter must be re-applied
+      when its {e observed} operand changes;
+    - an {e enabled} bit — flows only propagate once enabled by a predicate
+      edge (except under the baseline configuration, where every flow is
+      enabled at creation);
+    - outgoing {e use}, {e predicate} and {e observe} edges.
+
+    Flows are created by {!Build} and driven to a fixed point by
+    {!Engine}. *)
+
+open Skipflow_ir
+
+(** What a filter flow filters on (the [TypeCheck]/[Cond]/[PassThrough]
+    rules of Figure 15). *)
+type filter =
+  | No_filter
+  | Instanceof of { mask : Typeset.t; negated : bool; cls : Ids.Class.t }
+      (** [mask] = subtypes of [cls], excluding null *)
+  | Compare of { op : Vstate.cmp_op; other : t }
+      (** filtered with respect to the current state of [other], which is
+          connected by an observe edge *)
+  | Declared of { mask_with_null : Typeset.t; cls : Ids.Class.t }
+      (** formal-parameter filter: subtypes of the declared type + null *)
+
+(** Categories of branch sites, for the counter metrics of Table 1. *)
+and check_kind = Type_check | Null_check | Prim_check
+
+and invoke_site = {
+  inv_target : Ids.Meth.t;  (** statically resolved target *)
+  inv_virtual : bool;
+  inv_recv : t option;  (** receiver flow in the caller; [None] for static *)
+  inv_args : t list;  (** actual-argument flows, receiver excluded *)
+  mutable inv_linked : Ids.Meth.Set.t;  (** callees linked so far *)
+}
+
+and field_access = {
+  fa_field : Ids.Field.t;
+  fa_recv : t;  (** the flow of the receiver object [r], observed *)
+  mutable fa_linked : Ids.Field.t list;  (** field-state flows linked so far *)
+}
+
+and kind =
+  | Pred_on  (** the unique always-enabled predicate [pred^on] *)
+  | Source of Vstate.t  (** constants, [null], [new T], [Any] *)
+  | Alloc of Ids.Class.t
+      (** a [new T] source; enabling it marks [T] instantiated *)
+  | Param of int  (** formal parameter [p_i] (0 = receiver for instance methods) *)
+  | Phi  (** value join of a merge block *)
+  | Phi_pred  (** predicate join of a merge block ([φ_pred]) *)
+  | Field_load of field_access  (** a [v <- r.x] instruction *)
+  | Field_store of field_access  (** an [r.x <- v] instruction *)
+  | Field_state of Ids.Field.t
+      (** the global per-declared-field flow returned by [LookUp] *)
+  | Static_load of Ids.Field.t  (** a [v <- C.x] instruction *)
+  | Static_store of Ids.Field.t  (** a [C.x <- v] instruction *)
+  | Cast of Ids.Class.t
+      (** a checkcast [(C) v]: a filtering flow in value position keeping
+          subtypes of [C] plus [null] *)
+  | Invoke of invoke_site
+  | Return  (** the method's single return; for void methods its value
+                state is the artificial constant 0 token (Section 5) *)
+  | Filter of { check : check_kind; branch_then : bool }
+      (** a filtering flow created for one branch of an [if] *)
+  | All_instantiated of Ids.Class.t
+      (** all instantiated subtypes of a class; feeds root-method
+          parameters (reflection/JNI policy of Section 5) and saturated
+          flows *)
+
+and t = {
+  id : int;
+  kind : kind;
+  meth : Ids.Meth.t option;  (** owning method; [None] for global flows *)
+  filter : filter;
+  mutable enabled : bool;
+  mutable raw : Vstate.t;  (** VS_in: join of enabled inputs *)
+  mutable state : Vstate.t;  (** VS_out: [filter] applied to [raw] *)
+  mutable uses : t list;  (** use-edge successors (reverse insertion order) *)
+  mutable pred_out : t list;  (** predicate-edge successors *)
+  mutable observers : t list;  (** observe-edge successors *)
+  mutable saturated : bool;
+      (** set when the type set grew past the saturation cutoff (optional
+          engine feature, after Wimmer et al. 2024) *)
+}
+
+let next_id = ref 0
+
+let make ?meth ?(filter = No_filter) kind =
+  incr next_id;
+  {
+    id = !next_id;
+    kind;
+    meth;
+    filter;
+    enabled = false;
+    raw = Vstate.empty;
+    state = Vstate.empty;
+    uses = [];
+    pred_out = [];
+    observers = [];
+    saturated = false;
+  }
+
+let apply_filter (f : t) (v : Vstate.t) =
+  match f.filter with
+  | No_filter -> v
+  | Instanceof { mask; negated; _ } -> Vstate.filter_instanceof ~mask ~negated v
+  | Compare { op; other } -> Vstate.compare_filter op v other.state
+  | Declared { mask_with_null; _ } -> Vstate.filter_declared ~mask_with_null v
+
+let is_invoke f = match f.kind with Invoke _ -> true | _ -> false
+
+let kind_name f =
+  match f.kind with
+  | Pred_on -> "pred_on"
+  | Source _ -> "source"
+  | Alloc _ -> "alloc"
+  | Param i -> Printf.sprintf "param%d" i
+  | Phi -> "phi"
+  | Phi_pred -> "phi_pred"
+  | Field_load _ -> "load"
+  | Field_store _ -> "store"
+  | Field_state _ -> "field"
+  | Static_load _ -> "static_load"
+  | Static_store _ -> "static_store"
+  | Cast _ -> "cast"
+  | Invoke _ -> "invoke"
+  | Return -> "return"
+  | Filter { branch_then; _ } -> if branch_then then "filter+" else "filter-"
+  | All_instantiated _ -> "all_instantiated"
+
+let pp ppf f =
+  Format.fprintf ppf "#%d:%s%s state=%a" f.id (kind_name f)
+    (if f.enabled then "[on]" else "[off]")
+    Vstate.pp f.state

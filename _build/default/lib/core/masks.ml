@@ -1,0 +1,32 @@
+(** Precomputed per-class subtype bit masks.
+
+    Filtering flows apply [instanceof] and declared-type filters as bit-set
+    intersections/differences; this module computes, once per program:
+
+    - [sub c]: the set of subtypes of [c] including [c] itself, excluding
+      [null] (so that intersecting implements a positive [instanceof], where
+      [null] must not pass, and subtracting implements the negated check,
+      where [null] does pass);
+    - [decl c]: [sub c] plus [null] — the set of values assignable to a
+      location of declared type [c]. *)
+
+open Skipflow_ir
+
+type t = { sub : Typeset.t array; decl : Typeset.t array }
+
+let compute (p : Program.t) =
+  let n = Program.num_classes p in
+  let sub = Array.make n Typeset.empty in
+  let decl = Array.make n Typeset.empty in
+  for i = 0 to n - 1 do
+    let c = Ids.Class.of_int i in
+    if not (Program.is_null_class c) then begin
+      let s = Typeset.of_classes (Program.all_subtypes p c) in
+      sub.(i) <- s;
+      decl.(i) <- Typeset.union s Typeset.null_bit
+    end
+  done;
+  { sub; decl }
+
+let sub t (c : Ids.Class.t) = t.sub.(Ids.Class.to_int c)
+let decl t (c : Ids.Class.t) = t.decl.(Ids.Class.to_int c)

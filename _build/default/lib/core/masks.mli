@@ -1,0 +1,11 @@
+(** Precomputed per-class subtype bit masks used by the filtering flows:
+    [sub c] = subtypes of [c] (excluding [null], for [instanceof]);
+    [decl c] = [sub c] plus [null] (for declared-type and cast filters). *)
+
+type t
+
+val compute : Skipflow_ir.Program.t -> t
+(** Computed once per program; requires the program to be complete. *)
+
+val sub : t -> Skipflow_ir.Ids.Class.t -> Typeset.t
+val decl : t -> Skipflow_ir.Ids.Class.t -> Typeset.t

@@ -1,0 +1,83 @@
+(** The evaluation metrics of Section 6 (the columns of Table 1).
+
+    Counter metrics count "specific instructions in all reachable methods
+    that cannot be removed or simplified using the results of the
+    analysis":
+
+    - a branch check (type / null / primitive) survives iff {e both} of its
+      filtered branches are live at the fixed point;
+    - a virtual call survives as a {e PolyCall} iff it links two or more
+      target methods (it cannot be devirtualized).
+
+    {e Binary size} is proxied by the total instruction count of reachable
+    methods (the paper reports that binary size follows the reachable-
+    methods trend; our substrate has no machine-code backend). *)
+
+open Skipflow_ir
+
+type t = {
+  reachable_methods : int;
+  type_checks : int;
+  null_checks : int;
+  prim_checks : int;
+  poly_calls : int;
+  mono_calls : int;  (** virtual call sites devirtualized to one target *)
+  dead_invokes : int;  (** invoke flows never enabled / never linked *)
+  binary_size : int;  (** Σ instruction count over reachable methods *)
+  flows : int;  (** total flows created *)
+  instantiated_types : int;
+}
+
+let compute (e : Engine.t) : t =
+  let type_checks = ref 0
+  and null_checks = ref 0
+  and prim_checks = ref 0
+  and poly = ref 0
+  and mono = ref 0
+  and dead = ref 0
+  and size = ref 0
+  and flows = ref 0 in
+  List.iter
+    (fun (g : Graph.method_graph) ->
+      size := !size + Bl.size g.Graph.g_body;
+      flows := !flows + Graph.flow_count g;
+      List.iter
+        (fun bs ->
+          if Graph.both_branches_live bs then
+            match bs.Graph.bs_kind with
+            | Flow.Type_check -> incr type_checks
+            | Flow.Null_check -> incr null_checks
+            | Flow.Prim_check -> incr prim_checks)
+        g.Graph.g_branches;
+      List.iter
+        (fun (f : Flow.t) ->
+          match f.Flow.kind with
+          | Flow.Invoke inv ->
+              let n = Ids.Meth.Set.cardinal inv.Flow.inv_linked in
+              if inv.Flow.inv_virtual then
+                if n >= 2 then incr poly else if n = 1 then incr mono;
+              if n = 0 then incr dead
+          | _ -> ())
+        g.Graph.g_invokes)
+    (Engine.graphs e);
+  {
+    reachable_methods = Engine.reachable_count e;
+    type_checks = !type_checks;
+    null_checks = !null_checks;
+    prim_checks = !prim_checks;
+    poly_calls = !poly;
+    mono_calls = !mono;
+    dead_invokes = !dead;
+    binary_size = !size;
+    flows = !flows;
+    instantiated_types = List.length (Engine.instantiated_types e);
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>reachable methods: %d@,type checks:      %d@,null checks:      \
+     %d@,prim checks:      %d@,poly calls:       %d@,mono calls:       \
+     %d@,dead invokes:     %d@,binary size:      %d insns@,flows:            \
+     %d@,instantiated:     %d types@]"
+    m.reachable_methods m.type_checks m.null_checks m.prim_checks m.poly_calls
+    m.mono_calls m.dead_invokes m.binary_size m.flows m.instantiated_types

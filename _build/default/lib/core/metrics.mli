@@ -1,0 +1,20 @@
+(** The evaluation metrics of the paper's Section 6 (the columns of
+    Table 1), computed from an engine's fixed point.  A branch check
+    "remains" iff both filtered branches are live; a virtual call is a
+    {e PolyCall} iff at least two targets linked. *)
+
+type t = {
+  reachable_methods : int;
+  type_checks : int;
+  null_checks : int;
+  prim_checks : int;
+  poly_calls : int;
+  mono_calls : int;  (** virtual call sites devirtualized to one target *)
+  dead_invokes : int;  (** invoke flows never enabled / never linked *)
+  binary_size : int;  (** Σ instruction count over reachable methods *)
+  flows : int;  (** total flows created *)
+  instantiated_types : int;
+}
+
+val compute : Engine.t -> t
+val pp : Format.formatter -> t -> unit

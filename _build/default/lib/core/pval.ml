@@ -1,0 +1,42 @@
+(** The lattice [ℙ] of primitive values (paper, Figure 6):
+
+    {v
+              Any
+         /  /  |  \  \
+      ... -1   0   1 ...
+         \  \  |  /  /
+             Empty
+    v}
+
+    Only concrete constants, [Empty], and [Any] are modelled — no intervals
+    or sets; the join of two distinct constants is immediately [Any]
+    (Section 3, "Abstractions for Primitive Values").  Booleans are the
+    constants 1 ([true]) and 0 ([false]). *)
+
+type t = Bot  (** Empty *) | Const of int | Top  (** Any *)
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Const x, Const y -> Int.equal x y
+  | (Bot | Top | Const _), _ -> false
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Const x, Const y -> if Int.equal x y then a else Top
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Top -> true
+  | Const x, Const y -> Int.equal x y
+  | (Top | Const _), _ -> false
+
+let is_bot = function Bot -> true | Const _ | Top -> false
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "Empty"
+  | Const n -> Format.pp_print_int ppf n
+  | Top -> Format.pp_print_string ppf "Any"

@@ -1,0 +1,17 @@
+(** The lattice [ℙ] of primitive values (paper, Figure 6): a flat lattice
+    with bottom [Empty], one element per integer constant, and top [Any].
+    Booleans are the constants 1 ([true]) and 0 ([false]); the join of two
+    distinct constants is immediately [Any] (Section 3). *)
+
+type t = Bot  (** Empty *) | Const of int | Top  (** Any *)
+
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+(** Least upper bound. *)
+
+val leq : t -> t -> bool
+(** Lattice order: [leq a b] iff [join a b = b]. *)
+
+val is_bot : t -> bool
+val pp : Format.formatter -> t -> unit

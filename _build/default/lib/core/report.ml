@@ -1,0 +1,103 @@
+(** Dead-code and optimization-opportunity reports — the compiler-client
+    view of Section 6 ("Impact on Compiler Optimizations"): which methods a
+    more precise analysis removes, which branches fold to one side, which
+    virtual calls devirtualize, and which parameters are interprocedural
+    constants. *)
+
+open Skipflow_ir
+
+type branch_verdict =
+  | Both_live
+  | Then_only  (** else branch removable *)
+  | Else_only  (** then branch removable *)
+  | Neither  (** the whole check is in dead code *)
+
+type t = {
+  removed_methods : string list;
+      (** reachable under the baseline, dead under the precise analysis *)
+  folded_branches : (string * Flow.check_kind * branch_verdict) list;
+      (** per reachable method: branch sites with a one-sided verdict *)
+  devirtualized : (string * string) list;
+      (** (caller, unique target) for virtual sites with exactly one target *)
+  constant_returns : (string * int) list;
+      (** methods whose fixed-point return state is a single constant *)
+}
+
+let live (f : Flow.t) = f.Flow.enabled && not (Vstate.is_empty f.Flow.state)
+
+let branch_verdict (bs : Graph.branch_site) =
+  match (live bs.Graph.bs_then_live, live bs.Graph.bs_else_live) with
+  | true, true -> Both_live
+  | true, false -> Then_only
+  | false, true -> Else_only
+  | false, false -> Neither
+
+(** [compare_runs ~baseline ~precise] lists what the precise analysis
+    proves beyond the baseline plus the precise run's own folding /
+    devirtualization facts. *)
+let compare_runs ~(baseline : Engine.t) ~(precise : Engine.t) : t =
+  let prog = Engine.prog_of precise in
+  let removed_methods =
+    List.filter_map
+      (fun (m : Program.meth) ->
+        if Engine.is_reachable precise m.Program.m_id then None
+        else Some (Program.qualified_name prog m.Program.m_id))
+      (Engine.reachable_methods baseline)
+  in
+  let folded = ref [] and devirt = ref [] and consts = ref [] in
+  List.iter
+    (fun (g : Graph.method_graph) ->
+      let qname = Program.qualified_name prog g.Graph.g_meth.Program.m_id in
+      List.iter
+        (fun bs ->
+          match branch_verdict bs with
+          | Both_live -> ()
+          | v -> folded := (qname, bs.Graph.bs_kind, v) :: !folded)
+        g.Graph.g_branches;
+      List.iter
+        (fun (f : Flow.t) ->
+          match f.Flow.kind with
+          | Flow.Invoke inv
+            when inv.Flow.inv_virtual
+                 && Ids.Meth.Set.cardinal inv.Flow.inv_linked = 1 ->
+              let target = Ids.Meth.Set.choose inv.Flow.inv_linked in
+              devirt := (qname, Program.qualified_name prog target) :: !devirt
+          | _ -> ())
+        g.Graph.g_invokes;
+      match g.Graph.g_return.Flow.state with
+      | Vstate.Const n when not (Ty.equal g.Graph.g_meth.Program.m_ret_ty Ty.Void) ->
+          consts := (qname, n) :: !consts
+      | _ -> ())
+    (Engine.graphs precise);
+  {
+    removed_methods;
+    folded_branches = List.rev !folded;
+    devirtualized = List.rev !devirt;
+    constant_returns = List.rev !consts;
+  }
+
+let kind_name = function
+  | Flow.Type_check -> "type check"
+  | Flow.Null_check -> "null check"
+  | Flow.Prim_check -> "prim check"
+
+let verdict_name = function
+  | Both_live -> "both live"
+  | Then_only -> "else branch dead"
+  | Else_only -> "then branch dead"
+  | Neither -> "entire check dead"
+
+let pp ppf (r : t) =
+  Format.fprintf ppf "@[<v>== methods removed vs baseline: %d ==@,"
+    (List.length r.removed_methods);
+  List.iter (fun m -> Format.fprintf ppf "  %s@," m) r.removed_methods;
+  Format.fprintf ppf "== foldable branches: %d ==@," (List.length r.folded_branches);
+  List.iter
+    (fun (m, k, v) -> Format.fprintf ppf "  %s: %s, %s@," m (kind_name k) (verdict_name v))
+    r.folded_branches;
+  Format.fprintf ppf "== devirtualized call sites: %d ==@," (List.length r.devirtualized);
+  List.iter (fun (m, t) -> Format.fprintf ppf "  %s -> %s@," m t) r.devirtualized;
+  Format.fprintf ppf "== constant-returning methods: %d ==@,"
+    (List.length r.constant_returns);
+  List.iter (fun (m, n) -> Format.fprintf ppf "  %s = %d@," m n) r.constant_returns;
+  Format.fprintf ppf "@]"

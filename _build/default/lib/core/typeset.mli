@@ -1,0 +1,51 @@
+(** Compact immutable sets of class ids — the object part of the
+    value-state lattice (the subset lattice [S = (2^T, ⊆)] of
+    Appendix B.2), implemented as normalized bit vectors.
+
+    The special [null] type participates as bit 0 (its reserved class id in
+    {!Skipflow_ir.Program}). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val diff : t -> t -> t
+(** [diff a b] is [a \ b]. *)
+
+val equal : t -> t -> bool
+(** Set equality (representations are normalized, so this is structural). *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff [a ⊆ b]. *)
+
+val cardinal : t -> int
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val elements : t -> int list
+(** Members in increasing order. *)
+
+val of_list : int list -> t
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+(** {2 Typed wrappers over class ids} *)
+
+val class_mem : Skipflow_ir.Ids.Class.t -> t -> bool
+val class_add : Skipflow_ir.Ids.Class.t -> t -> t
+val class_singleton : Skipflow_ir.Ids.Class.t -> t
+val of_classes : Skipflow_ir.Ids.Class.t list -> t
+val classes : t -> Skipflow_ir.Ids.Class.t list
+val iter_classes : (Skipflow_ir.Ids.Class.t -> unit) -> t -> unit
+
+val null_bit : t
+(** The singleton set containing only the [null] member (bit 0). *)
+
+val has_null : t -> bool

@@ -1,0 +1,172 @@
+(** Value states: the combined lattice [𝕃] of Appendix B.2 (Figure 11).
+
+    A value state is either empty (⊥), a single primitive constant, a
+    non-empty set of types (with [null] as a special type member), or the
+    global top [Any].  Primitive constants are conceptually 1-element sets,
+    so all value states can be treated uniformly as sets; [{Any}] is the top
+    element sitting above both all primitive constants and all type sets.
+
+    This module also implements the [Compare] auxiliary function of
+    Appendix C, used by the filtering flows created for branch conditions,
+    and the [instanceof] / declared-type filters.  All operations are
+    monotone in every argument, which (with the finite height of [𝕃])
+    guarantees termination of the fixed-point computation. *)
+
+type t =
+  | Empty
+  | Const of int  (** one primitive constant; booleans are 0/1 *)
+  | Types of Typeset.t  (** invariant: the set is non-empty *)
+  | Any  (** ⊤ = [{Any}] *)
+
+let empty = Empty
+let any = Any
+let const n = Const n
+let vtrue = Const 1
+let vfalse = Const 0
+let null = Types Typeset.null_bit
+
+let types ts = if Typeset.is_empty ts then Empty else Types ts
+let of_class c = Types (Typeset.class_singleton c)
+let is_empty = function Empty -> true | Const _ | Types _ | Any -> false
+
+let equal a b =
+  match (a, b) with
+  | Empty, Empty | Any, Any -> true
+  | Const x, Const y -> Int.equal x y
+  | Types x, Types y -> Typeset.equal x y
+  | (Empty | Const _ | Types _ | Any), _ -> false
+
+let join a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | Any, _ | _, Any -> Any
+  | Const x, Const y -> if Int.equal x y then a else Any
+  | Types x, Types y -> Types (Typeset.union x y)
+  | Const _, Types _ | Types _, Const _ ->
+      (* Mixing primitives and objects cannot happen in a well-typed
+         program; the lattice join is the common top. *)
+      Any
+
+let leq a b =
+  match (a, b) with
+  | Empty, _ -> true
+  | _, Any -> true
+  | Const x, Const y -> Int.equal x y
+  | Types x, Types y -> Typeset.subset x y
+  | (Const _ | Types _ | Any), _ -> false
+
+let type_set = function
+  | Types ts -> ts
+  | Empty | Const _ | Any -> Typeset.empty
+
+let pp ppf = function
+  | Empty -> Format.pp_print_string ppf "{}"
+  | Const n -> Format.fprintf ppf "{%d}" n
+  | Types ts -> Typeset.pp ppf ts
+  | Any -> Format.pp_print_string ppf "{Any}"
+
+let pp_named ~class_name ppf = function
+  | Types ts ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf i ->
+             Format.pp_print_string ppf (class_name (Skipflow_ir.Ids.Class.of_int i))))
+        (Typeset.elements ts)
+  | v -> pp ppf v
+
+(* ------------------------------------------------------------------ *)
+(* Filters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [filter_instanceof ~mask ~negated v] is the [TypeCheck] rule of
+    Appendix C.  [mask] must be the set of subtypes of the checked class
+    (excluding [null]).  The positive check keeps subtypes only ([null]
+    fails [instanceof]); the negated check keeps everything else including
+    [null].  Primitive states pass unchanged (an [instanceof] on a
+    primitive is ill-typed; passing it through is sound). *)
+let filter_instanceof ~(mask : Typeset.t) ~negated v =
+  match v with
+  | Types ts -> types (if negated then Typeset.diff ts mask else Typeset.inter ts mask)
+  | Empty -> Empty
+  | Const _ | Any -> v
+
+(** [filter_declared ~mask_with_null v] restricts an object state to the
+    subtypes of a declared type (plus [null]); used by formal-parameter
+    flows.  Primitive states pass unchanged. *)
+let filter_declared ~(mask_with_null : Typeset.t) v =
+  match v with
+  | Types ts -> types (Typeset.inter ts mask_with_null)
+  | Empty -> Empty
+  | Const _ | Any -> v
+
+(** Comparison operators appearing in filtering flows.  Branch conditions
+    are normalized to [==] and [<] (Appendix B.1); the negated ([inv]) and
+    mirrored ([flip]) variants below arise during PVPG construction. *)
+type cmp_op = Eq | Ne | Lt | Ge | Gt | Le
+
+(** [inv op] is the operator for the [else] branch (logical negation). *)
+let inv = function Eq -> Ne | Ne -> Eq | Lt -> Ge | Ge -> Lt | Gt -> Le | Le -> Gt
+
+(** [flip op] mirrors the operands: filtering [y] with respect to [x < y]
+    uses [flip (<) = (>)], i.e. keeps values of [y] greater than [x]
+    (Appendix B.4). *)
+let flip = function Eq -> Eq | Ne -> Ne | Lt -> Gt | Gt -> Lt | Le -> Ge | Ge -> Le
+
+let pp_cmp_op ppf op =
+  Format.pp_print_string ppf
+    (match op with Eq -> "==" | Ne -> "!=" | Lt -> "<" | Ge -> ">=" | Gt -> ">" | Le -> "<=")
+
+let int_cmp op x y =
+  match op with
+  | Eq -> x = y
+  | Ne -> x <> y
+  | Lt -> x < y
+  | Ge -> x >= y
+  | Gt -> x > y
+  | Le -> x <= y
+
+(** [compare_filter op vl vr] is the [Compare] function of Appendix C: the
+    content of [vl] filtered with respect to [op] and [vr].
+
+    - either operand empty → empty (both operands are needed);
+    - [==] with [Any] on either side → the lower of the two states;
+    - [==] otherwise → set intersection (this also implements null checks:
+      [x == null] keeps [{null}]);
+    - [!=] → set difference, with [Any] passing [vl] through unfiltered;
+    - relational operators are defined on primitives only: [Any] anywhere →
+      [vl] unfiltered; two constants → keep [vl] iff the relation holds.
+
+    Ill-typed mixtures (a constant compared with a type set) conservatively
+    return [vl]. *)
+let compare_filter op vl vr =
+  if is_empty vl || is_empty vr then Empty
+  else
+    match op with
+    | Eq -> (
+        match (vl, vr) with
+        | Any, v | v, Any -> v
+        | Const x, Const y -> if x = y then vl else Empty
+        | Types x, Types y -> types (Typeset.inter x y)
+        | _ -> vl)
+    | Ne -> (
+        match (vl, vr) with
+        | Any, _ -> Any
+        | _, Any -> vl
+        | Const x, Const y -> if x = y then Empty else vl
+        | Types x, Types y ->
+            (* The paper defines '≠' as plain set difference.  On type sets
+               that is only sound when the right operand denotes a single
+               runtime *value*: two distinct objects of the same type are
+               still '≠'.  The only type that is a singleton value is
+               [null], which is also the case that matters in practice
+               (null checks), so we apply the difference exactly then and
+               pass the state through otherwise.  The test-suite checks
+               this against the concrete interpreter. *)
+            if Typeset.equal y Typeset.null_bit then types (Typeset.diff x y) else vl
+        | _ -> vl)
+    | Lt | Ge | Gt | Le -> (
+        match (vl, vr) with
+        | Any, _ | _, Any -> vl
+        | Const x, Const y -> if int_cmp op x y then vl else Empty
+        | _ -> vl)

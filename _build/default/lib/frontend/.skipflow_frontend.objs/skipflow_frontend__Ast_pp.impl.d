@@ -1,0 +1,1 @@
+lib/frontend/ast_pp.ml: Ast Format List String

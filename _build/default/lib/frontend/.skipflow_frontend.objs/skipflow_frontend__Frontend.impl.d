@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Ast Format Lexer Lower Parser Printexc Program Skipflow_ir String Typecheck

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Format List String Token

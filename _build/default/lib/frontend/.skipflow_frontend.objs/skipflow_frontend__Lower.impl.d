@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Bl Ids List Printf Program Skipflow_ir Ssa_builder Tast Ty Validate

@@ -1,0 +1,1 @@
+lib/frontend/tast.ml: Ast Bl Ids Lexer Program Skipflow_ir Ty

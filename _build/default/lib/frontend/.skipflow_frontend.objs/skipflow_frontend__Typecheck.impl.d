@@ -1,0 +1,1 @@
+lib/frontend/typecheck.ml: Ast Bl Format Hashtbl Lexer List Option Program Skipflow_ir String Tast Ty

@@ -1,0 +1,85 @@
+(** Untyped abstract syntax of MiniJava, as produced by {!Parser}.
+
+    MiniJava is the Java-like surface language of this reproduction: classes
+    with single inheritance, fields, static and virtual methods, [int] /
+    [boolean] primitives, [if] / [while] control flow, [instanceof], and
+    short-circuit boolean operators.  It is expressive enough to encode
+    every code pattern the paper's evaluation relies on (guarded default
+    allocation, interprocedural boolean type tests, feature flags, dead
+    library clusters) while lowering exactly to the base language of
+    Appendix B. *)
+
+type pos = Lexer.pos
+
+type ty = Tint | Tbool | Tvoid | Tclass of string | Tarr of ty
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And  (** short-circuit [&&] *)
+  | Or  (** short-circuit [||] *)
+
+type expr = { e : expr_node; pos : pos }
+
+and expr_node =
+  | Int of int
+  | Bool of bool
+  | Null
+  | This
+  | Ident of string  (** local variable, or class name in [C.m(...)] position *)
+  | New of string  (** [new C()] — no constructors; fields start at defaults *)
+  | NewArr of ty * expr  (** [new T\[n\]]: array allocation *)
+  | Index of expr * expr  (** [a\[i\]] *)
+  | Cast of ty * expr  (** [(T) e]: checked downcast/upcast *)
+  | Call of expr option * string * expr list
+      (** [recv.m(args)]; [None] receiver = implicit [this] *)
+  | FieldGet of expr * string
+  | Binop of binop * expr * expr
+  | Not of expr
+  | Neg of expr
+  | InstanceOf of expr * string
+
+type stmt = { s : stmt_node; spos : pos }
+
+and stmt_node =
+  | LocalDecl of ty * string * expr option
+  | AssignLocal of string * expr
+  | AssignField of expr * string * expr  (** [recv.f = e] *)
+  | AssignIndex of expr * expr * expr  (** [a\[i\] = e] *)
+  | Throw of expr  (** [throw e;] — MiniJava has no handlers (Section 5) *)
+  | ExprStmt of expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Block of stmt list
+
+type meth_decl = {
+  md_name : string;
+  md_static : bool;
+  md_params : (ty * string) list;
+  md_ret : ty;
+  md_body : stmt list;
+  md_pos : pos;
+}
+
+type field_decl = { fd_ty : ty; fd_name : string; fd_static : bool; fd_pos : pos }
+
+type class_decl = {
+  cd_name : string;
+  cd_super : string option;
+  cd_abstract : bool;
+  cd_fields : field_decl list;
+  cd_meths : meth_decl list;
+  cd_pos : pos;
+}
+
+type program = class_decl list

@@ -1,0 +1,135 @@
+(** Pretty-printer from the untyped AST back to MiniJava source.
+
+    [Parser.parse_program (to_string prog)] yields the same AST up to
+    positions — a property the test-suite checks on generated programs.
+    The workload generators also use this printer to materialize benchmark
+    programs as [.mj] files. *)
+
+let prec_of_binop : Ast.binop -> int = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.Eq | Ast.Ne -> 3
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> 4
+  | Ast.Add | Ast.Sub -> 5
+  | Ast.Mul | Ast.Div | Ast.Rem -> 6
+
+let binop_str : Ast.binop -> string = function
+  | Ast.Or -> "||"
+  | Ast.And -> "&&"
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Rem -> "%"
+
+let rec ty_str : Ast.ty -> string = function
+  | Ast.Tint -> "int"
+  | Ast.Tbool -> "boolean"
+  | Ast.Tvoid -> "void"
+  | Ast.Tclass c -> c
+  | Ast.Tarr t -> ty_str t ^ "[]"
+
+(* [ctx] = minimal precedence the expression must have to avoid parens *)
+let rec pp_expr ctx ppf (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Int n ->
+      if n < 0 then Format.fprintf ppf "(0 - %d)" (-n) else Format.fprintf ppf "%d" n
+  | Ast.Bool true -> Format.pp_print_string ppf "true"
+  | Ast.Bool false -> Format.pp_print_string ppf "false"
+  | Ast.Null -> Format.pp_print_string ppf "null"
+  | Ast.This -> Format.pp_print_string ppf "this"
+  | Ast.Ident x -> Format.pp_print_string ppf x
+  | Ast.New c -> Format.fprintf ppf "new %s()" c
+  | Ast.NewArr (elem, len) ->
+      (* 'new T[n]' with any array suffixes of T after the length *)
+      let rec split = function Ast.Tarr t -> let b, k = split t in (b, k + 1) | t -> (t, 0) in
+      let base, depth = split elem in
+      Format.fprintf ppf "new %s[%a]%s" (ty_str base) (pp_expr 0) len
+        (String.concat "" (List.init depth (fun _ -> "[]")))
+  | Ast.Index (a, i) -> Format.fprintf ppf "%a[%a]" (pp_expr 8) a (pp_expr 0) i
+  | Ast.Cast (ty, e) ->
+      let body ppf () = Format.fprintf ppf "(%s) %a" (ty_str ty) (pp_expr 7) e in
+      if ctx > 7 then Format.fprintf ppf "(%a)" body () else body ppf ()
+  | Ast.Call (recv, m, args) ->
+      (match recv with
+      | Some r -> Format.fprintf ppf "%a.%s" (pp_expr 8) r m
+      | None -> Format.pp_print_string ppf m);
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (pp_expr 0))
+        args
+  | Ast.FieldGet (r, f) -> Format.fprintf ppf "%a.%s" (pp_expr 8) r f
+  | Ast.Binop (op, a, b) ->
+      let p = prec_of_binop op in
+      let body ppf () =
+        Format.fprintf ppf "%a %s %a" (pp_expr p) a (binop_str op) (pp_expr (p + 1)) b
+      in
+      if p < ctx then Format.fprintf ppf "(%a)" body () else body ppf ()
+  | Ast.Not e -> Format.fprintf ppf "!%a" (pp_expr 8) e
+  | Ast.Neg e -> Format.fprintf ppf "(0 - %a)" (pp_expr 8) e
+  | Ast.InstanceOf (e, c) ->
+      let body ppf () = Format.fprintf ppf "%a instanceof %s" (pp_expr 5) e c in
+      if ctx > 4 then Format.fprintf ppf "(%a)" body () else body ppf ()
+
+let rec pp_stmt ppf (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.LocalDecl (ty, x, None) -> Format.fprintf ppf "@[<h>%s %s;@]" (ty_str ty) x
+  | Ast.LocalDecl (ty, x, Some e) ->
+      Format.fprintf ppf "@[<h>%s %s = %a;@]" (ty_str ty) x (pp_expr 0) e
+  | Ast.AssignLocal (x, e) -> Format.fprintf ppf "@[<h>%s = %a;@]" x (pp_expr 0) e
+  | Ast.AssignField (r, f, e) ->
+      Format.fprintf ppf "@[<h>%a.%s = %a;@]" (pp_expr 8) r f (pp_expr 0) e
+  | Ast.AssignIndex (a, i, e) ->
+      Format.fprintf ppf "@[<h>%a[%a] = %a;@]" (pp_expr 8) a (pp_expr 0) i (pp_expr 0) e
+  | Ast.Throw e -> Format.fprintf ppf "@[<h>throw %a;@]" (pp_expr 0) e
+  | Ast.ExprStmt e -> Format.fprintf ppf "@[<h>%a;@]" (pp_expr 0) e
+  | Ast.If (c, thn, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" (pp_expr 0) c pp_stmts thn
+  | Ast.If (c, thn, els) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        (pp_expr 0) c pp_stmts thn pp_stmts els
+  | Ast.While (c, body) ->
+      Format.fprintf ppf "@[<v 2>while (%a) {@,%a@]@,}" (pp_expr 0) c pp_stmts body
+  | Ast.Return None -> Format.pp_print_string ppf "return;"
+  | Ast.Return (Some e) -> Format.fprintf ppf "@[<h>return %a;@]" (pp_expr 0) e
+  | Ast.Block body -> Format.fprintf ppf "@[<v 2>{@,%a@]@,}" pp_stmts body
+
+and pp_stmts ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_meth ppf (m : Ast.meth_decl) =
+  Format.fprintf ppf "@[<v 2>%s%s %s(%a) {@,%a@]@,}"
+    (if m.Ast.md_static then "static " else "")
+    (ty_str m.Ast.md_ret) m.Ast.md_name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf (t, x) -> Format.fprintf ppf "%s %s" (ty_str t) x))
+    m.Ast.md_params pp_stmts m.Ast.md_body
+
+let pp_class ppf (c : Ast.class_decl) =
+  Format.fprintf ppf "@[<v 2>%sclass %s%s {@,"
+    (if c.Ast.cd_abstract then "abstract " else "")
+    c.Ast.cd_name
+    (match c.Ast.cd_super with Some s -> " extends " ^ s | None -> "");
+  List.iter
+    (fun (f : Ast.field_decl) ->
+      Format.fprintf ppf "%svar %s %s;@,"
+        (if f.Ast.fd_static then "static " else "")
+        (ty_str f.Ast.fd_ty) f.Ast.fd_name)
+    c.Ast.cd_fields;
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_meth ppf c.Ast.cd_meths;
+  Format.fprintf ppf "@]@,}@,"
+
+let pp_program ppf (p : Ast.program) =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun c -> pp_class ppf c) p;
+  Format.fprintf ppf "@]"
+
+let to_string (p : Ast.program) = Format.asprintf "%a" pp_program p

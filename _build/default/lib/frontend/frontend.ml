@@ -1,0 +1,58 @@
+(** Frontend driver: MiniJava source text to an analyzable program.
+
+    [compile] runs the full pipeline: lex/parse → type check → lower to the
+    SSA base language (validating every body).  Errors are reported with
+    source positions via the {!Error} exception. *)
+
+open Skipflow_ir
+
+exception Error of string
+
+let () =
+  Printexc.register_printer (function
+    | Error msg -> Some ("Frontend.Error: " ^ msg)
+    | _ -> None)
+
+let wrap_errors f =
+  try f () with
+  | Lexer.Error (msg, pos) ->
+      raise (Error (Format.asprintf "%a: lexical error: %s" Lexer.pp_pos pos msg))
+  | Parser.Error (msg, pos) ->
+      raise (Error (Format.asprintf "%a: syntax error: %s" Lexer.pp_pos pos msg))
+  | Typecheck.Error (msg, pos) ->
+      raise (Error (Format.asprintf "%a: type error: %s" Lexer.pp_pos pos msg))
+
+(** [compile src] compiles MiniJava source text to a program with lowered,
+    validated SSA bodies for every method.
+    @raise Error on any lexical, syntax, or type error. *)
+let compile (src : string) : Program.t =
+  wrap_errors (fun () ->
+      let ast = Parser.parse_program src in
+      let tp = Typecheck.check ast in
+      Lower.lower_program tp)
+
+(** [compile_ast ast] type-checks and lowers an already-parsed program
+    (used by the workload generators, which construct ASTs directly). *)
+let compile_ast (ast : Ast.program) : Program.t =
+  wrap_errors (fun () -> Lower.lower_program (Typecheck.check ast))
+
+(** [compile_file path] reads and compiles a [.mj] file. *)
+let compile_file (path : string) : Program.t =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  compile src
+
+(** [main_of prog] finds the conventional entry point: a static method
+    named [main], preferring one declared in a class named [Main]. *)
+let main_of (prog : Program.t) : Program.meth option =
+  let found = ref None in
+  let preferred = ref None in
+  Program.iter_meths prog (fun m ->
+      if m.Program.m_static && String.equal m.Program.m_name "main" then begin
+        if !found = None then found := Some m;
+        if String.equal (Program.class_name prog m.Program.m_class) "Main" then
+          preferred := Some m
+      end);
+  match !preferred with Some m -> Some m | None -> !found

@@ -1,0 +1,20 @@
+(** Frontend driver: MiniJava source text to an analyzable program
+    (lex/parse → type check → lower to validated SSA). *)
+
+exception Error of string
+(** Any lexical, syntax, or type error, with a source position in the
+    message. *)
+
+val compile : string -> Skipflow_ir.Program.t
+(** Compile source text.  @raise Error on any frontend error. *)
+
+val compile_ast : Ast.program -> Skipflow_ir.Program.t
+(** Type-check and lower an already-parsed program (used by the workload
+    generators). *)
+
+val compile_file : string -> Skipflow_ir.Program.t
+(** Read and compile a [.mj] file. *)
+
+val main_of : Skipflow_ir.Program.t -> Skipflow_ir.Program.meth option
+(** The conventional entry point: a static method named [main], preferring
+    one declared in a class named [Main]. *)

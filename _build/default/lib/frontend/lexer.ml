@@ -1,0 +1,125 @@
+(** Hand-written lexer for MiniJava.  Supports [//] line comments and
+    [/* ... */] block comments (non-nesting, as in Java). *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "%d:%d" p.line p.col
+
+exception Error of string * pos
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the beginning of the current line *)
+}
+
+let create src = { src; off = 0; line = 1; bol = 0 }
+let pos lx = { line = lx.line; col = lx.off - lx.bol + 1 }
+let errorf lx fmt = Format.kasprintf (fun s -> raise (Error (s, pos lx))) fmt
+let peek lx = if lx.off < String.length lx.src then Some lx.src.[lx.off] else None
+
+let advance lx =
+  (match peek lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.off + 1
+  | _ -> ());
+  lx.off <- lx.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some '/' when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '/' ->
+      while peek lx <> None && peek lx <> Some '\n' do
+        advance lx
+      done;
+      skip_ws lx
+  | Some '/' when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '*' ->
+      advance lx;
+      advance lx;
+      let rec close () =
+        match peek lx with
+        | None -> errorf lx "unterminated block comment"
+        | Some '*' when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '/' ->
+            advance lx;
+            advance lx
+        | Some _ ->
+            advance lx;
+            close ()
+      in
+      close ();
+      skip_ws lx
+  | _ -> ()
+
+(** [next lx] returns the next token with the position of its first
+    character. *)
+let next lx : Token.t * pos =
+  skip_ws lx;
+  let p = pos lx in
+  match peek lx with
+  | None -> (Token.EOF, p)
+  | Some c when is_digit c ->
+      let start = lx.off in
+      while (match peek lx with Some c -> is_digit c | None -> false) do
+        advance lx
+      done;
+      let s = String.sub lx.src start (lx.off - start) in
+      (match int_of_string_opt s with
+      | Some n -> (Token.INT n, p)
+      | None -> errorf lx "integer literal out of range: %s" s)
+  | Some c when is_ident_start c ->
+      let start = lx.off in
+      while (match peek lx with Some c -> is_ident_char c | None -> false) do
+        advance lx
+      done;
+      let s = String.sub lx.src start (lx.off - start) in
+      ((match List.assoc_opt s Token.keyword_table with
+       | Some kw -> kw
+       | None -> Token.IDENT s),
+       p)
+  | Some c ->
+      let two tok = advance lx; advance lx; (tok, p) in
+      let one tok = advance lx; (tok, p) in
+      let ahead = if lx.off + 1 < String.length lx.src then Some lx.src.[lx.off + 1] else None in
+      (match (c, ahead) with
+      | '=', Some '=' -> two Token.EQ
+      | '=', _ -> one Token.ASSIGN
+      | '!', Some '=' -> two Token.NE
+      | '!', _ -> one Token.BANG
+      | '<', Some '=' -> two Token.LE
+      | '<', _ -> one Token.LT
+      | '>', Some '=' -> two Token.GE
+      | '>', _ -> one Token.GT
+      | '&', Some '&' -> two Token.ANDAND
+      | '|', Some '|' -> two Token.OROR
+      | '{', _ -> one Token.LBRACE
+      | '}', _ -> one Token.RBRACE
+      | '(', _ -> one Token.LPAREN
+      | ')', _ -> one Token.RPAREN
+      | '[', _ -> one Token.LBRACKET
+      | ']', _ -> one Token.RBRACKET
+      | ';', _ -> one Token.SEMI
+      | ',', _ -> one Token.COMMA
+      | '.', _ -> one Token.DOT
+      | '+', _ -> one Token.PLUS
+      | '-', _ -> one Token.MINUS
+      | '*', _ -> one Token.STAR
+      | '/', _ -> one Token.SLASH
+      | '%', _ -> one Token.PERCENT
+      | _ -> errorf lx "unexpected character %C" c)
+
+(** Tokenize the whole input (used by tests and by the parser). *)
+let tokenize src =
+  let lx = create src in
+  let rec go acc =
+    let tok, p = next lx in
+    if tok = Token.EOF then List.rev ((tok, p) :: acc) else go ((tok, p) :: acc)
+  in
+  go []

@@ -1,0 +1,56 @@
+(** Typed abstract syntax, as produced by {!Typecheck}.
+
+    Every expression carries its static type; identifiers are resolved to
+    program entities (classes, methods, fields), so {!Lower} needs no name
+    lookups. *)
+
+open Skipflow_ir
+
+type texpr = { ty : Ty.t; node : tnode; pos : Lexer.pos }
+
+and tnode =
+  | TInt of int
+  | TBool of bool
+  | TNull
+  | TThis
+  | TLocal of string
+  | TNew of Ids.Class.t
+  | TNewArr of Ids.Class.t * texpr  (** array class, length *)
+  | TArrGet of texpr * texpr * Program.field  (** array, index, $elem field *)
+  | TArrLen of texpr
+  | TCast of Ids.Class.t * texpr
+  | TVirtualCall of texpr * Program.meth * texpr list
+      (** receiver, statically resolved target, arguments *)
+  | TStaticCall of Program.meth * texpr list
+  | TFieldGet of texpr * Program.field
+  | TStaticGet of Program.field
+  | TArith of Bl.arith_op * texpr * texpr
+  | TCmp of Ast.binop * texpr * texpr  (** Eq | Ne | Lt | Le | Gt | Ge only *)
+  | TInstanceOf of texpr * Ids.Class.t
+  | TNot of texpr
+  | TAnd of texpr * texpr
+  | TOr of texpr * texpr
+
+type tstmt =
+  | TSDecl of string * Ty.t * texpr option
+  | TSAssignLocal of string * texpr
+  | TSAssignField of texpr * Program.field * texpr
+  | TSAssignIndex of texpr * texpr * texpr * Program.field  (** arr, idx, rhs, $elem *)
+  | TSAssignStatic of Program.field * texpr
+  | TSThrow of texpr
+  | TSExpr of texpr
+  | TSIf of texpr * tstmt list * tstmt list
+  | TSWhile of texpr * tstmt list
+  | TSReturn of texpr option
+
+type tmeth = {
+  tm_meth : Program.meth;
+  tm_params : (string * Ty.t) list;  (** excluding the receiver *)
+  tm_body : tstmt list;
+}
+
+type tprogram = { tp_prog : Program.t; tp_meths : tmeth list }
+
+(** [is_bool_expr] — expressions of static type boolean need value
+    materialization (0/1) when used outside a branch condition. *)
+let is_bool e = Ty.equal e.ty Ty.Bool

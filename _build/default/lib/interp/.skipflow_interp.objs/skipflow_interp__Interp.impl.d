@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Bl Hashtbl Ids List Program Skipflow_ir Ty

@@ -1,0 +1,256 @@
+(** A fuel-bounded concrete interpreter for the base language.
+
+    This substrate exists to test the analysis: the paper's soundness claim
+    is that the computed value states conservatively over-approximate every
+    runtime behaviour, and that every method executed at runtime is in the
+    reachable set ℝ.  The property test suite runs generated programs here
+    and checks both claims against the fixed point.
+
+    Semantics notes (matching the analysis's assumptions):
+    - no exceptions exist in MiniJava; a null dereference, division by
+      zero, or fuel exhaustion {e halts} the run (the trace collected so
+      far remains a valid witness);
+    - fields are default-initialized ([null] / [0]) at allocation;
+    - [==] on references is physical identity; [instanceof] is a dynamic
+      subtype test on which [null] fails;
+    - phi instructions are evaluated simultaneously on block entry. *)
+
+open Skipflow_ir
+
+type value = VInt of int | VNull | VObj of obj | VArr of arr
+and obj = { o_cls : Ids.Class.t; o_fields : (int, value) Hashtbl.t }
+and arr = { a_cls : Ids.Class.t; cells : value array }
+
+(** Why a run stopped. *)
+type halt =
+  | Finished  (** the root method returned normally *)
+  | Null_deref
+  | Div_by_zero
+  | Out_of_fuel
+  | Index_oob  (** array index out of bounds, or negative array size *)
+  | Class_cast  (** failed checkcast *)
+  | Uncaught  (** an executed [throw] (MiniJava has no handlers) *)
+
+(** Everything observed during a run, used by soundness checks. *)
+type trace = {
+  mutable called : Ids.Meth.Set.t;  (** every method whose body started *)
+  mutable created : Ids.Class.Set.t;  (** every class instantiated *)
+  mutable defs : (Ids.Meth.t * Ids.Var.t * value) list;
+      (** every SSA variable definition observed (method, variable, value) *)
+  mutable steps : int;
+}
+
+exception Halt of halt
+
+type t = {
+  prog : Program.t;
+  trace : trace;
+  statics : (int, value) Hashtbl.t;  (** static field storage, by field id *)
+  mutable fuel : int;
+  record_defs : bool;
+}
+
+let create ?(fuel = 100_000) ?(record_defs = true) prog =
+  {
+    prog;
+    trace =
+      { called = Ids.Meth.Set.empty; created = Ids.Class.Set.empty; defs = []; steps = 0 };
+    statics = Hashtbl.create 16;
+    fuel;
+    record_defs;
+  }
+
+let tick st =
+  st.trace.steps <- st.trace.steps + 1;
+  if st.fuel <= 0 then raise (Halt Out_of_fuel);
+  st.fuel <- st.fuel - 1
+
+let default_of (ty : Ty.t) =
+  match ty with Ty.Int | Ty.Bool | Ty.Void -> VInt 0 | Ty.Obj _ | Ty.Null -> VNull
+
+let obj_of = function
+  | VObj o -> o
+  | VNull -> raise (Halt Null_deref)
+  | VInt _ | VArr _ -> invalid_arg "Interp: object expected"
+
+let arr_of = function
+  | VArr a -> a
+  | VNull -> raise (Halt Null_deref)
+  | VInt _ | VObj _ -> invalid_arg "Interp: array expected"
+
+let int_of = function VInt n -> n | VNull | VObj _ | VArr _ -> invalid_arg "Interp: int expected"
+
+type frame = {
+  meth : Program.meth;
+  body : Bl.body;
+  regs : value array;  (** per SSA variable *)
+}
+
+let set_reg st fr (v : Ids.Var.t) value =
+  fr.regs.(Ids.Var.to_int v) <- value;
+  if st.record_defs then
+    st.trace.defs <- (fr.meth.Program.m_id, v, value) :: st.trace.defs
+
+let get_reg fr (v : Ids.Var.t) = fr.regs.(Ids.Var.to_int v)
+
+let rec call st (m : Program.meth) (args : value list) : value =
+  tick st;
+  st.trace.called <- Ids.Meth.Set.add m.Program.m_id st.trace.called;
+  let body =
+    match m.Program.m_body with
+    | Some b -> b
+    | None -> invalid_arg ("Interp: method without body: " ^ m.Program.m_name)
+  in
+  let fr = { meth = m; body; regs = Array.make body.Bl.var_count VNull } in
+  (try List.iter2 (fun p a -> set_reg st fr p a) body.Bl.params args
+   with Invalid_argument _ -> invalid_arg "Interp: arity mismatch");
+  exec_block st fr (Bl.block body body.Bl.entry) ~from:None
+
+and exec_block st fr (blk : Bl.block) ~from : value =
+  tick st;
+  (* simultaneous phi evaluation on entry from [from] *)
+  (match from with
+  | Some src ->
+      let vals =
+        List.map
+          (fun (phi : Bl.phi) ->
+            match List.assoc_opt src phi.Bl.phi_args with
+            | Some arg -> Some (phi.Bl.phi_var, get_reg fr arg)
+            | None -> None)
+          blk.Bl.b_phis
+      in
+      List.iter
+        (function Some (v, value) -> set_reg st fr v value | None -> ())
+        vals
+  | None -> ());
+  List.iter (exec_insn st fr) blk.Bl.b_insns;
+  match blk.Bl.b_term with
+  | None -> invalid_arg "Interp: unterminated block"
+  | Some (Bl.Return None) -> VInt 0
+  | Some (Bl.Return (Some v)) -> get_reg fr v
+  | Some (Bl.Jump t) ->
+      exec_block st fr (Bl.block fr.body t) ~from:(Some blk.Bl.b_id)
+  | Some (Bl.If { cond; then_; else_ }) ->
+      let taken = if eval_cond st fr cond then then_ else else_ in
+      exec_block st fr (Bl.block fr.body taken) ~from:(Some blk.Bl.b_id)
+  | Some (Bl.Throw _) -> raise (Halt Uncaught)
+
+and eval_cond st fr (c : Bl.cond) =
+  tick st;
+  match c with
+  | Bl.Cmp (op, a, b) -> (
+      match (get_reg fr a, get_reg fr b, op) with
+      | VInt x, VInt y, `Eq -> x = y
+      | VInt x, VInt y, `Lt -> x < y
+      | VNull, VNull, `Eq -> true
+      | VNull, (VObj _ | VArr _), `Eq | (VObj _ | VArr _), VNull, `Eq -> false
+      | VObj o1, VObj o2, `Eq -> o1 == o2
+      | VArr a1, VArr a2, `Eq -> a1 == a2
+      | _, _, `Eq -> false
+      | _, _, `Lt -> invalid_arg "Interp: '<' on non-integers")
+  | Bl.InstanceOf (v, cls) -> (
+      match get_reg fr v with
+      | VObj o -> Program.subtype st.prog ~sub:o.o_cls ~sup:cls
+      | VArr a -> Program.subtype st.prog ~sub:a.a_cls ~sup:cls
+      | VNull | VInt _ -> false)
+
+and exec_insn st fr (i : Bl.insn) =
+  tick st;
+  match i with
+  | Bl.Assign (v, e) -> set_reg st fr v (eval_expr st fr e)
+  | Bl.Load { dst; recv; field } ->
+      let o = obj_of (get_reg fr recv) in
+      let fld = Program.field st.prog field in
+      let value =
+        match Hashtbl.find_opt o.o_fields (Ids.Field.to_int field) with
+        | Some v -> v
+        | None -> default_of fld.Program.f_ty
+      in
+      set_reg st fr dst value
+  | Bl.Store { recv; field; src } ->
+      let o = obj_of (get_reg fr recv) in
+      Hashtbl.replace o.o_fields (Ids.Field.to_int field) (get_reg fr src)
+  | Bl.LoadStatic { dst; field } ->
+      let fld = Program.field st.prog field in
+      let value =
+        match Hashtbl.find_opt st.statics (Ids.Field.to_int field) with
+        | Some v -> v
+        | None -> default_of fld.Program.f_ty
+      in
+      set_reg st fr dst value
+  | Bl.StoreStatic { field; src } ->
+      Hashtbl.replace st.statics (Ids.Field.to_int field) (get_reg fr src)
+  | Bl.ArrLoad { dst; arr; idx; _ } ->
+      let a = arr_of (get_reg fr arr) in
+      let i = int_of (get_reg fr idx) in
+      if i < 0 || i >= Array.length a.cells then raise (Halt Index_oob);
+      set_reg st fr dst a.cells.(i)
+  | Bl.ArrStore { arr; idx; src; _ } ->
+      let a = arr_of (get_reg fr arr) in
+      let i = int_of (get_reg fr idx) in
+      if i < 0 || i >= Array.length a.cells then raise (Halt Index_oob);
+      a.cells.(i) <- get_reg fr src
+  | Bl.ArrLen { dst; arr } ->
+      let a = arr_of (get_reg fr arr) in
+      set_reg st fr dst (VInt (Array.length a.cells))
+  | Bl.Cast { dst; src; cls } -> (
+      match get_reg fr src with
+      | VNull -> set_reg st fr dst VNull  (* a cast passes null *)
+      | VObj o when Program.subtype st.prog ~sub:o.o_cls ~sup:cls ->
+          set_reg st fr dst (VObj o)
+      | VArr a when Program.subtype st.prog ~sub:a.a_cls ~sup:cls ->
+          set_reg st fr dst (VArr a)
+      | VObj _ | VArr _ -> raise (Halt Class_cast)
+      | VInt _ -> invalid_arg "Interp: cast on a primitive")
+  | Bl.Invoke { dst; recv; target; args; virtual_ } ->
+      let callee, actuals =
+        match recv with
+        | None -> (Program.meth st.prog target, List.map (get_reg fr) args)
+        | Some r -> (
+            let rv = get_reg fr r in
+            let o = obj_of rv in
+            let callee =
+              if virtual_ then
+                match Program.resolve st.prog ~recv_cls:o.o_cls ~target with
+                | Some m -> m
+                | None -> invalid_arg "Interp: virtual resolution failed"
+              else Program.meth st.prog target
+            in
+            (callee, rv :: List.map (get_reg fr) args))
+      in
+      set_reg st fr dst (call st callee actuals)
+
+and eval_expr st fr (e : Bl.expr) : value =
+  match e with
+  | Bl.Const n -> VInt n
+  | Bl.Null -> VNull
+  | Bl.AnyInt -> VInt 0
+  | Bl.New c ->
+      st.trace.created <- Ids.Class.Set.add c st.trace.created;
+      VObj { o_cls = c; o_fields = Hashtbl.create 4 }
+  | Bl.NewArr (c, n) ->
+      let len = int_of (get_reg fr n) in
+      if len < 0 then raise (Halt Index_oob);
+      st.trace.created <- Ids.Class.Set.add c st.trace.created;
+      let default =
+        match Program.array_elem_ty st.prog c with
+        | Some ty -> default_of ty
+        | None -> invalid_arg "Interp: NewArr on a non-array class"
+      in
+      VArr { a_cls = c; cells = Array.make len default }
+  | Bl.Arith (op, a, b) -> (
+      let x = int_of (get_reg fr a) and y = int_of (get_reg fr b) in
+      match op with
+      | Bl.Add -> VInt (x + y)
+      | Bl.Sub -> VInt (x - y)
+      | Bl.Mul -> VInt (x * y)
+      | Bl.Div -> if y = 0 then raise (Halt Div_by_zero) else VInt (x / y)
+      | Bl.Rem -> if y = 0 then raise (Halt Div_by_zero) else VInt (x mod y))
+
+(** [run prog root] executes a zero-parameter root method and returns the
+    trace together with how the run ended. *)
+let run ?fuel ?record_defs prog (root : Program.meth) : trace * halt =
+  let st = create ?fuel ?record_defs prog in
+  match call st root [] with
+  | _ -> (st.trace, Finished)
+  | exception Halt h -> (st.trace, h)

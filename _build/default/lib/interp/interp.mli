@@ -1,0 +1,45 @@
+(** A fuel-bounded concrete interpreter for the base language — the
+    soundness oracle of the test-suite: every method it executes must be in
+    the analysis's reachable set, and every value it observes must be
+    covered by the corresponding flow's fixed-point value state.
+
+    Semantics match the analysis's assumptions: no exception handlers (a
+    [throw], null dereference, failed cast, division by zero, out-of-bounds
+    index, or fuel exhaustion halts the run — the trace so far remains a
+    valid witness); fields default to [null]/[0]; [==] on references is
+    physical identity; phis evaluate simultaneously on block entry. *)
+
+open Skipflow_ir
+
+type value = VInt of int | VNull | VObj of obj | VArr of arr
+and obj = { o_cls : Ids.Class.t; o_fields : (int, value) Hashtbl.t }
+and arr = { a_cls : Ids.Class.t; cells : value array }
+
+(** Why a run stopped. *)
+type halt =
+  | Finished  (** the root method returned normally *)
+  | Null_deref
+  | Div_by_zero
+  | Out_of_fuel
+  | Index_oob  (** out-of-bounds index or negative array size *)
+  | Class_cast  (** failed checkcast *)
+  | Uncaught  (** an executed [throw] (MiniJava has no handlers) *)
+
+(** Everything observed during a run. *)
+type trace = {
+  mutable called : Ids.Meth.Set.t;  (** every method whose body started *)
+  mutable created : Ids.Class.Set.t;  (** every class instantiated *)
+  mutable defs : (Ids.Meth.t * Ids.Var.t * value) list;
+      (** every SSA variable definition observed (method, variable, value);
+          only recorded when [record_defs] *)
+  mutable steps : int;
+}
+
+val run :
+  ?fuel:int ->
+  ?record_defs:bool ->
+  Program.t ->
+  Program.meth ->
+  trace * halt
+(** [run prog root] executes a zero-parameter root method (default fuel
+    100_000 steps; [record_defs] defaults to [true]). *)

@@ -1,0 +1,1 @@
+lib/ir/bl.ml: Array Block Class Field Ids List Meth Ty Var

@@ -1,0 +1,1 @@
+lib/ir/dominance.ml: Array Bl Block Ids List

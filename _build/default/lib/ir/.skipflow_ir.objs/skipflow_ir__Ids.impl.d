@@ -1,0 +1,1 @@
+lib/ir/ids.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/ir/ir_pp.ml: Array Bl Block Format Ids List Program Var

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Array Bl Class Field Hashtbl Ids List Meth Printf String Ty

@@ -1,0 +1,1 @@
+lib/ir/program.mli: Bl Class Field Format Ids Meth Ty

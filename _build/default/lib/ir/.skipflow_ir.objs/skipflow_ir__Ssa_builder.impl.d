@@ -1,0 +1,1 @@
+lib/ir/ssa_builder.ml: Array Bl Block Hashtbl Ids List Printf Ty Var

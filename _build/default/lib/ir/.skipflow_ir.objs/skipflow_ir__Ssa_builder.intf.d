@@ -1,0 +1,1 @@
+lib/ir/ssa_builder.mli: Bl Class Field Ids Meth Ty Var

@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Bl Block Dominance Format Ids List Var

@@ -1,0 +1,68 @@
+(** Dominator-tree computation for base-language CFGs, using the iterative
+    algorithm of Cooper, Harvey and Kennedy ("A Simple, Fast Dominance
+    Algorithm").  Used by {!Validate} to check that SSA definitions dominate
+    their uses, and available to clients that want dominance information
+    about analyzed programs. *)
+
+open Ids
+
+type t = {
+  idom : int array;  (** immediate dominator per block index; entry maps to itself; -1 = unreachable *)
+  rpo_index : int array;  (** position in reverse postorder; -1 = unreachable *)
+}
+
+let compute (body : Bl.body) =
+  let n = Array.length body.blocks in
+  let rpo = Bl.reverse_postorder body in
+  let rpo_index = Array.make n (-1) in
+  List.iteri (fun i blk -> rpo_index.(Block.to_int blk.Bl.b_id) <- i) rpo;
+  let idom = Array.make n (-1) in
+  let entry = Block.to_int body.entry in
+  idom.(entry) <- entry;
+  let intersect b1 b2 =
+    let f1 = ref b1 and f2 = ref b2 in
+    while !f1 <> !f2 do
+      while rpo_index.(!f1) > rpo_index.(!f2) do
+        f1 := idom.(!f1)
+      done;
+      while rpo_index.(!f2) > rpo_index.(!f1) do
+        f2 := idom.(!f2)
+      done
+    done;
+    !f1
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun blk ->
+        let b = Block.to_int blk.Bl.b_id in
+        if b <> entry then begin
+          let new_idom = ref (-1) in
+          List.iter
+            (fun p ->
+              let p = Block.to_int p in
+              if idom.(p) >= 0 then
+                new_idom := if !new_idom < 0 then p else intersect p !new_idom)
+            blk.Bl.b_preds;
+          if !new_idom >= 0 && idom.(b) <> !new_idom then begin
+            idom.(b) <- !new_idom;
+            changed := true
+          end
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+let reachable t (b : Block.t) = t.rpo_index.(Block.to_int b) >= 0
+
+(** [dominates t ~dom ~sub] tests whether block [dom] dominates block [sub]
+    (reflexively).  Both blocks must be reachable. *)
+let dominates t ~(dom : Block.t) ~(sub : Block.t) =
+  let dom = Block.to_int dom in
+  let rec up b = if b = dom then true else if t.idom.(b) = b then false else up t.idom.(b) in
+  up (Block.to_int sub)
+
+let idom t (b : Block.t) : Block.t option =
+  let i = Block.to_int b in
+  if t.idom.(i) < 0 || t.idom.(i) = i then None else Some (Block.of_int t.idom.(i))

@@ -1,0 +1,101 @@
+(** Strongly-typed integer identifiers for program entities.
+
+    Every entity in the IR (classes, methods, fields, SSA variables, basic
+    blocks) is identified by a dense integer id wrapped in its own abstract
+    type, so that ids of different kinds cannot be confused.  Dense ids allow
+    array-backed side tables throughout the analysis. *)
+
+module type S = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+  module Tbl : Hashtbl.S with type key = t
+
+  (** A monotone id generator. *)
+  module Gen : sig
+    type id = t
+    type t
+
+    val create : unit -> t
+
+    val fresh : t -> id
+    (** [fresh g] returns the next unused id; ids are dense starting at 0. *)
+
+    val count : t -> int
+    (** [count g] is the number of ids generated so far. *)
+  end
+end
+
+module Make (P : sig
+  val prefix : string
+end) : S = struct
+  type t = int
+
+  let of_int i = i
+  let to_int i = i
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash i = i
+  let pp ppf i = Format.fprintf ppf "%s%d" P.prefix i
+
+  module Key = struct
+    type nonrec t = t
+
+    let equal = equal
+    let compare = compare
+    let hash = hash
+  end
+
+  module Set = Set.Make (Key)
+  module Map = Map.Make (Key)
+  module Tbl = Hashtbl.Make (Key)
+
+  module Gen = struct
+    type id = t
+    type nonrec t = { mutable next : int }
+
+    let create () = { next = 0 }
+
+    let fresh g =
+      let id = g.next in
+      g.next <- id + 1;
+      id
+
+    let count g = g.next
+  end
+end
+
+(** Class (type) identifiers.  [null] is modelled as a distinguished class id
+    allocated by {!Program}. *)
+module Class = Make (struct
+  let prefix = "C"
+end)
+
+(** Method identifiers, unique across the whole program. *)
+module Meth = Make (struct
+  let prefix = "M"
+end)
+
+(** Field identifiers, unique across the whole program (one per declared
+    field, i.e. per (class, field-name) pair). *)
+module Field = Make (struct
+  let prefix = "F"
+end)
+
+(** SSA variable identifiers, unique within a method body. *)
+module Var = Make (struct
+  let prefix = "v"
+end)
+
+(** Basic-block identifiers, unique within a method body. *)
+module Block = Make (struct
+  let prefix = "b"
+end)

@@ -1,0 +1,124 @@
+(** Pretty-printers for the base language, in a syntax close to Appendix B's
+    Figure 10.  Used by the CLI (`--dump-ir`), by error messages, and by
+    golden tests. *)
+
+open Ids
+
+let pp_arith ppf (op : Bl.arith_op) =
+  Format.pp_print_string ppf
+    (match op with Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%")
+
+let pp_expr p ppf (e : Bl.expr) =
+  match e with
+  | Const n -> Format.fprintf ppf "%d" n
+  | Null -> Format.fprintf ppf "null"
+  | New c -> Format.fprintf ppf "new %s" (Program.class_name p c)
+  | NewArr (c, n) ->
+      Format.fprintf ppf "new %s(len=%a)" (Program.class_name p c) Var.pp n
+  | Arith (op, a, b) -> Format.fprintf ppf "%a %a %a" Var.pp a pp_arith op Var.pp b
+  | AnyInt -> Format.fprintf ppf "Any"
+
+let pp_cond p ppf (c : Bl.cond) =
+  match c with
+  | Cmp (`Eq, a, b) -> Format.fprintf ppf "%a == %a" Var.pp a Var.pp b
+  | Cmp (`Lt, a, b) -> Format.fprintf ppf "%a < %a" Var.pp a Var.pp b
+  | InstanceOf (v, t) ->
+      Format.fprintf ppf "%a instanceof %s" Var.pp v (Program.class_name p t)
+
+let pp_insn p ppf (i : Bl.insn) =
+  match i with
+  | Assign (v, e) -> Format.fprintf ppf "%a <- %a" Var.pp v (pp_expr p) e
+  | Load { dst; recv; field } ->
+      Format.fprintf ppf "%a <- %a.%s" Var.pp dst Var.pp recv
+        (Program.field p field).f_name
+  | Store { recv; field; src } ->
+      Format.fprintf ppf "%a.%s <- %a" Var.pp recv (Program.field p field).f_name
+        Var.pp src
+  | LoadStatic { dst; field } ->
+      Format.fprintf ppf "%a <- %s" Var.pp dst (Program.qualified_field_name p field)
+  | StoreStatic { field; src } ->
+      Format.fprintf ppf "%s <- %a" (Program.qualified_field_name p field) Var.pp src
+  | ArrLoad { dst; arr; idx; _ } ->
+      Format.fprintf ppf "%a <- %a[%a]" Var.pp dst Var.pp arr Var.pp idx
+  | ArrStore { arr; idx; src; _ } ->
+      Format.fprintf ppf "%a[%a] <- %a" Var.pp arr Var.pp idx Var.pp src
+  | ArrLen { dst; arr } -> Format.fprintf ppf "%a <- %a.length" Var.pp dst Var.pp arr
+  | Cast { dst; src; cls } ->
+      Format.fprintf ppf "%a <- (%s) %a" Var.pp dst (Program.class_name p cls) Var.pp src
+  | Invoke { dst; recv; target; args; virtual_ } ->
+      let pp_args = Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Var.pp in
+      (match recv with
+      | Some r ->
+          Format.fprintf ppf "%a <- %a.%s(%a)%s" Var.pp dst Var.pp r
+            (Program.meth_name p target) pp_args args
+            (if virtual_ then "" else " [direct]")
+      | None ->
+          Format.fprintf ppf "%a <- %s(%a) [static]" Var.pp dst
+            (Program.qualified_name p target) pp_args args)
+
+let pp_term _p ppf (t : Bl.terminator) =
+  match t with
+  | Jump b -> Format.fprintf ppf "jump %a" Block.pp b
+  | If { then_; else_; _ } ->
+      Format.fprintf ppf "if ... then %a else %a" Block.pp then_ Block.pp else_
+  | Return None -> Format.fprintf ppf "return"
+  | Return (Some v) -> Format.fprintf ppf "return %a" Var.pp v
+  | Throw v -> Format.fprintf ppf "throw %a" Var.pp v
+
+let pp_block p ppf (blk : Bl.block) =
+  let kind =
+    match blk.Bl.b_kind with Entry -> "entry" | Label -> "label" | Merge -> "merge"
+  in
+  Format.fprintf ppf "@[<v 2>%a (%s) preds=[%a]:@," Block.pp blk.Bl.b_id kind
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf " ") Block.pp)
+    blk.Bl.b_preds;
+  List.iter
+    (fun (phi : Bl.phi) ->
+      Format.fprintf ppf "%a <- phi(%a)@," Var.pp phi.phi_var
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf (b, v) -> Format.fprintf ppf "%a:%a" Block.pp b Var.pp v))
+        phi.phi_args)
+    blk.Bl.b_phis;
+  List.iter (fun i -> Format.fprintf ppf "%a@," (pp_insn p) i) blk.Bl.b_insns;
+  (match blk.Bl.b_term with
+  | Some t ->
+      (match t with
+      | Bl.If { cond; then_; else_ } ->
+          Format.fprintf ppf "if %a then %a else %a" (pp_cond p) cond Block.pp then_
+            Block.pp else_
+      | _ -> Format.fprintf ppf "%a" (pp_term p) t)
+  | None -> Format.fprintf ppf "<unterminated>");
+  Format.fprintf ppf "@]"
+
+let pp_body p ppf (body : Bl.body) =
+  Format.fprintf ppf "@[<v 2>start(%a):@,"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") Var.pp)
+    body.Bl.params;
+  Array.iter (fun blk -> Format.fprintf ppf "%a@," (pp_block p) blk) body.Bl.blocks;
+  Format.fprintf ppf "@]"
+
+let pp_meth p ppf (m : Program.meth) =
+  Format.fprintf ppf "@[<v 2>%s %s.%s:@,"
+    (if m.Program.m_static then "static" else "virtual")
+    (Program.class_name p m.Program.m_class)
+    m.Program.m_name;
+  (match m.Program.m_body with
+  | Some b -> pp_body p ppf b
+  | None -> Format.fprintf ppf "<no body>");
+  Format.fprintf ppf "@]"
+
+let pp_program ppf (p : Program.t) =
+  Program.iter_classes p (fun c ->
+      if not (Program.is_null_class c.Program.c_id) then begin
+        Format.fprintf ppf "@[<v 2>class %s%s:@," c.Program.c_name
+          (match c.Program.c_super with
+          | Some s -> " extends " ^ Program.class_name p s
+          | None -> "");
+        List.iter
+          (fun (f : Program.field) ->
+            Format.fprintf ppf "field %s : %a@," f.f_name (Program.pp_ty p) f.f_ty)
+          c.Program.c_fields;
+        List.iter (fun m -> Format.fprintf ppf "%a@," (pp_meth p) m) c.Program.c_methods;
+        Format.fprintf ppf "@]@,"
+      end)

@@ -1,0 +1,296 @@
+(** On-the-fly SSA construction for base-language method bodies.
+
+    The paper assumes its input "is a Java-like managed base language in
+    static single assignment form" (Section 4); in GraalVM that form is
+    provided by the compiler.  This module is the substrate that provides it
+    here: a sealed-block SSA builder in the style of Braun et al. (CC'13).
+    Frontend lowering and the workload generators construct method bodies
+    through this API and obtain valid SSA with the block-shape constraints
+    of Appendix B.1 (phis only in merge blocks, no critical edges).
+
+    Protocol:
+    - create the builder with the method's parameters;
+    - create blocks with {!label_block} / {!merge_block}, emit instructions
+      into them, and connect them with {!terminate};
+    - read and write named source-level locals with {!read_var} /
+      {!write_var}; phi instructions are introduced automatically at merge
+      blocks when a local has several reaching definitions;
+    - {!seal} every merge block once all of its predecessors are known
+      (loop headers are sealed after the back edge is added);
+    - {!finish} validates bookkeeping and returns the {!Bl.body}.
+
+    Trivial phis (all operands equal, or equal up to a self-reference) are
+    left in place: they are semantically identity joins, which the analysis
+    treats as precision-neutral [phi] flows, and removing them would require
+    use-list rewriting that the paper's algorithm does not depend on. *)
+
+open Ids
+
+type block_state = {
+  blk : Bl.block;
+  defs : (string, Var.t) Hashtbl.t;
+  mutable sealed : bool;
+  mutable incomplete : (string * Ty.t * Bl.phi) list;
+}
+
+type t = {
+  block_gen : Block.Gen.t;
+  var_gen : Var.Gen.t;
+  mutable states : block_state list;  (** reverse creation order *)
+  by_id : block_state Block.Tbl.t;
+  entry : block_state;
+  mutable params : Var.t list;
+  mutable tys_rev : Ty.t list;  (** reverse var-creation order *)
+}
+
+let fresh_var b ty =
+  let v = Var.Gen.fresh b.var_gen in
+  b.tys_rev <- ty :: b.tys_rev;
+  v
+
+let mk_block b kind =
+  let blk : Bl.block =
+    {
+      b_id = Block.Gen.fresh b.block_gen;
+      b_kind = kind;
+      b_phis = [];
+      b_insns = [];
+      b_term = None;
+      b_preds = [];
+    }
+  in
+  let st = { blk; defs = Hashtbl.create 8; sealed = false; incomplete = [] } in
+  b.states <- st :: b.states;
+  Block.Tbl.replace b.by_id blk.b_id st;
+  st
+
+(** [create ~params] starts a new method body whose entry block defines one
+    parameter variable per [(name, ty)] pair (the receiver, if any, must be
+    included by the caller as the first parameter). *)
+let create ~params =
+  let block_gen = Block.Gen.create () in
+  let entry_blk : Bl.block =
+    {
+      b_id = Block.Gen.fresh block_gen;
+      b_kind = Bl.Entry;
+      b_phis = [];
+      b_insns = [];
+      b_term = None;
+      b_preds = [];
+    }
+  in
+  let entry =
+    { blk = entry_blk; defs = Hashtbl.create 8; sealed = true; incomplete = [] }
+  in
+  let b =
+    {
+      block_gen;
+      var_gen = Var.Gen.create ();
+      states = [ entry ];
+      by_id = Block.Tbl.create 16;
+      entry;
+      params = [];
+      tys_rev = [];
+    }
+  in
+  Block.Tbl.replace b.by_id entry_blk.b_id entry;
+  b.params <-
+    List.map
+      (fun (name, ty) ->
+        let v = fresh_var b ty in
+        Hashtbl.replace entry.defs name v;
+        v)
+      params;
+  b
+
+let entry_block b = b.entry.blk
+let label_block b = (mk_block b Bl.Label).blk
+let merge_block b = (mk_block b Bl.Merge).blk
+let state b (blk : Bl.block) = Block.Tbl.find b.by_id blk.b_id
+
+let add_insn _b (blk : Bl.block) insn =
+  assert (blk.b_term = None);
+  blk.b_insns <- insn :: blk.b_insns
+
+(* -------------------- variable reads/writes (Braun) ------------------- *)
+
+let write_var b (blk : Bl.block) name v = Hashtbl.replace (state b blk).defs name v
+
+let new_phi b (st : block_state) ty =
+  let v = fresh_var b ty in
+  let phi : Bl.phi = { phi_var = v; phi_args = [] } in
+  st.blk.b_phis <- st.blk.b_phis @ [ phi ];
+  phi
+
+let rec read_var b (blk : Bl.block) name ~ty =
+  let st = state b blk in
+  match Hashtbl.find_opt st.defs name with
+  | Some v -> v
+  | None -> read_var_recursive b st name ~ty
+
+and read_var_recursive b st name ~ty =
+  if not st.sealed then begin
+    (* Incomplete CFG (typically a loop header before its back edge):
+       introduce an operandless phi, completed at seal time. *)
+    assert (st.blk.b_kind = Bl.Merge);
+    let phi = new_phi b st ty in
+    st.incomplete <- (name, ty, phi) :: st.incomplete;
+    Hashtbl.replace st.defs name phi.phi_var;
+    phi.phi_var
+  end
+  else
+    match st.blk.b_preds with
+    | [] ->
+        invalid_arg
+          (Printf.sprintf "Ssa_builder.read_var: %s undefined at entry" name)
+    | [ p ] ->
+        let v = read_var b (Block.Tbl.find b.by_id p).blk name ~ty in
+        Hashtbl.replace st.defs name v;
+        v
+    | preds ->
+        assert (st.blk.b_kind = Bl.Merge);
+        let phi = new_phi b st ty in
+        (* Break cycles: record the phi as the definition before reading
+           the predecessors. *)
+        Hashtbl.replace st.defs name phi.phi_var;
+        add_phi_operands b phi name ~ty preds;
+        (* Trivial-phi elimination, conservative variant: the phi was just
+           created and handed out to nobody, so if all operands are one
+           identical non-self variable we can drop it on the spot.  (Loop
+           phis have a self-operand and are kept; Braun's full use-rewriting
+           removal is not needed for correctness — a residual phi is an
+           identity join.) *)
+        let ops = List.map snd phi.Bl.phi_args in
+        (match ops with
+        | first :: rest
+          when (not (Ids.Var.equal first phi.phi_var))
+               && List.for_all (Ids.Var.equal first) rest ->
+            st.blk.b_phis <-
+              List.filter (fun (p : Bl.phi) -> p != phi) st.blk.b_phis;
+            Hashtbl.replace st.defs name first;
+            first
+        | _ -> phi.phi_var)
+
+and add_phi_operands b (phi : Bl.phi) name ~ty preds =
+  phi.phi_args <-
+    List.map
+      (fun p -> (p, read_var b (Block.Tbl.find b.by_id p).blk name ~ty))
+      preds
+
+(** [seal b blk] declares that all predecessors of [blk] have been added;
+    phis created while the block was open receive their operands now. *)
+let seal b (blk : Bl.block) =
+  let st = state b blk in
+  if not st.sealed then begin
+    st.sealed <- true;
+    List.iter
+      (fun (name, ty, phi) -> add_phi_operands b phi name ~ty st.blk.b_preds)
+      (List.rev st.incomplete);
+    st.incomplete <- []
+  end
+
+(* ------------------------------ terminators --------------------------- *)
+
+let add_pred b (target : Block.t) (src : Block.t) =
+  let tst = Block.Tbl.find b.by_id target in
+  if tst.sealed && tst.blk.b_kind = Bl.Merge then
+    invalid_arg "Ssa_builder: adding a predecessor to a sealed merge block";
+  tst.blk.b_preds <- tst.blk.b_preds @ [ src ]
+
+let terminate b (blk : Bl.block) (term : Bl.terminator) =
+  if blk.b_term <> None then invalid_arg "Ssa_builder.terminate: already terminated";
+  (match term with
+  | Bl.Jump t ->
+      let tst = Block.Tbl.find b.by_id t in
+      if tst.blk.b_kind <> Bl.Merge then
+        invalid_arg "Ssa_builder: jump target must be a merge block";
+      add_pred b t blk.b_id
+  | Bl.If { then_; else_; _ } ->
+      List.iter
+        (fun t ->
+          let tst = Block.Tbl.find b.by_id t in
+          if tst.blk.b_kind <> Bl.Label then
+            invalid_arg "Ssa_builder: if targets must be label blocks";
+          add_pred b t blk.b_id;
+          (* A label block has exactly one predecessor; it is complete now. *)
+          tst.sealed <- true)
+        [ then_; else_ ]
+  | Bl.Return _ | Bl.Throw _ -> ());
+  blk.b_term <- Some term
+
+(* --------------------------- emit helpers ----------------------------- *)
+
+let assign b blk ~ty e =
+  let v = fresh_var b ty in
+  add_insn b blk (Bl.Assign (v, e));
+  v
+
+let const b blk n = assign b blk ~ty:Ty.Int (Bl.Const n)
+let null b blk = assign b blk ~ty:Ty.Null Bl.Null
+let new_ b blk cls_id = assign b blk ~ty:(Ty.Obj cls_id) (Bl.New cls_id)
+
+let arith b blk op x y = assign b blk ~ty:Ty.Int (Bl.Arith (op, x, y))
+let new_arr b blk cls_id len = assign b blk ~ty:(Ty.Obj cls_id) (Bl.NewArr (cls_id, len))
+
+let arr_load b blk ~ty ~arr ~idx ~elem =
+  let v = fresh_var b ty in
+  add_insn b blk (Bl.ArrLoad { dst = v; arr; idx; elem });
+  v
+
+let arr_store b blk ~arr ~idx ~src ~elem =
+  add_insn b blk (Bl.ArrStore { arr; idx; src; elem })
+
+let arr_len b blk ~arr =
+  let v = fresh_var b Ty.Int in
+  add_insn b blk (Bl.ArrLen { dst = v; arr });
+  v
+
+let cast b blk ~cls ~src =
+  let v = fresh_var b (Ty.Obj cls) in
+  add_insn b blk (Bl.Cast { dst = v; src; cls });
+  v
+
+let load_static b blk ~ty ~field =
+  let v = fresh_var b ty in
+  add_insn b blk (Bl.LoadStatic { dst = v; field });
+  v
+
+let store_static b blk ~field ~src = add_insn b blk (Bl.StoreStatic { field; src })
+
+let load b blk ~ty ~recv ~field =
+  let v = fresh_var b ty in
+  add_insn b blk (Bl.Load { dst = v; recv; field });
+  v
+
+let store b blk ~recv ~field ~src = add_insn b blk (Bl.Store { recv; field; src })
+
+let invoke b blk ~ty ~recv ~target ~args ~virtual_ =
+  let v = fresh_var b ty in
+  add_insn b blk (Bl.Invoke { dst = v; recv; target; args; virtual_ });
+  v
+
+(* ------------------------------ finish -------------------------------- *)
+
+let finish b : Bl.body =
+  let states = List.rev b.states in
+  List.iter
+    (fun st ->
+      if not st.sealed then
+        invalid_arg
+          (Printf.sprintf "Ssa_builder.finish: block %d is not sealed"
+             (Block.to_int st.blk.b_id));
+      if st.blk.b_term = None then
+        invalid_arg
+          (Printf.sprintf "Ssa_builder.finish: block %d has no terminator"
+             (Block.to_int st.blk.b_id));
+      st.blk.b_insns <- List.rev st.blk.b_insns)
+    states;
+  let blocks = Array.of_list (List.map (fun st -> st.blk) states) in
+  Array.iteri (fun i blk -> assert (Block.to_int blk.Bl.b_id = i)) blocks;
+  {
+    Bl.params = b.params;
+    entry = b.entry.blk.b_id;
+    blocks;
+    var_count = Var.Gen.count b.var_gen;
+    var_tys = Array.of_list (List.rev_map Ty.lower b.tys_rev);
+  }

@@ -1,0 +1,13 @@
+(** Structural validation of method bodies against the invariants the PVPG
+    construction assumes (Appendix B.1): block-kind discipline (merge-only
+    jump targets, single-predecessor label branch targets — hence no
+    critical edges), phi placement and arity, and SSA (single definitions
+    that dominate every reachable use). *)
+
+exception Invalid of string
+
+val run : Bl.body -> unit
+(** @raise Invalid with a human-readable message on the first violation. *)
+
+val check : Bl.body -> (unit, string) result
+(** Non-raising variant of {!run}. *)

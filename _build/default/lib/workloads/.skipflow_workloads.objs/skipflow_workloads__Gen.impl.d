@@ -1,0 +1,1 @@
+lib/workloads/gen.ml: Array Ast Ast_pp Dsl Frontend Fun List Printf Rng Skipflow_frontend Skipflow_ir

@@ -1,0 +1,1 @@
+lib/workloads/gen.mli: Skipflow_frontend Skipflow_ir

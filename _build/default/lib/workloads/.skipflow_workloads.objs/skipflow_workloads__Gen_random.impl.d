@@ -1,0 +1,1 @@
+lib/workloads/gen_random.ml: Array Ast Dsl Frontend Fun List Option Printf Rng Skipflow_frontend Skipflow_ir String

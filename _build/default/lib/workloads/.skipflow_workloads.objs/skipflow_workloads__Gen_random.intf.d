@@ -1,0 +1,1 @@
+lib/workloads/gen_random.mli: Skipflow_frontend Skipflow_ir

@@ -1,0 +1,1 @@
+lib/workloads/suites.ml: Char Float Gen List String

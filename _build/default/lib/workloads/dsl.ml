@@ -1,0 +1,60 @@
+(** Terse AST-construction combinators used by the workload generators.
+    Positions are synthetic (generated code has no source file). *)
+
+open Skipflow_frontend
+
+let pos : Lexer.pos = { line = 0; col = 0 }
+let e node : Ast.expr = { Ast.e = node; pos }
+let s node : Ast.stmt = { Ast.s = node; spos = pos }
+
+(* expressions *)
+let int n = e (Ast.Int n)
+let bool_ b = e (Ast.Bool b)
+let null_ = e Ast.Null
+let this = e Ast.This
+let var x = e (Ast.Ident x)
+let new_ c = e (Ast.New c)
+let vcall recv m args = e (Ast.Call (Some recv, m, args))
+let scall cls m args = e (Ast.Call (Some (var cls), m, args))
+let icall m args = e (Ast.Call (None, m, args))
+let fget recv f = e (Ast.FieldGet (recv, f))
+let binop op a b = e (Ast.Binop (op, a, b))
+let ( +: ) a b = binop Ast.Add a b
+let ( -: ) a b = binop Ast.Sub a b
+let ( *: ) a b = binop Ast.Mul a b
+let ( %: ) a b = binop Ast.Rem a b
+let ( <: ) a b = binop Ast.Lt a b
+let ( >: ) a b = binop Ast.Gt a b
+let ( ==: ) a b = binop Ast.Eq a b
+let ( <>: ) a b = binop Ast.Ne a b
+let and_ a b = binop Ast.And a b
+let or_ a b = binop Ast.Or a b
+let not_ a = e (Ast.Not a)
+let instanceof x c = e (Ast.InstanceOf (x, c))
+
+(* statements *)
+let decl ty x init = s (Ast.LocalDecl (ty, x, init))
+let assign x rhs = s (Ast.AssignLocal (x, rhs))
+let fset recv f rhs = s (Ast.AssignField (recv, f, rhs))
+let expr ex = s (Ast.ExprStmt ex)
+let if_ c thn els = s (Ast.If (c, thn, els))
+let while_ c body = s (Ast.While (c, body))
+let ret ex = s (Ast.Return (Some ex))
+let ret_void = s (Ast.Return None)
+
+(* declarations *)
+let meth ?(static = false) ~ret name params body : Ast.meth_decl =
+  { Ast.md_name = name; md_static = static; md_params = params; md_ret = ret; md_body = body; md_pos = pos }
+
+let field ?(static = false) ty name : Ast.field_decl =
+  { Ast.fd_ty = ty; fd_name = name; fd_static = static; fd_pos = pos }
+
+let cls ?(abstract = false) ?super name fields meths : Ast.class_decl =
+  {
+    Ast.cd_name = name;
+    cd_super = super;
+    cd_abstract = abstract;
+    cd_fields = fields;
+    cd_meths = meths;
+    cd_pos = pos;
+  }

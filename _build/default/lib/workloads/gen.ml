@@ -1,0 +1,377 @@
+(** Synthetic benchmark-program generator.
+
+    The paper evaluates on DaCapo, Renaissance, and nine microservice
+    applications — hundreds of thousands of Java methods we cannot ship.
+    What the evaluation actually measures, though, is how many methods the
+    two analyses keep reachable on code built from a handful of recurring
+    patterns; this generator emits MiniJava programs made of exactly those
+    patterns, at calibrated sizes:
+
+    - {b library units}: classes with a chain of instance methods, wired
+      into three groups — {e live} (called unconditionally from bootstrap
+      code), {e dead-guarded} (called only from guard sites that SkipFlow
+      proves dead but the baseline PTA cannot), and {e unused} (called from
+      nowhere; removed by every analysis);
+    - {b guard patterns} connecting live code to dead-guarded units
+      (Section 2 / Figure 4 / Section 5 of the paper):
+      [Const_flag] — a static feature-flag method returning [false];
+      [Type_flag] — the Figure 2 pattern, a boolean method implemented as
+      an [instanceof] test whose special subtype is never instantiated;
+      [Guarded_null] — the Figure 1 pattern, a default allocation under an
+      [== null] check whose argument is never null;
+      [Prim_const] — the Figure 4 pattern, a constant compared against a
+      constant bound; and
+      [Never_returns] — code following a call to a method that never
+      returns;
+    - {b dynamic checks} (genuinely two-sided null / type / primitive
+      branches) and {b polymorphic dispatch families} sprinkled through
+      unit methods so the counter metrics of Table 1 are exercised;
+    - fully deterministic: the same [params] always produce the same
+      program. *)
+
+open Skipflow_frontend
+open Dsl
+
+type guard_pattern =
+  | Const_flag
+  | Type_flag
+  | Guarded_null
+  | Prim_const
+  | Never_returns
+  | Static_flag
+      (** a [static var boolean] field that is never written: its value
+          state stays the default [false], killing the guarded branch *)
+
+type params = {
+  seed : int;
+  live_units : int;
+  dead_units : int;
+  unused_units : int;
+  unit_size : int;  (** methods per unit, >= 2 *)
+  poly_families : int;
+  poly_width : int;  (** implementations per dispatch family, >= 2 *)
+  check_density : float;  (** probability of each dynamic-check pattern per method *)
+  cross_calls : int;  (** cross-unit call sites per unit *)
+}
+
+let default_params =
+  {
+    seed = 42;
+    live_units = 40;
+    dead_units = 6;
+    unused_units = 5;
+    unit_size = 8;
+    poly_families = 3;
+    poly_width = 4;
+    check_density = 0.35;
+    cross_calls = 2;
+  }
+
+type group = Live | Dead | Unused
+
+let unit_name i = Printf.sprintf "Unit%d" i
+let fam_base f = Printf.sprintf "Base%d" f
+let fam_impl f j = Printf.sprintf "Impl%d_%d" f j
+let meth_name j = Printf.sprintf "m%d" j
+
+let generate (p : params) : Ast.program =
+  if p.unit_size < 2 then invalid_arg "Gen: unit_size must be >= 2";
+  if p.poly_width < 2 then invalid_arg "Gen: poly_width must be >= 2";
+  if p.poly_families < 1 then invalid_arg "Gen: poly_families must be >= 1";
+  let rng = Rng.create p.seed in
+  let group_of u =
+    if u < p.live_units then Live
+    else if u < p.live_units + p.dead_units then Dead
+    else Unused
+  in
+  let total_units = p.live_units + p.dead_units + p.unused_units in
+  (* ---- guard assignment: every dead unit is entered from exactly one
+     host method; a quarter of them chain from earlier dead units ---- *)
+  let patterns =
+    [| Const_flag; Type_flag; Guarded_null; Prim_const; Never_returns; Static_flag |]
+  in
+  let guards =
+    List.init p.dead_units (fun k ->
+        let d = p.live_units + k in
+        let host =
+          if k > 0 && Rng.chance rng 0.25 then p.live_units + Rng.int rng k
+          else Rng.int rng (max 1 p.live_units)
+        in
+        let pat = patterns.(Rng.int rng (Array.length patterns)) in
+        (d, host, pat))
+  in
+  let guards_of_unit u = List.filter (fun (_, h, _) -> h = u) guards in
+  (* ---- support-code accumulators ---- *)
+  let flag_meths = ref [] in
+  let conf_meths = ref [] in
+  let static_flags = ref [] in
+  let extra_classes = ref [] in
+  (* [mk_guard d pat] returns (statements for the host's last method,
+     extra methods for the host class) *)
+  let mk_guard (d, pat) =
+    let dn = unit_name d in
+    let enter = expr (vcall (new_ dn) "entry" [ var "x" ]) in
+    match pat with
+    | Const_flag ->
+        let fname = Printf.sprintf "flag%d" d in
+        (if Rng.bool rng then begin
+           let inner = Printf.sprintf "flagInner%d" d in
+           flag_meths :=
+             meth ~static:true ~ret:Ast.Tbool fname [] [ ret (scall "Flags" inner []) ]
+             :: meth ~static:true ~ret:Ast.Tbool inner [] [ ret (bool_ false) ]
+             :: !flag_meths
+         end
+         else
+           flag_meths :=
+             meth ~static:true ~ret:Ast.Tbool fname [] [ ret (bool_ false) ]
+             :: !flag_meths);
+        ([ if_ (scall "Flags" fname []) [ enter ] [] ], [])
+    | Type_flag ->
+        let pv = Printf.sprintf "pr%d" d in
+        ( [
+            decl (Ast.Tclass "Probe") pv (Some (new_ "Probe"));
+            if_ (vcall (var pv) "isSpecial" []) [ enter ] [];
+          ],
+          [] )
+    | Prim_const ->
+        let cname = Printf.sprintf "level%d" d in
+        let lv = Printf.sprintf "lv%d" d in
+        conf_meths :=
+          meth ~static:true ~ret:Ast.Tint cname [] [ ret (int (Rng.range rng 0 9)) ]
+          :: !conf_meths;
+        ( [
+            decl Ast.Tint lv (Some (scall "Conf" cname []));
+            if_ (var lv >: int 10) [ enter ] [];
+          ],
+          [] )
+    | Never_returns ->
+        ([ if_ (var "x" >: int 0) [ expr (scall "Util" "fail" []); enter ] [] ], [])
+    | Static_flag ->
+        let fname = Printf.sprintf "on%d" d in
+        static_flags := fname :: !static_flags;
+        ([ if_ (fget (var "Switches") fname) [ enter ] [] ], [])
+    | Guarded_null ->
+        let hbase = Printf.sprintf "HBase%d" d and hdead = Printf.sprintf "HDead%d" d in
+        extra_classes :=
+          cls hbase [] [ meth ~ret:Ast.Tvoid "go" [ (Ast.Tint, "x") ] [ ret_void ] ]
+          :: cls ~super:hbase hdead []
+               [
+                 meth ~ret:Ast.Tvoid "go"
+                   [ (Ast.Tint, "x") ]
+                   [ expr (vcall (new_ dn) "entry" [ var "x" ]); ret_void ];
+               ]
+          :: !extra_classes;
+        let render = Printf.sprintf "render%d" d in
+        let helper =
+          meth ~ret:Ast.Tvoid render
+            [ (Ast.Tclass hbase, "d"); (Ast.Tint, "x") ]
+            [
+              if_ (var "d" ==: null_) [ assign "d" (new_ hdead) ] [];
+              expr (vcall (var "d") "go" [ var "x" ]);
+              ret_void;
+            ]
+        in
+        ([ expr (vcall this render [ new_ hbase; var "x" ]) ], [ helper ])
+  in
+  (* ---- dynamic check patterns (both branches genuinely live) ---- *)
+  let dyn_prim =
+    [
+      if_
+        (var "a" <: var "b")
+        [ assign "a" (var "a" +: int 1) ]
+        [ assign "a" (var "b" -: int 1) ];
+    ]
+  in
+  let dyn_null u =
+    let un = unit_name u in
+    [
+      decl (Ast.Tclass un) "o" (Some null_);
+      if_ (var "a" %: int 2 ==: int 0) [ assign "o" (new_ un) ] [];
+      if_ (var "o" ==: null_)
+        [ assign "a" (var "a" +: int 1) ]
+        [ assign "a" (vcall (var "o") "entry" [ var "a" ]) ];
+    ]
+  in
+  let dyn_type_poly f =
+    let base = fam_base f in
+    [
+      decl (Ast.Tclass base) "t" (Some (new_ (fam_impl f 0)));
+      if_ (var "a" %: int 3 ==: int 0) [ assign "t" (new_ (fam_impl f 1)) ] [];
+      if_ (instanceof (var "t") (fam_impl f 0)) [ assign "a" (var "a" +: int 2) ] [];
+      assign "a" (var "a" +: vcall (var "t") "run" [ var "a" ]);
+    ]
+  in
+  let dyn_array_pool f =
+    (* a handler pool: objects flow through array element flows before
+       being dispatched *)
+    let base = fam_base f in
+    [
+      decl (Ast.Tarr (Ast.Tclass base)) "pool"
+        (Some (e (Skipflow_frontend.Ast.NewArr (Ast.Tclass base, int 2))));
+      s (Skipflow_frontend.Ast.AssignIndex (var "pool", int 0, new_ (fam_impl f 0)));
+      s (Skipflow_frontend.Ast.AssignIndex (var "pool", int 1, new_ (fam_impl f 1)));
+      decl (Ast.Tclass base) "h" (Some (e (Skipflow_frontend.Ast.Index (var "pool", var "a" %: int 2))));
+      if_ (var "h" <>: null_) [ assign "a" (var "a" +: vcall (var "h") "run" [ var "a" ]) ] [];
+    ]
+  in
+  let dead_alloc f k =
+    [
+      decl (Ast.Tclass (fam_base f)) "z" (Some (new_ (fam_impl f k)));
+      assign "a" (var "a" +: vcall (var "z") "run" [ var "a" ]);
+    ]
+  in
+  (* ---- unit classes ---- *)
+  let gen_method u j =
+    let grp = group_of u in
+    let last = j = p.unit_size - 1 in
+    let body = ref [] in
+    let push ss = body := !body @ ss in
+    push
+      [
+        decl Ast.Tint "a" (Some (var "x" +: int (Rng.range rng 1 9)));
+        decl Ast.Tint "b" (Some (var "a" *: int (Rng.range rng 2 5)));
+      ];
+    if Rng.chance rng p.check_density then push dyn_prim;
+    if Rng.chance rng p.check_density then push (dyn_null u);
+    if Rng.chance rng p.check_density then
+      push (dyn_type_poly (Rng.int rng p.poly_families));
+    if Rng.chance rng (p.check_density /. 2.) then
+      push (dyn_array_pool (Rng.int rng p.poly_families));
+    if grp = Dead && Rng.chance rng 0.4 && p.poly_width > 2 then
+      push (dead_alloc (Rng.int rng p.poly_families) (Rng.range rng 2 (p.poly_width - 1)));
+    if not last then
+      push [ assign "a" (vcall this (meth_name (j + 1)) [ var "a" ]) ]
+    else begin
+      (* Cross-unit calls, respecting group reachability.  Within a group,
+         only higher-numbered units may be called: unconditional call
+         cycles would make the program non-terminating, which SkipFlow
+         (correctly!) detects through its invoke-as-predicate rule —
+         realistic benchmarks terminate. *)
+      let candidates =
+        match grp with
+        | Live -> List.init p.live_units Fun.id
+        | Dead -> List.init (p.live_units + p.dead_units) Fun.id
+        | Unused -> List.init total_units Fun.id
+      in
+      let candidates =
+        List.filter (fun t -> t > u || (grp <> Live && t < p.live_units)) candidates
+      in
+      if candidates <> [] then
+        for _ = 1 to p.cross_calls do
+          let t = Rng.pick rng candidates in
+          push [ assign "a" (var "a" +: vcall (new_ (unit_name t)) "entry" [ var "a" ]) ]
+        done
+    end;
+    let guard_extra =
+      if last then List.map (fun (d, _, pat) -> mk_guard (d, pat)) (guards_of_unit u)
+      else []
+    in
+    List.iter (fun (stmts, _) -> push stmts) guard_extra;
+    push [ ret (var "a" +: var "b") ];
+    ( meth ~ret:Ast.Tint (meth_name j) [ (Ast.Tint, "x") ] !body,
+      List.concat_map snd guard_extra )
+  in
+  let gen_unit u =
+    let meths = List.init p.unit_size (fun j -> gen_method u j) in
+    let entry =
+      meth ~ret:Ast.Tint "entry"
+        [ (Ast.Tint, "x") ]
+        [ ret (vcall this (meth_name 0) [ var "x" ]) ]
+    in
+    cls (unit_name u) []
+      (entry :: List.concat_map (fun (m, extras) -> m :: extras) meths)
+  in
+  let units = List.init total_units gen_unit in
+  (* ---- support classes ---- *)
+  let families =
+    List.concat_map
+      (fun f ->
+        cls (fam_base f) []
+          [ meth ~ret:Ast.Tint "run" [ (Ast.Tint, "x") ] [ ret (var "x") ] ]
+        :: List.init p.poly_width (fun j ->
+               cls ~super:(fam_base f) (fam_impl f j) []
+                 [
+                   meth ~ret:Ast.Tint "run"
+                     [ (Ast.Tint, "x") ]
+                     [ ret (var "x" +: int j) ];
+                 ]))
+      (List.init p.poly_families Fun.id)
+  in
+  let probe =
+    [
+      cls "Probe" []
+        [
+          meth ~ret:Ast.Tbool "isSpecial" [] [ ret (instanceof this "SpecialProbe") ];
+        ];
+      cls ~super:"Probe" "SpecialProbe" [] [];
+    ]
+  in
+  let util =
+    cls "Util" []
+      [
+        (* Assert.fail-style: always throws, never returns (Section 5) *)
+        meth ~static:true ~ret:Ast.Tvoid "fail" []
+          [ s (Skipflow_frontend.Ast.Throw (new_ "UtilError")) ];
+        meth ~static:true ~ret:Ast.Tint "work"
+          [ (Ast.Tint, "n") ]
+          [ ret (var "n" *: int 17) ];
+      ]
+  in
+  let util_error = cls "UtilError" [] [] in
+  let switches =
+    (* never-written static feature switches: their value states stay at
+       the default false *)
+    cls "Switches" (List.map (fun f -> field ~static:true Ast.Tbool f) !static_flags) []
+  in
+  let flags =
+    cls "Flags" []
+      (meth ~static:true ~ret:Ast.Tbool "never" [] [ ret (bool_ false) ]
+      :: List.rev !flag_meths)
+  in
+  let conf =
+    cls "Conf" []
+      (meth ~static:true ~ret:Ast.Tint "zero" [] [ ret (int 0) ] :: List.rev !conf_meths)
+  in
+  (* ---- bootstrap: cover every live unit ---- *)
+  let chunk = 40 in
+  let boot_count = ((max 1 p.live_units) + chunk - 1) / chunk in
+  let boot =
+    cls "Boot" []
+      (List.init boot_count (fun k ->
+           let lo = k * chunk and hi = min p.live_units ((k + 1) * chunk) in
+           let calls =
+             List.concat
+               (List.init (hi - lo) (fun i ->
+                    let u = lo + i in
+                    [
+                      assign "x"
+                        (var "x" +: vcall (new_ (unit_name u)) "entry" [ var "x" ]);
+                    ]))
+           in
+           meth ~static:true ~ret:Ast.Tint
+             (Printf.sprintf "b%d" k)
+             [ (Ast.Tint, "x") ]
+             (calls @ [ ret (var "x") ])))
+  in
+  let main =
+    cls "Main" []
+      [
+        meth ~static:true ~ret:Ast.Tvoid "main" []
+          ([ decl Ast.Tint "x" (Some (scall "Util" "work" [ int 7 ])) ]
+          @ List.init boot_count (fun k ->
+                assign "x" (scall "Boot" (Printf.sprintf "b%d" k) [ var "x" ]))
+          @ [ ret_void ]);
+      ]
+  in
+  (main :: boot :: util :: util_error :: switches :: flags :: conf :: probe)
+  @ families @ List.rev !extra_classes @ units
+
+(** Generate and compile in one step; returns the program and its [main]. *)
+let compile (p : params) : Skipflow_ir.Program.t * Skipflow_ir.Program.meth =
+  let prog = Frontend.compile_ast (generate p) in
+  match Frontend.main_of prog with
+  | Some m -> (prog, m)
+  | None -> invalid_arg "Gen.compile: generated program has no main"
+
+(** Pretty-printed MiniJava source of the generated program. *)
+let source (p : params) = Ast_pp.to_string (generate p)

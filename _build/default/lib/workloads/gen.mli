@@ -1,0 +1,36 @@
+(** Synthetic benchmark-program generator: emits MiniJava programs built
+    from the code patterns the paper's evaluation measures — live /
+    dead-guarded / unused library units, the five guard patterns of
+    Sections 2, 3 and 5 (constant flags, instanceof type-flags, guarded
+    default allocations, constant comparisons, never-returning calls,
+    never-written static switches), dynamic two-sided checks, and
+    polymorphic dispatch families.  Deterministic in [params]. *)
+
+type guard_pattern =
+  | Const_flag
+  | Type_flag
+  | Guarded_null
+  | Prim_const
+  | Never_returns
+  | Static_flag
+
+type params = {
+  seed : int;
+  live_units : int;  (** units reachable under every analysis *)
+  dead_units : int;  (** units behind SkipFlow-removable guards *)
+  unused_units : int;  (** units no analysis reaches *)
+  unit_size : int;  (** methods per unit, >= 2 *)
+  poly_families : int;
+  poly_width : int;  (** implementations per dispatch family, >= 2 *)
+  check_density : float;  (** probability of each dynamic-check pattern per method *)
+  cross_calls : int;  (** cross-unit call sites per unit *)
+}
+
+val default_params : params
+val generate : params -> Skipflow_frontend.Ast.program
+
+val compile : params -> Skipflow_ir.Program.t * Skipflow_ir.Program.meth
+(** Generate and compile; returns the program and its [Main.main]. *)
+
+val source : params -> string
+(** Pretty-printed MiniJava source of the generated program. *)

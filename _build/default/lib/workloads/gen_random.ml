@@ -1,0 +1,459 @@
+(** Generator of small random — but always well-typed — MiniJava programs,
+    used by the property-test suite:
+
+    - {e soundness}: run the program in the concrete interpreter and check
+      that every executed method is in SkipFlow's reachable set and every
+      observed value is covered by the fixed-point value states;
+    - {e precision ordering}: reachable(SkipFlow) ⊆ reachable(PTA) ⊆
+      reachable(RTA) ⊆ reachable(CHA);
+    - {e pipeline robustness}: parser round-trips, lowering produces valid
+      SSA, the engine terminates.
+
+    Well-typedness by construction: signatures are generated first, bodies
+    only reference what exists.  Recursion is ruled out by a global order
+    on {e method names} — a body of [f_k] may only call names [f_j] with
+    [j > k], and overrides share their name's index, so the dynamic call
+    graph is a DAG.  Loops are bounded counting loops.  (Programs may still
+    halt early in the interpreter through null dereferences or fuel
+    exhaustion; the trace remains a valid soundness witness.) *)
+
+open Skipflow_frontend
+open Dsl
+
+type cfg = {
+  seed : int;
+  classes : int;  (** number of user classes, >= 1 *)
+  meths_per_class : int;  (** fresh method names per class, >= 1 *)
+  max_stmts : int;  (** statement budget per body *)
+}
+
+let default_cfg = { seed = 7; classes = 5; meths_per_class = 2; max_stmts = 6 }
+
+type sig_ = { s_params : Ast.ty list; s_ret : Ast.ty }
+
+type gcls = {
+  g_name : string;
+  g_super : int option;
+  g_abstract : bool;
+  mutable g_children : int list;
+  mutable g_fields : (string * Ast.ty) list;
+  mutable g_meths : (int * sig_) list;  (** fresh names declared here *)
+  mutable g_overrides : (int * sig_) list;
+  mutable g_visible : (int * sig_) list;  (** declared + inherited *)
+}
+
+let cls_name i = Printf.sprintf "R%d" i
+let mname k = Printf.sprintf "f%d" k
+
+let generate (c : cfg) : Ast.program =
+  let rng = Rng.create c.seed in
+  let n = max 1 c.classes in
+  (* ---- hierarchy ---- *)
+  let classes =
+    Array.init n (fun i ->
+        let super = if i > 0 && Rng.chance rng 0.45 then Some (Rng.int rng i) else None in
+        {
+          g_name = cls_name i;
+          g_super = super;
+          g_abstract = i > 0 && Rng.chance rng 0.12;
+          g_children = [];
+          g_fields = [];
+          g_meths = [];
+          g_overrides = [];
+          g_visible = [];
+        })
+  in
+  Array.iteri
+    (fun i g ->
+      match g.g_super with
+      | Some s -> classes.(s).g_children <- i :: classes.(s).g_children
+      | None -> ())
+    classes;
+  let rec concrete_subs i =
+    let self = if classes.(i).g_abstract then [] else [ i ] in
+    self @ List.concat_map concrete_subs classes.(i).g_children
+  in
+  let random_ty ?(void = false) () =
+    Rng.weighted rng
+      ([ (4, Ast.Tint); (2, Ast.Tbool); (3, Ast.Tclass (cls_name (Rng.int rng n))) ]
+      @ if void then [ (2, Ast.Tvoid) ] else [])
+  in
+  (* ---- signatures: fresh names in class order, then overrides ---- *)
+  let next_name = ref 0 in
+  Array.iter
+    (fun g ->
+      for _ = 1 to max 1 c.meths_per_class do
+        let k = !next_name in
+        incr next_name;
+        let s_params = List.init (Rng.int rng 3) (fun _ -> random_ty ()) in
+        g.g_meths <- (k, { s_params; s_ret = random_ty ~void:true () }) :: g.g_meths
+      done)
+    classes;
+  (* visibility (declaration order: supers precede subclasses) *)
+  Array.iteri
+    (fun i g ->
+      let inherited =
+        match g.g_super with Some s -> classes.(s).g_visible | None -> []
+      in
+      (* overrides: redeclare some inherited names with the same signature *)
+      List.iter
+        (fun (k, sg) ->
+          if Rng.chance rng 0.3 then g.g_overrides <- (k, sg) :: g.g_overrides)
+        inherited;
+      g.g_visible <-
+        g.g_meths @ List.filter (fun (k, _) -> not (List.mem_assoc k g.g_meths)) inherited;
+      ignore i)
+    classes;
+  (* ---- fields (instance); plus an occasional static int counter ---- *)
+  let static_fields = ref [] in
+  Array.iteri
+    (fun i g ->
+      for j = 0 to Rng.int rng 3 - 1 do
+        let ty =
+          if Rng.bool rng then Ast.Tint else Ast.Tclass (cls_name (Rng.int rng n))
+        in
+        g.g_fields <- (Printf.sprintf "fd%d_%d" i j, ty) :: g.g_fields
+      done;
+      if Rng.chance rng 0.3 then
+        static_fields := (g.g_name, Printf.sprintf "sf%d" i) :: !static_fields)
+    classes;
+  let visible_fields i =
+    let rec go i acc =
+      let acc = classes.(i).g_fields @ acc in
+      match classes.(i).g_super with Some s -> go s acc | None -> acc
+    in
+    go i []
+  in
+  (* ---- bodies ---- *)
+  (* environment: locals/params in scope with their types *)
+  let gen_body ~self_cls ~self_idx (sg : sig_) : (Ast.ty * string) list * Ast.stmt list =
+    let params = List.mapi (fun i t -> (t, Printf.sprintf "p%d" i)) sg.s_params in
+    let locals = ref (List.map (fun (t, x) -> (x, t)) params) in
+    (match self_cls with
+    | Some i -> locals := ("this", Ast.Tclass (cls_name i)) :: !locals
+    | None -> ());
+    let tmp = ref 0 in
+    let fresh () =
+      incr tmp;
+      Printf.sprintf "t%d" !tmp
+    in
+    let evar x = if String.equal x "this" then this else var x in
+    let ints () =
+      List.filter_map (fun (x, t) -> if t = Ast.Tint then Some x else None) !locals
+    in
+    let objs_of cname =
+      List.filter_map
+        (fun (x, t) -> if t = Ast.Tclass cname then Some x else None)
+        !locals
+    in
+    let all_objs () =
+      List.filter_map
+        (fun (x, t) -> match t with Ast.Tclass cn -> Some (x, cn) | _ -> None)
+        !locals
+    in
+    let rec int_expr depth =
+      let atoms =
+        [ (3, `Const) ] @ (if ints () <> [] then [ (4, `Local) ] else [])
+        @ if depth > 0 then [ (3, `Arith) ] else []
+      in
+      match Rng.weighted rng atoms with
+      | `Const -> int (Rng.range rng (-10) 50)
+      | `Local -> var (Rng.pick rng (ints ()))
+      | `Arith ->
+          let op = Rng.pick rng [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Rem ] in
+          binop op (int_expr (depth - 1)) (int_expr (depth - 1))
+    in
+    let cls_index cname = int_of_string (String.sub cname 1 (String.length cname - 1)) in
+    let obj_expr cname =
+      let subs = concrete_subs (cls_index cname) in
+      let choices =
+        [ (2, `Null) ]
+        @ (if subs <> [] then [ (5, `New) ] else [])
+        @ if objs_of cname <> [] then [ (4, `Local) ] else []
+      in
+      match Rng.weighted rng choices with
+      | `Null -> null_
+      | `New -> new_ (cls_name (Rng.pick rng subs))
+      | `Local -> evar (Rng.pick rng (objs_of cname))
+    in
+    let bool_expr () =
+      match Rng.int rng 4 with
+      | 0 -> binop (Rng.pick rng [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]) (int_expr 1) (int_expr 1)
+      | 1 -> binop (Rng.pick rng [ Ast.Eq; Ast.Ne ]) (int_expr 1) (int_expr 1)
+      | 2 -> (
+          match all_objs () with
+          | [] -> bool_ (Rng.bool rng)
+          | objs ->
+              let x, _ = Rng.pick rng objs in
+              binop (Rng.pick rng [ Ast.Eq; Ast.Ne ]) (evar x) null_)
+      | _ -> (
+          match all_objs () with
+          | [] -> bool_ (Rng.bool rng)
+          | objs ->
+              let x, _ = Rng.pick rng objs in
+              instanceof (evar x) (cls_name (Rng.int rng n)))
+    in
+    (* a call to a strictly-later method name on some object in scope *)
+    let call_expr () =
+      let candidates =
+        List.concat_map
+          (fun (x, cn) ->
+            List.filter_map
+              (fun (k, sg) -> if k > self_idx then Some (x, cn, k, sg) else None)
+              classes.(cls_index cn).g_visible)
+          (all_objs ())
+      in
+      match candidates with
+      | [] -> None
+      | _ ->
+          let x, _, k, sg = Rng.pick rng candidates in
+          let args =
+            List.map
+              (fun t ->
+                match t with
+                | Ast.Tint -> int_expr 1
+                | Ast.Tbool -> bool_ (Rng.bool rng)
+                | Ast.Tclass cn -> obj_expr cn
+                | Ast.Tvoid | Ast.Tarr _ -> assert false)
+              sg.s_params
+          in
+          Some (vcall (evar x) (mname k) args, sg.s_ret)
+    in
+    let rec stmts budget depth =
+      if budget <= 0 then []
+      else
+        let choice =
+          Rng.weighted rng
+            [
+              (3, `IntDecl); (3, `ObjDecl); (2, `Call); (2, `If); (1, `While);
+              (2, `FieldSet); (2, `FieldGet); (2, `Assign); (2, `IntArr);
+              (1, `Cast); (1, `Throw); (1, `Static);
+            ]
+        in
+        let stmt =
+          match choice with
+          | `IntDecl ->
+              let x = fresh () in
+              let s = decl Ast.Tint x (Some (int_expr 2)) in
+              locals := (x, Ast.Tint) :: !locals;
+              [ s ]
+          | `ObjDecl ->
+              let cn = cls_name (Rng.int rng n) in
+              let x = fresh () in
+              let s = decl (Ast.Tclass cn) x (Some (obj_expr cn)) in
+              locals := (x, Ast.Tclass cn) :: !locals;
+              [ s ]
+          | `Assign -> (
+              match ints () with
+              | [] -> []
+              | is -> [ assign (Rng.pick rng is) (int_expr 2) ])
+          | `Call -> (
+              match call_expr () with Some (e, _) -> [ expr e ] | None -> [])
+          | `If ->
+              if depth <= 0 then []
+              else begin
+                (* evaluate in source order and restore the local scope
+                   around each branch: branch declarations must not leak *)
+                let cond = bool_expr () in
+                let saved = !locals in
+                let thn = stmts (budget / 2) (depth - 1) in
+                locals := saved;
+                let els =
+                  if Rng.bool rng then stmts (budget / 2) (depth - 1) else []
+                in
+                locals := saved;
+                [ if_ cond thn els ]
+              end
+          | `While ->
+              if depth <= 0 then []
+              else begin
+                let i = fresh () in
+                let di = decl Ast.Tint i (Some (int 0)) in
+                locals := (i, Ast.Tint) :: !locals;
+                let saved = !locals in
+                let body = stmts (budget / 2) (depth - 1) in
+                locals := saved;
+                [
+                  di;
+                  while_
+                    (var i <: int (Rng.range rng 1 4))
+                    (body @ [ assign i (var i +: int 1) ]);
+                ]
+              end
+          | `FieldSet -> (
+              match
+                List.concat_map
+                  (fun (x, cn) ->
+                    List.map (fun f -> (x, f)) (visible_fields (cls_index cn)))
+                  (all_objs ())
+              with
+              | [] -> []
+              | cands -> (
+                  let x, (fname, fty) = Rng.pick rng cands in
+                  match fty with
+                  | Ast.Tint -> [ fset (evar x) fname (int_expr 1) ]
+                  | Ast.Tclass cn -> [ fset (evar x) fname (obj_expr cn) ]
+                  | _ -> []))
+          | `IntArr ->
+              (* an int array with a write and a read; random indices may
+                 go out of bounds at runtime, which simply halts the
+                 interpreter *)
+              let a = fresh () in
+              let da =
+                decl (Ast.Tarr Ast.Tint) a
+                  (Some (e (Ast.NewArr (Ast.Tint, int (Rng.range rng 1 5)))))
+              in
+              let i1 = int (Rng.int rng 5) and i2 = int (Rng.int rng 5) in
+              (* build the stored value before extending the scope with [t]:
+                 the store statement precedes t's declaration *)
+              let stored = int_expr 1 in
+              let t = fresh () in
+              locals := (t, Ast.Tint) :: !locals;
+              [
+                da;
+                s (Ast.AssignIndex (var a, i1, stored));
+                decl Ast.Tint t
+                  (Some (e (Ast.Index (var a, i2)) -: fget (var a) "length"));
+              ]
+          | `Cast -> (
+              match all_objs () with
+              | [] -> []
+              | objs ->
+                  let x, _cn = Rng.pick rng objs in
+                  let target = cls_name (Rng.int rng n) in
+                  let t = fresh () in
+                  locals := (t, Ast.Tclass target) :: !locals;
+                  [ decl (Ast.Tclass target) t (Some (e (Ast.Cast (Ast.Tclass target, evar x)))) ])
+          | `Throw -> (
+              (* conditional throw: keeps most runs alive while exercising
+                 abrupt termination *)
+              match all_objs () with
+              | [] -> []
+              | objs ->
+                  let x, _ = Rng.pick rng objs in
+                  [
+                    if_
+                      (binop Ast.Eq (int_expr 1) (int 77))
+                      [ s (Ast.Throw (evar x)) ]
+                      [];
+                  ])
+          | `Static -> (
+              match !static_fields with
+              | [] -> []
+              | sfs ->
+                  let cn, fn = Rng.pick rng sfs in
+                  let stored = int_expr 1 in
+                  let t = fresh () in
+                  locals := (t, Ast.Tint) :: !locals;
+                  [
+                    s (Ast.AssignField (var cn, fn, stored));
+                    decl Ast.Tint t (Some (fget (var cn) fn));
+                  ])
+          | `FieldGet -> (
+              match
+                List.concat_map
+                  (fun (x, cn) ->
+                    List.filter_map
+                      (fun (fname, fty) ->
+                        if fty = Ast.Tint then Some (x, fname) else None)
+                      (visible_fields (cls_index cn)))
+                  (all_objs ())
+              with
+              | [] -> []
+              | cands ->
+                  let x, fname = Rng.pick rng cands in
+                  let t = fresh () in
+                  let s = decl Ast.Tint t (Some (fget (evar x) fname)) in
+                  locals := (t, Ast.Tint) :: !locals;
+                  [ s ])
+        in
+        stmt @ stmts (budget - 1) depth
+    in
+    let body = stmts (max 1 c.max_stmts) 2 in
+    let final =
+      match sg.s_ret with
+      | Ast.Tvoid -> [ ret_void ]
+      | Ast.Tint -> [ ret (int_expr 1) ]
+      | Ast.Tbool -> [ ret (bool_expr ()) ]
+      | Ast.Tclass cn -> [ ret (obj_expr cn) ]
+      | Ast.Tarr _ -> assert false (* this generator does not emit arrays *)
+    in
+    (List.map (fun (t, x) -> (t, x)) params, body @ final)
+  in
+  (* ---- emit classes ---- *)
+  let emitted =
+    Array.to_list
+      (Array.mapi
+         (fun i g ->
+           let meths =
+             List.rev_map
+               (fun (k, sg) ->
+                 let params, body = gen_body ~self_cls:(Some i) ~self_idx:k sg in
+                 meth ~ret:sg.s_ret (mname k) params body)
+               (g.g_meths @ g.g_overrides)
+           in
+           let statics =
+             List.filter_map
+               (fun (cn, fn) ->
+                 if String.equal cn g.g_name then Some (field ~static:true Ast.Tint fn)
+                 else None)
+               !static_fields
+           in
+           cls ?super:(Option.map cls_name g.g_super) ~abstract:g.g_abstract g.g_name
+             (statics @ List.map (fun (x, t) -> field t x) (List.rev g.g_fields))
+             meths)
+         classes)
+  in
+  (* ---- main: instantiate a few concrete classes and kick off calls ---- *)
+  let main_body =
+    let stmts = ref [] in
+    let locals = ref [] in
+    let concrete =
+      List.filter (fun i -> not classes.(i).g_abstract) (List.init n Fun.id)
+    in
+    let nobj = Rng.range rng 1 (min 4 (max 1 (List.length concrete))) in
+    (if concrete <> [] then
+       for j = 0 to nobj - 1 do
+         let i = Rng.pick rng concrete in
+         let x = Printf.sprintf "o%d" j in
+         stmts := decl (Ast.Tclass (cls_name i)) x (Some (new_ (cls_name i))) :: !stmts;
+         locals := (x, i) :: !locals
+       done);
+    let calls = ref [] in
+    let ncalls = Rng.range rng 2 8 in
+    for _ = 1 to ncalls do
+      match !locals with
+      | [] -> ()
+      | ls -> (
+          let x, i = Rng.pick rng ls in
+          match classes.(i).g_visible with
+          | [] -> ()
+          | vis ->
+              let k, sg = Rng.pick rng vis in
+              let args =
+                List.map
+                  (fun t ->
+                    match t with
+                    | Ast.Tint -> int (Rng.range rng (-5) 20)
+                    | Ast.Tbool -> bool_ (Rng.bool rng)
+                    | Ast.Tclass cn -> (
+                        (* prefer a local of that exact class, else null *)
+                        match
+                          List.find_opt (fun (_, j) -> cls_name j = cn) !locals
+                        with
+                        | Some (y, _) -> var y
+                        | None -> null_)
+                    | Ast.Tvoid | Ast.Tarr _ -> assert false)
+                  sg.s_params
+              in
+              calls := expr (vcall (var x) (mname k) args) :: !calls)
+    done;
+    List.rev !stmts @ List.rev !calls @ [ ret_void ]
+  in
+  let main = cls "Main" [] [ meth ~static:true ~ret:Ast.Tvoid "main" [] main_body ] in
+  main :: emitted
+
+(** Generate, compile, and return the program with its main. *)
+let compile (c : cfg) : Skipflow_ir.Program.t * Skipflow_ir.Program.meth =
+  let prog = Frontend.compile_ast (generate c) in
+  (prog, Option.get (Frontend.main_of prog))

@@ -1,0 +1,17 @@
+(** Generator of small random — but always well-typed — MiniJava programs
+    for the property-test suite (soundness against the interpreter,
+    precision ordering, pipeline robustness).  Recursion is ruled out by a
+    global order on method names; loops are bounded; arrays, casts, static
+    fields and conditional throws are exercised.  Deterministic in
+    [cfg]. *)
+
+type cfg = {
+  seed : int;
+  classes : int;  (** number of user classes, >= 1 *)
+  meths_per_class : int;  (** fresh method names per class, >= 1 *)
+  max_stmts : int;  (** statement budget per body *)
+}
+
+val default_cfg : cfg
+val generate : cfg -> Skipflow_frontend.Ast.program
+val compile : cfg -> Skipflow_ir.Program.t * Skipflow_ir.Program.meth

@@ -1,0 +1,54 @@
+(** Deterministic splittable PRNG (SplitMix64).
+
+    The workload generators must be reproducible: the same seed always
+    yields byte-identical programs, independently of OCaml's [Random]
+    state, so that benchmark numbers and property-test failures can be
+    replayed.  SplitMix64 (Steele, Lea, Flood 2014) is small, fast, and
+    passes BigCrush for this use. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** [split t] derives an independent generator; streams from the parent
+    and the child do not interfere, so adding generation steps in one
+    component does not perturb another. *)
+let split t = { state = next_int64 t }
+
+(** [int t n] is uniform in [\[0, n)].  [n] must be positive. *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int n))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [chance t p] is true with probability [p]. *)
+let chance t p = int t 1_000_000 < int_of_float (p *. 1_000_000.)
+
+(** [range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+let range t lo hi = lo + int t (hi - lo + 1)
+
+(** [pick t xs] selects a uniform element of the non-empty list [xs]. *)
+let pick t xs =
+  match xs with [] -> invalid_arg "Rng.pick: empty" | _ -> List.nth xs (int t (List.length xs))
+
+(** [weighted t choices] picks among [(weight, value)] pairs with
+    probability proportional to weight. *)
+let weighted t choices =
+  let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
+  if total <= 0 then invalid_arg "Rng.weighted";
+  let n = int t total in
+  let rec go n = function
+    | [] -> invalid_arg "Rng.weighted"
+    | (w, v) :: rest -> if n < w then v else go (n - w) rest
+  in
+  go n choices

@@ -1,0 +1,25 @@
+(** The benchmark catalog: one synthetic workload per benchmark of the
+    paper's Table 1 (8 DaCapo + 9 microservices + 18 Renaissance), with the
+    paper's own measured numbers recorded for paper-vs-measured reports.
+    See the module body for why calibrating the dead-code fraction to the
+    published reduction is not circular. *)
+
+type bench = {
+  suite : string;
+  name : string;
+  paper_pta_kmethods : float;  (** PTA reachable methods, thousands *)
+  paper_reduction_pct : float;  (** SkipFlow reachable-method reduction, % *)
+  paper_pta_time_s : float;  (** PTA analysis time, seconds *)
+  paper_time_delta_pct : float;  (** SkipFlow analysis-time delta, % *)
+}
+
+val dacapo : bench list
+val microservices : bench list
+val renaissance : bench list
+val all : bench list
+val suites : (string * bench list) list
+val find : string -> bench option
+
+val params_of : ?scale:float -> bench -> Gen.params
+(** Generator parameters reproducing this benchmark's shape at the given
+    scale (default 0.05 = 1/20 of the paper's method counts). *)

@@ -1,0 +1,1 @@
+test/t_baselines.ml: Alcotest Ids List Option Program Skipflow_baselines Skipflow_core Skipflow_frontend Skipflow_ir

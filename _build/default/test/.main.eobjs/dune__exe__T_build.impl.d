@@ -1,0 +1,1 @@
+test/t_build.ml: Alcotest Array Hashtbl List Option Program Skipflow_core Skipflow_frontend Skipflow_ir

@@ -1,0 +1,1 @@
+test/t_engine.ml: Alcotest List Option Program Skipflow_core Skipflow_frontend Skipflow_ir String

@@ -1,0 +1,1 @@
+test/t_features.ml: Alcotest List Option Program Skipflow_core Skipflow_frontend Skipflow_interp Skipflow_ir String

@@ -1,0 +1,1 @@
+test/t_interp.ml: Alcotest Format Ids List Option Program Skipflow_frontend Skipflow_interp Skipflow_ir String

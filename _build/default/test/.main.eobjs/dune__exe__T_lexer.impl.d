@@ -1,0 +1,1 @@
+test/t_lexer.ml: Alcotest Format List Skipflow_frontend

@@ -1,0 +1,1 @@
+test/t_lower.ml: Alcotest Array Bl Ids List Option Printf Program Skipflow_frontend Skipflow_ir Skipflow_workloads Validate

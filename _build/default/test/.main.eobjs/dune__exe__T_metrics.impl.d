@@ -1,0 +1,1 @@
+test/t_metrics.ml: Alcotest Option Skipflow_core Skipflow_frontend

@@ -1,0 +1,1 @@
+test/t_misc.ml: Alcotest Bl Filename Format Ids Ir_pp List Option Program Skipflow_core Skipflow_frontend Skipflow_ir String Sys

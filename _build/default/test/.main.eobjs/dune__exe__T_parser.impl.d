@@ -1,0 +1,1 @@
+test/t_parser.ml: Alcotest List Option Printf Skipflow_frontend Skipflow_workloads

@@ -1,0 +1,1 @@
+test/t_pipeline.ml: Alcotest List Option Printf Program Skipflow_core Skipflow_frontend Skipflow_ir String

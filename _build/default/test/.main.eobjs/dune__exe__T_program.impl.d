@@ -1,0 +1,1 @@
+test/t_program.ml: Alcotest Ids List Option Program Skipflow_ir Ty

@@ -1,0 +1,1 @@
+test/t_properties.ml: Array Format Ids List Program QCheck QCheck_alcotest Skipflow_baselines Skipflow_core Skipflow_interp Skipflow_ir Skipflow_workloads

@@ -1,0 +1,1 @@
+test/t_pval.ml: Alcotest Format QCheck QCheck_alcotest Skipflow_core

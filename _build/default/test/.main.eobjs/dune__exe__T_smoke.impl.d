@@ -1,0 +1,1 @@
+test/t_smoke.ml: Alcotest Bl List Program Skipflow_core Skipflow_ir Ssa_builder Ty Validate

@@ -1,0 +1,1 @@
+test/t_ssa_builder.ml: Alcotest Array Bl Ids List Skipflow_ir Ssa_builder Ty Validate

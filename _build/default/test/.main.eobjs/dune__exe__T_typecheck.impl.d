@@ -1,0 +1,1 @@
+test/t_typecheck.ml: Alcotest Printf Skipflow_frontend String

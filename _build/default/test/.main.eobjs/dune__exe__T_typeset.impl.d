@@ -1,0 +1,1 @@
+test/t_typeset.ml: Alcotest Format List QCheck QCheck_alcotest Skipflow_core

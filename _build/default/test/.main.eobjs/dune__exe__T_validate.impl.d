@@ -1,0 +1,1 @@
+test/t_validate.ml: Alcotest Array Bl Dominance Ids List Skipflow_ir Ssa_builder String Ty Validate

@@ -1,0 +1,1 @@
+test/t_verify.ml: Alcotest Format List Option QCheck QCheck_alcotest Skipflow_core Skipflow_frontend Skipflow_workloads String

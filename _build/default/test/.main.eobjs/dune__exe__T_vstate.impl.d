@@ -1,0 +1,1 @@
+test/t_vstate.ml: Alcotest Format List QCheck QCheck_alcotest Skipflow_core

@@ -1,0 +1,1 @@
+test/t_workloads.ml: Alcotest Float Ids List Option Printf Program Skipflow_core Skipflow_frontend Skipflow_interp Skipflow_ir Skipflow_workloads String

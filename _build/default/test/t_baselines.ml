@@ -1,0 +1,150 @@
+(* CHA / RTA baseline tests: hand-computed call graphs and the precision
+   relationships the paper discusses in Section 6. *)
+
+open Skipflow_ir
+module F = Skipflow_frontend
+module B = Skipflow_baselines
+
+let setup src =
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  (prog, main)
+
+let names prog set =
+  Ids.Meth.Set.elements set |> List.map (Program.qualified_name prog)
+
+let src_dispatch =
+  {|
+class A { void m() { } }
+class B extends A { void m() { } }
+class C extends A { void m() { } }
+class Main {
+  static void main() {
+    A a = new B();
+    a.m();
+  }
+}
+|}
+
+let test_cha_all_subtypes () =
+  let prog, main = setup src_dispatch in
+  let r = B.Cha.run prog ~roots:[ main ] in
+  (* CHA dispatches to every concrete subtype implementation *)
+  Alcotest.(check (slist string compare)) "cha reachable"
+    [ "A.m"; "B.m"; "C.m"; "Main.main" ]
+    (names prog r.B.Cha.reachable)
+
+let test_rta_instantiated_only () =
+  let prog, main = setup src_dispatch in
+  let r = B.Rta.run prog ~roots:[ main ] in
+  (* RTA only dispatches to implementations of instantiated classes *)
+  Alcotest.(check (slist string compare)) "rta reachable" [ "B.m"; "Main.main" ]
+    (names prog r.B.Rta.reachable);
+  Alcotest.(check int) "one instantiated class" 1
+    (Ids.Class.Set.cardinal r.B.Rta.instantiated)
+
+let test_rta_late_instantiation () =
+  (* a class instantiated in a method reached later must retroactively
+     widen earlier call sites *)
+  let prog, main = setup
+    {|
+class A { void m() { } }
+class B extends A { void m() { Main.makeC(); } }
+class C extends A { void m() { } }
+class Main {
+  static void makeC() { A c = new C(); }
+  static void main() {
+    A a = new B();
+    a.m();
+    a.m();
+  }
+}
+|}
+  in
+  let r = B.Rta.run prog ~roots:[ main ] in
+  Alcotest.(check bool) "C.m reachable after late instantiation" true
+    (List.mem "C.m" (names prog r.B.Rta.reachable))
+
+let test_static_calls () =
+  let prog, main = setup
+    {|
+class Util { static void helper() { Util.helper2(); } static void helper2() { } }
+class Main { static void main() { Util.helper(); } }
+|}
+  in
+  let cha = B.Cha.run prog ~roots:[ main ] in
+  let rta = B.Rta.run prog ~roots:[ main ] in
+  Alcotest.(check int) "cha: 3 methods" 3 (Ids.Meth.Set.cardinal cha.B.Cha.reachable);
+  Alcotest.(check int) "rta: 3 methods" 3 (Ids.Meth.Set.cardinal rta.B.Rta.reachable)
+
+let test_unreached_code_excluded () =
+  let prog, main = setup
+    {|
+class Dead { void never() { } }
+class Main { static void main() { } }
+|}
+  in
+  let cha = B.Cha.run prog ~roots:[ main ] in
+  Alcotest.(check (slist string compare)) "only main" [ "Main.main" ]
+    (names prog cha.B.Cha.reachable)
+
+let test_abstract_not_dispatched () =
+  let prog, main = setup
+    {|
+abstract class A { void m() { } }
+class B extends A { void m() { } }
+class Main { static void main() { A a = new B(); a.m(); } }
+|}
+  in
+  let cha = B.Cha.run prog ~roots:[ main ] in
+  (* A is abstract: CHA must not consider a receiver of dynamic type A,
+     so A.m is not a dispatch target *)
+  Alcotest.(check bool) "A.m not reachable" false
+    (List.mem "A.m" (names prog cha.B.Cha.reachable))
+
+(* the full precision spectrum on a program where every level differs *)
+let test_spectrum_strict () =
+  let prog, main = setup
+    {|
+class H { void handle() { } }
+class H1 extends H { void handle() { } }
+class H2 extends H { void handle() { } }
+class H3 extends H { void handle() { } }
+class Flags { static boolean extra() { return false; } }
+class Main {
+  static void main() {
+    H h = new H1();
+    if (Flags.extra()) { h = new H2(); }
+    h.handle();
+  }
+}
+|}
+  in
+  let module C = Skipflow_core in
+  let cha = Ids.Meth.Set.cardinal (B.Cha.run prog ~roots:[ main ]).B.Cha.reachable in
+  let rta = Ids.Meth.Set.cardinal (B.Rta.run prog ~roots:[ main ]).B.Rta.reachable in
+  let pta =
+    (C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ]).C.Analysis.metrics
+      .C.Metrics.reachable_methods
+  in
+  let sf =
+    (C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ]).C.Analysis.metrics
+      .C.Metrics.reachable_methods
+  in
+  (* CHA sees H,H1,H2,H3 handle; RTA sees H1,H2; PTA sees H1,H2;
+     SkipFlow proves the flag false: H1 only *)
+  Alcotest.(check bool) "CHA > RTA" true (cha > rta);
+  Alcotest.(check bool) "RTA >= PTA" true (rta >= pta);
+  Alcotest.(check bool) "PTA > SkipFlow" true (pta > sf)
+
+let suite =
+  ( "baselines",
+    [
+      Alcotest.test_case "CHA dispatches to all subtypes" `Quick test_cha_all_subtypes;
+      Alcotest.test_case "RTA needs instantiation" `Quick test_rta_instantiated_only;
+      Alcotest.test_case "RTA late instantiation" `Quick test_rta_late_instantiation;
+      Alcotest.test_case "static calls" `Quick test_static_calls;
+      Alcotest.test_case "unreached code excluded" `Quick test_unreached_code_excluded;
+      Alcotest.test_case "abstract receivers not dispatched" `Quick test_abstract_not_dispatched;
+      Alcotest.test_case "precision spectrum strict" `Quick test_spectrum_strict;
+    ] )

@@ -1,0 +1,381 @@
+(* End-to-end tests for the extended language features: arrays (covariant
+   array types with per-type element flows), static fields, checkcasts
+   (filter flows in value position), and throw (abrupt termination /
+   the Section 5 "method never returns" pattern). *)
+
+open Skipflow_ir
+module C = Skipflow_core
+module F = Skipflow_frontend
+module I = Skipflow_interp.Interp
+
+let analyze ?(config = C.Config.skipflow) src =
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  (prog, C.Analysis.run ~config prog ~roots:[ main ], main)
+
+let reachable (prog, r, _) q =
+  List.exists
+    (fun (m : Program.meth) -> String.equal (Program.qualified_name prog m.Program.m_id) q)
+    (C.Engine.reachable_methods r.C.Analysis.engine)
+
+let interp src =
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  I.run ~fuel:100_000 prog main
+
+(* ------------------------------- arrays -------------------------------- *)
+
+let test_array_interp () =
+  let trace, halt =
+    interp
+      {|
+class Main {
+  static void main() {
+    int[] a = new int[5];
+    int i = 0;
+    while (i < a.length) { a[i] = i * i; i = i + 1; }
+    int sum = 0;
+    i = 0;
+    while (i < a.length) { sum = sum + a[i]; i = i + 1; }
+    int witness = sum * 1000;
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "finished" true (halt = I.Finished);
+  (* 0+1+4+9+16 = 30 -> witness 30000 *)
+  Alcotest.(check bool) "sum correct" true
+    (List.exists (fun (_, _, v) -> v = I.VInt 30000) trace.I.defs)
+
+let test_array_oob () =
+  let _, halt =
+    interp {| class Main { static void main() { int[] a = new int[2]; int x = a[5]; } } |}
+  in
+  Alcotest.(check bool) "oob halts" true (halt = I.Index_oob)
+
+let test_array_element_flow () =
+  (* objects stored into arrays flow out of reads; dispatch follows *)
+  let src =
+    {|
+class H { void go() { } }
+class H1 extends H { void go() { } }
+class H2 extends H { void go() { } }
+class Main {
+  static void main() {
+    H[] hs = new H[2];
+    hs[0] = new H1();
+    H h = hs[1];
+    if (h != null) { h.go(); }
+  }
+}
+|}
+  in
+  let res = analyze src in
+  (* H1 was stored: its go() is reachable; H2 was never stored *)
+  Alcotest.(check bool) "H1.go reachable" true (reachable res "H1.go");
+  Alcotest.(check bool) "H2.go dead" false (reachable res "H2.go");
+  Alcotest.(check bool) "H.go dead (never instantiated)" false (reachable res "H.go")
+
+let test_array_covariance () =
+  (* a H1[] stored into a H[] variable: element reads through the H[]
+     reference still see what was stored through the H1[] view *)
+  let src =
+    {|
+class H { void go() { } }
+class H1 extends H { void go() { } }
+class Main {
+  static void main() {
+    H1[] a1 = new H1[3];
+    a1[0] = new H1();
+    H[] a = a1;
+    H h = a[0];
+    if (h != null) { h.go(); }
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "H1.go reachable through covariant read" true
+    (reachable res "H1.go");
+  (* and the interpreter agrees *)
+  let trace, halt = interp src in
+  ignore trace;
+  Alcotest.(check bool) "runs fine" true (halt = I.Finished)
+
+let test_array_of_arrays () =
+  let trace, halt =
+    interp
+      {|
+class Main {
+  static void main() {
+    int[][] grid = new int[3][];
+    int i = 0;
+    while (i < grid.length) { grid[i] = new int[4]; i = i + 1; }
+    grid[1][2] = 42;
+    int v = grid[1][2] * 100;
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "finished" true (halt = I.Finished);
+  Alcotest.(check bool) "4200 observed" true
+    (List.exists (fun (_, _, v) -> v = I.VInt 4200) trace.I.defs)
+
+let test_array_types_checked () =
+  let rejects src =
+    match F.Frontend.compile src with
+    | exception F.Frontend.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "int into H[]" true
+    (rejects "class H { } class Main { static void main() { H[] a = new H[1]; a[0] = 5; } }");
+  Alcotest.(check bool) "index non-array" true
+    (rejects "class Main { static void main() { int x = 1; int y = x[0]; } }");
+  Alcotest.(check bool) "non-int index" true
+    (rejects
+       "class Main { static void main() { int[] a = new int[1]; int y = a[null]; } }");
+  Alcotest.(check bool) "non-int length" true
+    (rejects "class Main { static void main() { int[] a = new int[null]; } }")
+
+(* ---------------------------- static fields ---------------------------- *)
+
+let test_static_fields_interp () =
+  let trace, halt =
+    interp
+      {|
+class Counter {
+  static var int total;
+  static void bump(int by) { Counter.total = Counter.total + by; }
+}
+class Main {
+  static void main() {
+    Counter.bump(3);
+    Counter.bump(4);
+    int witness = Counter.total * 1000;
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "finished" true (halt = I.Finished);
+  Alcotest.(check bool) "7000 observed" true
+    (List.exists (fun (_, _, v) -> v = I.VInt 7000) trace.I.defs)
+
+let test_static_field_object_flow () =
+  let src =
+    {|
+class Registry {
+  static var Handler current;
+}
+class Handler { void handle() { } }
+class SpecialHandler extends Handler { void handle() { } }
+class Main {
+  static void main() {
+    Registry.current = new SpecialHandler();
+    Handler h = Registry.current;
+    if (h != null) { h.handle(); }
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "SpecialHandler.handle reachable" true
+    (reachable res "SpecialHandler.handle");
+  Alcotest.(check bool) "Handler.handle dead" false (reachable res "Handler.handle")
+
+let test_static_field_never_written () =
+  (* an unwritten static object field holds only null: calls through it
+     are dead *)
+  let src =
+    {|
+class G { static var H hook; }
+class H { void fire() { } }
+class Main {
+  static void main() {
+    H h = G.hook;
+    if (h != null) { h.fire(); }
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "fire dead on null-only static" false (reachable res "H.fire")
+
+(* -------------------------------- casts -------------------------------- *)
+
+let test_cast_interp () =
+  let _, halt =
+    interp
+      {|
+class A { }
+class B extends A { var int x; }
+class Main {
+  static void main() {
+    A a = new B();
+    B b = (B) a;
+    b.x = 7;
+    A an = null;
+    B bn = (B) an;
+  }
+}
+|}
+  in
+  (* both casts succeed (downcast of a B, cast of null) -> then NPE-free
+     end *)
+  Alcotest.(check bool) "finished" true (halt = I.Finished)
+
+let test_cast_failure_halts () =
+  let _, halt =
+    interp
+      {|
+class A { }
+class B extends A { }
+class Main { static void main() { A a = new A(); B b = (B) a; } }
+|}
+  in
+  Alcotest.(check bool) "bad cast halts" true (halt = I.Class_cast)
+
+let test_cast_filters_types () =
+  (* the cast narrows the value state in value position: dispatch through
+     the cast only links subtypes of the cast type *)
+  let src =
+    {|
+class A { void m() { } }
+class B extends A { void m() { } }
+class Cc extends A { void m() { } }
+class Holder { var A v; }
+class Main {
+  static void main() {
+    Holder h = new Holder();
+    h.v = new B();
+    h.v = new Cc();
+    B b = (B) h.v;
+    b.m();
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "B.m reachable" true (reachable res "B.m");
+  (* {B, Cc, null} filtered by (B) keeps {B, null}: Cc.m is dead *)
+  Alcotest.(check bool) "Cc.m dead after cast filter" false (reachable res "Cc.m")
+
+(* -------------------------------- throw -------------------------------- *)
+
+let test_throw_interp () =
+  let _, halt =
+    interp
+      {|
+class Oops { }
+class Main { static void main() { throw new Oops(); } }
+|}
+  in
+  Alcotest.(check bool) "uncaught" true (halt = I.Uncaught)
+
+let test_always_throws_is_predicate () =
+  (* a method that always throws never returns: code after the call is
+     dead under SkipFlow (the Assert.fail() pattern of Section 5) *)
+  let src =
+    {|
+class Err { }
+class Assert {
+  static void fail() { throw new Err(); }
+}
+class After { void work() { } }
+class Main {
+  static void main() {
+    Assert.fail();
+    After a = new After();
+    a.work();
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "fail reachable" true (reachable res "Assert.fail");
+  Alcotest.(check bool) "work dead after always-throw" false (reachable res "After.work");
+  let res_pta = analyze ~config:C.Config.pta src in
+  Alcotest.(check bool) "work reachable under PTA" true (reachable res_pta "After.work")
+
+let test_conditional_throw_sound () =
+  (* a method that only sometimes throws still returns: code after the
+     call stays live *)
+  let src =
+    {|
+class Err { }
+class Checker {
+  static void check(int x) { if (x < 0) { throw new Err(); } }
+}
+class After { void work() { } }
+class Main {
+  static void main() {
+    int x = 5 * 3;
+    Checker.check(x);
+    After a = new After();
+    a.work();
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "work live after conditional throw" true (reachable res "After.work")
+
+(* ---------------------- parsing details of the features ----------------- *)
+
+let test_cast_vs_parens () =
+  (* '(x) - 1' must be a parenthesized expression, not a cast *)
+  let trace, halt =
+    interp
+      {|
+class Main { static void main() { int x = 10; int y = (x) - 1; int w = y * 1000; } }
+|}
+  in
+  Alcotest.(check bool) "finished" true (halt = I.Finished);
+  Alcotest.(check bool) "9000 observed" true
+    (List.exists (fun (_, _, v) -> v = I.VInt 9000) trace.I.defs)
+
+let test_feature_roundtrip () =
+  let src =
+    {|
+class H { static var int n; var H[] kids; }
+class H2 extends H { }
+class Main {
+  static void main() {
+    H[] a = new H[3];
+    H[][] aa = new H[2][];
+    a[0] = new H2();
+    H.n = a.length + aa.length;
+    H h = (H2) a[0];
+    if (h instanceof H2) { throw new H(); }
+  }
+}
+|}
+  in
+  let p1 = F.Parser.parse_program src in
+  let printed = F.Ast_pp.to_string p1 in
+  let p2 = F.Parser.parse_program printed in
+  Alcotest.(check string) "roundtrip fixpoint" printed (F.Ast_pp.to_string p2);
+  (* and it compiles and analyzes *)
+  let _, r, _ = analyze src in
+  Alcotest.(check bool) "analyzes" true (r.C.Analysis.metrics.C.Metrics.reachable_methods >= 1)
+
+let suite =
+  ( "features",
+    [
+      Alcotest.test_case "array interp" `Quick test_array_interp;
+      Alcotest.test_case "array out of bounds" `Quick test_array_oob;
+      Alcotest.test_case "array element flows" `Quick test_array_element_flow;
+      Alcotest.test_case "array covariance" `Quick test_array_covariance;
+      Alcotest.test_case "arrays of arrays" `Quick test_array_of_arrays;
+      Alcotest.test_case "array type errors" `Quick test_array_types_checked;
+      Alcotest.test_case "static fields interp" `Quick test_static_fields_interp;
+      Alcotest.test_case "static field object flow" `Quick test_static_field_object_flow;
+      Alcotest.test_case "unwritten static is null" `Quick test_static_field_never_written;
+      Alcotest.test_case "cast interp" `Quick test_cast_interp;
+      Alcotest.test_case "cast failure halts" `Quick test_cast_failure_halts;
+      Alcotest.test_case "cast filters value states" `Quick test_cast_filters_types;
+      Alcotest.test_case "throw interp" `Quick test_throw_interp;
+      Alcotest.test_case "always-throws is a predicate" `Quick test_always_throws_is_predicate;
+      Alcotest.test_case "conditional throw sound" `Quick test_conditional_throw_sound;
+      Alcotest.test_case "cast vs parens" `Quick test_cast_vs_parens;
+      Alcotest.test_case "feature roundtrip" `Quick test_feature_roundtrip;
+    ] )

@@ -1,0 +1,210 @@
+(* Concrete interpreter unit tests: arithmetic, control flow, dispatch,
+   fields, halting conditions, and trace contents. *)
+
+open Skipflow_ir
+module F = Skipflow_frontend
+module I = Skipflow_interp.Interp
+
+let run ?fuel src =
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  let trace, halt = I.run ?fuel prog main in
+  (prog, trace, halt)
+
+let halted = Alcotest.testable (fun ppf h ->
+    Format.pp_print_string ppf
+      (match h with
+      | I.Finished -> "finished"
+      | I.Null_deref -> "null"
+      | I.Div_by_zero -> "div0"
+      | I.Out_of_fuel -> "fuel"
+      | I.Index_oob -> "oob"
+      | I.Class_cast -> "cast"
+      | I.Uncaught -> "throw")) ( = )
+
+let called prog trace q =
+  Ids.Meth.Set.exists
+    (fun m -> String.equal (Program.qualified_name prog m) q)
+    trace.I.called
+
+(* observe computed int values through a defs-trace of a method variable *)
+let observed_ints prog trace qmeth =
+  List.filter_map
+    (fun (m, _, v) ->
+      if String.equal (Program.qualified_name prog m) qmeth then
+        match v with I.VInt n -> Some n | _ -> None
+      else None)
+    trace.I.defs
+
+let test_arith_and_loops () =
+  let _, trace, halt =
+    run
+      {|
+class Main {
+  static int fact(int n) {
+    int acc = 1;
+    int i = 1;
+    while (i <= n) { acc = acc * i; i = i + 1; }
+    return acc;
+  }
+  static void main() { int r = Main.fact(5); }
+}
+|}
+  in
+  Alcotest.check halted "finished" I.Finished halt;
+  (* 120 = 5! must appear among the observed values of fact *)
+  Alcotest.(check bool) "computed 120" true
+    (List.exists (fun (_, _, v) -> v = I.VInt 120) trace.I.defs)
+
+let test_virtual_dispatch () =
+  let prog, trace, halt =
+    run
+      {|
+class A { int m() { return 1; } }
+class B extends A { int m() { return 2; } }
+class Main {
+  static void main() {
+    A a = new B();
+    int r = a.m();
+  }
+}
+|}
+  in
+  Alcotest.check halted "finished" I.Finished halt;
+  Alcotest.(check bool) "B.m called" true (called prog trace "B.m");
+  Alcotest.(check bool) "A.m not called" false (called prog trace "A.m")
+
+let test_fields_and_defaults () =
+  let _, trace, halt =
+    run
+      {|
+class Box { var int n; var Box link; }
+class Main {
+  static void main() {
+    Box b = new Box();
+    int before = b.n;
+    b.n = 7;
+    int after = b.n;
+    Box l = b.link;
+    if (l == null) { int isnull = 1; }
+  }
+}
+|}
+  in
+  Alcotest.check halted "finished" I.Finished halt;
+  Alcotest.(check bool) "default int 0 observed" true
+    (List.exists (fun (_, _, v) -> v = I.VInt 0) trace.I.defs);
+  Alcotest.(check bool) "written 7 observed" true
+    (List.exists (fun (_, _, v) -> v = I.VInt 7) trace.I.defs)
+
+let test_instanceof_and_boolean () =
+  let prog, trace, halt =
+    run
+      {|
+class A { }
+class B extends A { }
+class Main {
+  static int classify(A x) {
+    if (x instanceof B) { return 2; }
+    if (x == null) { return 0; }
+    return 1;
+  }
+  static void main() {
+    int a = Main.classify(new B());
+    int b = Main.classify(new A());
+    int c = Main.classify(null);
+  }
+}
+|}
+  in
+  Alcotest.check halted "finished" I.Finished halt;
+  let vals = observed_ints prog trace "Main.main" in
+  Alcotest.(check bool) "classified 2" true (List.mem 2 vals);
+  Alcotest.(check bool) "classified 1" true (List.mem 1 vals);
+  Alcotest.(check bool) "classified 0" true (List.mem 0 vals)
+
+let test_short_circuit_semantics () =
+  (* '&&' must not evaluate its right operand when the left is false —
+     otherwise this dereferences null *)
+  let _, _, halt =
+    run
+      {|
+class C { var int f; }
+class Main {
+  static void main() {
+    C c = null;
+    if (c != null && c.f > 0) { int x = 1; }
+    int done_ = 1;
+  }
+}
+|}
+  in
+  Alcotest.check halted "no NPE thanks to short circuit" I.Finished halt
+
+let test_null_deref_halts () =
+  let _, _, halt =
+    run {| class C { var int f; } class Main { static void main() { C c = null; int x = c.f; } } |}
+  in
+  Alcotest.check halted "null deref" I.Null_deref halt
+
+let test_div_by_zero_halts () =
+  let _, _, halt =
+    run {| class Main { static void main() { int z = 0; int x = 5 / z; } } |}
+  in
+  Alcotest.check halted "div by zero" I.Div_by_zero halt
+
+let test_fuel_halts () =
+  let _, _, halt =
+    run ~fuel:200 {| class Main { static void main() { while (true) { } } } |}
+  in
+  Alcotest.check halted "out of fuel" I.Out_of_fuel halt
+
+let test_instantiated_trace () =
+  let prog, trace, _ =
+    run
+      {|
+class A { }
+class B { }
+class Main { static void main() { A a = new A(); A a2 = new A(); } }
+|}
+  in
+  let names =
+    Ids.Class.Set.elements trace.I.created |> List.map (Program.class_name prog)
+  in
+  Alcotest.(check (slist string compare)) "only A instantiated" [ "A" ] names
+
+let test_phi_swap () =
+  (* simultaneous phi evaluation: a swap in a loop must not collapse *)
+  let prog, trace, halt =
+    run
+      {|
+class Main {
+  static void main() {
+    int a = 1;
+    int b = 2;
+    int i = 0;
+    while (i < 3) { int t = a; a = b; b = t; i = i + 1; }
+    int r = a * 10 + b;
+  }
+}
+|}
+  in
+  Alcotest.check halted "finished" I.Finished halt;
+  (* after 3 swaps: a=2, b=1 -> r = 21 *)
+  Alcotest.(check bool) "swap preserved" true
+    (List.mem 21 (observed_ints prog trace "Main.main"))
+
+let suite =
+  ( "interp",
+    [
+      Alcotest.test_case "arith and loops" `Quick test_arith_and_loops;
+      Alcotest.test_case "virtual dispatch" `Quick test_virtual_dispatch;
+      Alcotest.test_case "fields and defaults" `Quick test_fields_and_defaults;
+      Alcotest.test_case "instanceof and booleans" `Quick test_instanceof_and_boolean;
+      Alcotest.test_case "short-circuit semantics" `Quick test_short_circuit_semantics;
+      Alcotest.test_case "null deref halts" `Quick test_null_deref_halts;
+      Alcotest.test_case "div by zero halts" `Quick test_div_by_zero_halts;
+      Alcotest.test_case "fuel halts" `Quick test_fuel_halts;
+      Alcotest.test_case "instantiated classes traced" `Quick test_instantiated_trace;
+      Alcotest.test_case "simultaneous phi (swap loop)" `Quick test_phi_swap;
+    ] )

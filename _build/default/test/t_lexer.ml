@@ -1,0 +1,75 @@
+(* Lexer unit tests. *)
+
+module L = Skipflow_frontend.Lexer
+module T = Skipflow_frontend.Token
+
+let toks src = List.map fst (L.tokenize src) |> List.filter (fun t -> t <> T.EOF)
+
+let tok = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (T.to_string t)) ( = )
+
+let test_keywords_and_idents () =
+  Alcotest.(check (list tok)) "keywords"
+    [ T.KW_CLASS; T.IDENT "Foo"; T.KW_EXTENDS; T.IDENT "Bar" ]
+    (toks "class Foo extends Bar");
+  Alcotest.(check (list tok)) "ident with keyword prefix"
+    [ T.IDENT "classy"; T.IDENT "newt"; T.IDENT "nullx" ]
+    (toks "classy newt nullx")
+
+let test_numbers () =
+  Alcotest.(check (list tok)) "ints" [ T.INT 0; T.INT 42; T.INT 1234567 ]
+    (toks "0 42 1234567")
+
+let test_operators () =
+  Alcotest.(check (list tok)) "all operators"
+    [
+      T.EQ; T.NE; T.LE; T.GE; T.LT; T.GT; T.ASSIGN; T.BANG; T.ANDAND; T.OROR;
+      T.PLUS; T.MINUS; T.STAR; T.SLASH; T.PERCENT;
+    ]
+    (toks "== != <= >= < > = ! && || + - * / %");
+  Alcotest.(check (list tok)) "adjacent" [ T.IDENT "a"; T.EQ; T.MINUS; T.INT 1 ]
+    (toks "a==-1")
+
+let test_comments () =
+  Alcotest.(check (list tok)) "line comment" [ T.INT 1; T.INT 2 ]
+    (toks "1 // comment with class if else\n2");
+  Alcotest.(check (list tok)) "block comment" [ T.INT 1; T.INT 2 ]
+    (toks "1 /* multi\nline * stuff */ 2");
+  Alcotest.(check (list tok)) "block comment with stars" [ T.INT 3 ]
+    (toks "/* ** * ** */ 3")
+
+let test_positions () =
+  let all = L.tokenize "ab\n  cd" in
+  match all with
+  | [ (_, p1); (_, p2); _eof ] ->
+      Alcotest.(check int) "line 1" 1 p1.L.line;
+      Alcotest.(check int) "col 1" 1 p1.L.col;
+      Alcotest.(check int) "line 2" 2 p2.L.line;
+      Alcotest.(check int) "col 3" 3 p2.L.col
+  | _ -> Alcotest.fail "unexpected token count"
+
+let test_errors () =
+  let fails src =
+    match L.tokenize src with
+    | exception L.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "bad char" true (fails "a # b");
+  Alcotest.(check bool) "unterminated block comment" true (fails "1 /* never closed");
+  Alcotest.(check bool) "lone pipe" true (fails "a | b");
+  Alcotest.(check bool) "lone ampersand" true (fails "a & b")
+
+let test_eof () =
+  Alcotest.(check (list tok)) "empty input" [] (toks "");
+  Alcotest.(check (list tok)) "whitespace only" [] (toks "  \n\t  ")
+
+let suite =
+  ( "lexer",
+    [
+      Alcotest.test_case "keywords and idents" `Quick test_keywords_and_idents;
+      Alcotest.test_case "numbers" `Quick test_numbers;
+      Alcotest.test_case "operators" `Quick test_operators;
+      Alcotest.test_case "comments" `Quick test_comments;
+      Alcotest.test_case "positions" `Quick test_positions;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "eof" `Quick test_eof;
+    ] )

@@ -1,0 +1,151 @@
+(* Counter-metric tests (the Table 1 columns): checks survive exactly when
+   both branches stay live; calls are poly exactly when >= 2 targets link. *)
+
+module C = Skipflow_core
+module F = Skipflow_frontend
+
+let metrics ?(config = C.Config.skipflow) src =
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  (C.Analysis.run ~config prog ~roots:[ main ]).C.Analysis.metrics
+
+let test_dynamic_checks_counted () =
+  let m =
+    metrics
+      {|
+class A { }
+class B extends A { }
+class Main {
+  static int f(A o, int x) {
+    int r = 0;
+    if (o == null) { r = 1; }
+    if (o instanceof B) { r = 2; }
+    if (x < 10) { r = 3; }
+    return r;
+  }
+  static void main() {
+    int x = 3 * 7;
+    int a = Main.f(null, x);
+    int b = Main.f(new B(), x);
+  }
+}
+|}
+  in
+  Alcotest.(check int) "one null check" 1 m.C.Metrics.null_checks;
+  Alcotest.(check int) "one type check" 1 m.C.Metrics.type_checks;
+  Alcotest.(check int) "one prim check" 1 m.C.Metrics.prim_checks
+
+let test_constant_checks_removed () =
+  let src =
+    {|
+class A { }
+class B extends A { }
+class Main {
+  static int f(A o, int x) {
+    int r = 0;
+    if (o == null) { r = 1; }
+    if (o instanceof B) { r = 2; }
+    if (x < 10) { r = 3; }
+    return r;
+  }
+  static void main() {
+    int a = Main.f(new B(), 3);
+  }
+}
+|}
+  in
+  let m = metrics src in
+  (* o is always B (never null), x is always 3: every check folds *)
+  Alcotest.(check int) "null check removed" 0 m.C.Metrics.null_checks;
+  Alcotest.(check int) "type check removed" 0 m.C.Metrics.type_checks;
+  Alcotest.(check int) "prim check removed" 0 m.C.Metrics.prim_checks;
+  (* the baseline can only remove the reference checks it can see through
+     filters; the primitive check stays *)
+  let mp = metrics ~config:C.Config.pta src in
+  Alcotest.(check int) "pta keeps prim check" 1 mp.C.Metrics.prim_checks
+
+let test_poly_and_mono () =
+  let m =
+    metrics
+      {|
+class H { int h() { return 0; } }
+class H1 extends H { int h() { return 1; } }
+class H2 extends H { int h() { return 2; } }
+class Main {
+  static void main() {
+    H a = new H1();
+    H b = new H2();
+    H c = b;
+    if (a.h() < b.h()) { c = a; }
+    int r = c.h();        // 2 targets: poly
+    int s = a.h();        // 1 target: mono (devirtualizable)
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "has poly calls" true (m.C.Metrics.poly_calls >= 1);
+  Alcotest.(check bool) "has mono calls" true (m.C.Metrics.mono_calls >= 1)
+
+let test_dead_invokes () =
+  let m =
+    metrics
+      {|
+class D { void run() { } }
+class Flags { static boolean on() { return false; } }
+class Main {
+  static void main() {
+    if (Flags.on()) { D d = new D(); d.run(); }
+  }
+}
+|}
+  in
+  Alcotest.(check bool) "dead invoke counted" true (m.C.Metrics.dead_invokes >= 1)
+
+let test_binary_size_is_reachable_size () =
+  let src =
+    {|
+class Big { void a() { } void b() { } void c() { } }
+class Flags { static boolean on() { return false; } }
+class Main {
+  static void main() {
+    if (Flags.on()) { Big g = new Big(); g.a(); g.b(); g.c(); }
+  }
+}
+|}
+  in
+  let m_sf = metrics src in
+  let m_pta = metrics ~config:C.Config.pta src in
+  Alcotest.(check bool) "skipflow smaller binary" true
+    (m_sf.C.Metrics.binary_size < m_pta.C.Metrics.binary_size);
+  Alcotest.(check bool) "skipflow fewer methods" true
+    (m_sf.C.Metrics.reachable_methods < m_pta.C.Metrics.reachable_methods)
+
+let test_instantiated_types_metric () =
+  let m =
+    metrics
+      {|
+class A { }
+class B { }
+class Flags { static boolean on() { return false; } }
+class Main {
+  static void main() {
+    A a = new A();
+    if (Flags.on()) { B b = new B(); }
+  }
+}
+|}
+  in
+  (* only A is instantiated under SkipFlow *)
+  Alcotest.(check int) "one instantiated type" 1 m.C.Metrics.instantiated_types
+
+let suite =
+  ( "metrics",
+    [
+      Alcotest.test_case "dynamic checks counted" `Quick test_dynamic_checks_counted;
+      Alcotest.test_case "constant checks removed" `Quick test_constant_checks_removed;
+      Alcotest.test_case "poly and mono calls" `Quick test_poly_and_mono;
+      Alcotest.test_case "dead invokes" `Quick test_dead_invokes;
+      Alcotest.test_case "binary size tracks reachable code" `Quick
+        test_binary_size_is_reachable_size;
+      Alcotest.test_case "instantiated types" `Quick test_instantiated_types_metric;
+    ] )

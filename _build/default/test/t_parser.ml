@@ -1,0 +1,198 @@
+(* Parser unit tests: precedence, statement disambiguation, error
+   reporting, and pretty-printer round-trips (including on generated
+   benchmark programs). *)
+
+module P = Skipflow_frontend.Parser
+module A = Skipflow_frontend.Ast
+module PP = Skipflow_frontend.Ast_pp
+module W = Skipflow_workloads
+
+(* parse a single expression by wrapping it in a method *)
+let parse_expr src =
+  let prog =
+    P.parse_program (Printf.sprintf "class X { int m() { return %s; } }" src)
+  in
+  match prog with
+  | [ { A.cd_meths = [ { A.md_body = [ { A.s = A.Return (Some e); _ } ]; _ } ]; _ } ] -> e
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+(* strip positions so ASTs compare structurally *)
+let rec strip (e : A.expr) : A.expr =
+  let n =
+    match e.A.e with
+    | A.Binop (op, a, b) -> A.Binop (op, strip a, strip b)
+    | A.Not a -> A.Not (strip a)
+    | A.Neg a -> A.Neg (strip a)
+    | A.InstanceOf (a, c) -> A.InstanceOf (strip a, c)
+    | A.Call (r, m, args) -> A.Call (Option.map strip r, m, List.map strip args)
+    | A.FieldGet (r, f) -> A.FieldGet (strip r, f)
+    | A.NewArr (t, n) -> A.NewArr (t, strip n)
+    | A.Index (a, i) -> A.Index (strip a, strip i)
+    | A.Cast (t, a) -> A.Cast (t, strip a)
+    | (A.Int _ | A.Bool _ | A.Null | A.This | A.Ident _ | A.New _) as n -> n
+  in
+  { A.e = n; pos = { line = 0; col = 0 } }
+
+let expr_eq a b = strip a = strip b
+
+let check_expr_parses_as src expected_src =
+  let a = parse_expr src and b = parse_expr expected_src in
+  if not (expr_eq a b) then
+    Alcotest.failf "%s did not parse like %s" src expected_src
+
+let test_precedence () =
+  check_expr_parses_as "1 + 2 * 3" "1 + (2 * 3)";
+  check_expr_parses_as "1 * 2 + 3" "(1 * 2) + 3";
+  check_expr_parses_as "1 - 2 - 3" "(1 - 2) - 3";
+  check_expr_parses_as "a < b == c < d" "(a < b) == (c < d)";
+  check_expr_parses_as "a == b && c == d" "(a == b) && (c == d)";
+  check_expr_parses_as "a && b || c && d" "(a && b) || (c && d)";
+  check_expr_parses_as "!a && b" "(!a) && b";
+  check_expr_parses_as "1 + 2 % 3" "1 + (2 % 3)"
+
+let test_postfix_chains () =
+  check_expr_parses_as "a.b.c" "(a.b).c";
+  check_expr_parses_as "a.m().f" "(a.m()).f";
+  check_expr_parses_as "new C().m(1, 2).g" "((new C()).m(1, 2)).g"
+
+let test_instanceof () =
+  check_expr_parses_as "x instanceof T == true" "(x instanceof T) == true";
+  check_expr_parses_as "x + 1 instanceof T" "(x + 1) instanceof T"
+
+let test_negative_literals () =
+  (* unary minus on literals folds to a negative constant *)
+  match (parse_expr "-5").A.e with
+  | A.Int (-5) -> ()
+  | _ -> Alcotest.fail "expected folded Int (-5)"
+
+let test_stmt_disambiguation () =
+  let prog =
+    P.parse_program
+      {|
+class X {
+  void m() {
+    C x = null;
+    int y = 1;
+    y = 2;
+    x.f = null;
+    x.g();
+  }
+}|}
+  in
+  match prog with
+  | [ { A.cd_meths = [ { A.md_body = stmts; _ } ]; _ } ] ->
+      let kinds =
+        List.map
+          (fun (s : A.stmt) ->
+            match s.A.s with
+            | A.LocalDecl _ -> "decl"
+            | A.AssignLocal _ -> "assign"
+            | A.AssignField _ -> "fset"
+            | A.ExprStmt _ -> "expr"
+            | _ -> "other")
+          stmts
+      in
+      Alcotest.(check (list string)) "statement kinds"
+        [ "decl"; "decl"; "assign"; "fset"; "expr" ]
+        kinds
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+let test_else_if_chain () =
+  let prog =
+    P.parse_program
+      "class X { void m(int a) { if (a < 1) { } else if (a < 2) { } else { } } }"
+  in
+  match prog with
+  | [ { A.cd_meths = [ { A.md_body = [ { A.s = A.If (_, _, [ { A.s = A.If (_, _, els); _ } ]); _ } ]; _ } ]; _ } ]
+    ->
+      Alcotest.(check int) "final else present" 0 (List.length els - List.length els)
+  | _ -> Alcotest.fail "else-if chain shape"
+
+let test_class_decls () =
+  let prog =
+    P.parse_program
+      {|
+abstract class A { var int x; int m(int a, boolean b) { return a; } }
+class B extends A { static void s() { return; } C c; }
+|}
+  in
+  match prog with
+  | [ a; b ] ->
+      Alcotest.(check bool) "A abstract" true a.A.cd_abstract;
+      Alcotest.(check (option string)) "B extends A" (Some "A") b.A.cd_super;
+      Alcotest.(check int) "A fields" 1 (List.length a.A.cd_fields);
+      Alcotest.(check int) "B fields (typed decl without var)" 1 (List.length b.A.cd_fields);
+      let m = List.hd a.A.cd_meths in
+      Alcotest.(check int) "m params" 2 (List.length m.A.md_params);
+      Alcotest.(check bool) "s static" true (List.hd b.A.cd_meths).A.md_static
+  | _ -> Alcotest.fail "expected two classes"
+
+let test_syntax_errors () =
+  let fails src = match P.parse_program src with exception P.Error _ -> true | _ -> false in
+  Alcotest.(check bool) "missing brace" true (fails "class X {");
+  Alcotest.(check bool) "missing semi" true (fails "class X { void m() { int x = 1 } }");
+  Alcotest.(check bool) "stray token at top" true (fails "42");
+  Alcotest.(check bool) "bad assignment target" true
+    (fails "class X { void m() { 1 = 2; } }");
+  Alcotest.(check bool) "if without parens" true
+    (fails "class X { void m() { if 1 < 2 { } } }")
+
+(* -------- round trip: parse (pp (parse src)) = parse src ------------- *)
+
+let roundtrip_program src =
+  let p1 = P.parse_program src in
+  let printed = PP.to_string p1 in
+  let p2 =
+    try P.parse_program printed
+    with P.Error (m, pos) ->
+      Alcotest.failf "re-parse failed at %d:%d: %s\n%s" pos.Skipflow_frontend.Lexer.line
+        pos.Skipflow_frontend.Lexer.col m printed
+  in
+  let printed2 = PP.to_string p2 in
+  Alcotest.(check string) "pretty-print fixpoint" printed printed2
+
+let test_roundtrip_handwritten () =
+  roundtrip_program
+    {|
+abstract class Shape { var int area; int grow(int by) { return this.area + by; } }
+class Circle extends Shape {
+  int grow(int by) {
+    int a = 0 - 3;
+    boolean big = this.area >= 100 || by != 0 && !(this instanceof Circle);
+    while (a < by) { a = a + 1; }
+    if (big) { return a * 2; } else { return a % 7; }
+  }
+}
+class Main { static void main() { Shape s = new Circle(); int r = s.grow(5); } }
+|}
+
+let test_roundtrip_generated () =
+  (* the benchmark generator's output must round-trip through the printer *)
+  List.iter
+    (fun seed ->
+      let params = { W.Gen.default_params with W.Gen.seed; live_units = 6; dead_units = 3 } in
+      roundtrip_program (W.Gen.source params))
+    [ 1; 2; 3 ]
+
+let test_roundtrip_random () =
+  List.iter
+    (fun seed ->
+      let cfg = { W.Gen_random.default_cfg with W.Gen_random.seed } in
+      roundtrip_program (PP.to_string (W.Gen_random.generate cfg)))
+    [ 10; 11; 12; 13; 14 ]
+
+let suite =
+  ( "parser",
+    [
+      Alcotest.test_case "precedence" `Quick test_precedence;
+      Alcotest.test_case "postfix chains" `Quick test_postfix_chains;
+      Alcotest.test_case "instanceof" `Quick test_instanceof;
+      Alcotest.test_case "negative literals" `Quick test_negative_literals;
+      Alcotest.test_case "statement disambiguation" `Quick test_stmt_disambiguation;
+      Alcotest.test_case "else-if chain" `Quick test_else_if_chain;
+      Alcotest.test_case "class declarations" `Quick test_class_decls;
+      Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+      Alcotest.test_case "roundtrip handwritten" `Quick test_roundtrip_handwritten;
+      Alcotest.test_case "roundtrip generated benches" `Quick test_roundtrip_generated;
+      Alcotest.test_case "roundtrip random programs" `Quick test_roundtrip_random;
+    ] )

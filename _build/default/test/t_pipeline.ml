@@ -1,0 +1,264 @@
+(* End-to-end pipeline tests: MiniJava source -> parse -> typecheck ->
+   lower -> SkipFlow/PTA analysis, on the paper's two motivating examples
+   (Figures 1 and 2) and a few control-flow-heavy programs. *)
+
+open Skipflow_ir
+module C = Skipflow_core
+module F = Skipflow_frontend
+
+let analyze ?(config = C.Config.skipflow) src =
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  (prog, C.Analysis.run ~config prog ~roots:[ main ])
+
+let reachable (prog, r) qname =
+  List.exists
+    (fun (m : Program.meth) ->
+      String.equal (Program.qualified_name prog m.Program.m_id) qname)
+    (C.Engine.reachable_methods r.C.Analysis.engine)
+
+(* ----- Figure 2: the JDK isVirtual example ----- *)
+
+let jdk_src ~with_virtual =
+  Printf.sprintf
+    {|
+class Thread {
+  boolean isVirtual() { return this instanceof BaseVirtualThread; }
+}
+class BaseVirtualThread extends Thread { }
+class Set {
+  void remove(Thread t) { }
+}
+class Container {
+  var Set virtualThreads;
+  void onExit(Thread thread) {
+    if (thread.isVirtual()) {
+      this.virtualThreads.remove(thread);
+    }
+  }
+}
+class Main {
+  static void main() {
+    Container c = new Container();
+    c.virtualThreads = new Set();
+    Thread t = %s;
+    c.onExit(t);
+  }
+}
+|}
+    (if with_virtual then "new BaseVirtualThread()" else "new Thread()")
+
+let test_fig2_skipflow () =
+  let res = analyze (jdk_src ~with_virtual:false) in
+  Alcotest.(check bool) "onExit reachable" true (reachable res "Container.onExit");
+  Alcotest.(check bool) "isVirtual reachable" true (reachable res "Thread.isVirtual");
+  Alcotest.(check bool) "remove dead" false (reachable res "Set.remove")
+
+let test_fig2_sound () =
+  let res = analyze (jdk_src ~with_virtual:true) in
+  Alcotest.(check bool) "remove reachable" true (reachable res "Set.remove")
+
+let test_fig2_pta () =
+  let res = analyze ~config:C.Config.pta (jdk_src ~with_virtual:false) in
+  Alcotest.(check bool) "remove reachable under PTA" true (reachable res "Set.remove")
+
+(* ----- Figure 1: the Sunflow guarded-default-allocation example ----- *)
+
+let sunflow_src =
+  {|
+class Display {
+  void imageBegin() { }
+}
+class FrameDisplay extends Display {
+  void imageBegin() { this.initAwt(); }
+  void initAwt() { }
+}
+class FileDisplay extends Display {
+  void imageBegin() { }
+}
+class Scene {
+  void render(Display display) {
+    if (display == null) {
+      display = new FrameDisplay();
+    }
+    BucketRenderer r = new BucketRenderer();
+    r.render(display);
+  }
+}
+class BucketRenderer {
+  void render(Display display) {
+    display.imageBegin();
+  }
+}
+class Main {
+  static void main() {
+    Scene s = new Scene();
+    s.render(new FileDisplay());
+  }
+}
+|}
+
+let test_fig1_skipflow () =
+  let res = analyze sunflow_src in
+  Alcotest.(check bool) "render reachable" true (reachable res "BucketRenderer.render");
+  Alcotest.(check bool)
+    "FileDisplay.imageBegin reachable" true
+    (reachable res "FileDisplay.imageBegin");
+  Alcotest.(check bool)
+    "FrameDisplay.imageBegin dead (AWT removed)" false
+    (reachable res "FrameDisplay.imageBegin");
+  Alcotest.(check bool) "initAwt dead" false (reachable res "FrameDisplay.initAwt")
+
+let test_fig1_pta () =
+  let res = analyze ~config:C.Config.pta sunflow_src in
+  Alcotest.(check bool)
+    "FrameDisplay.imageBegin reachable under PTA" true
+    (reachable res "FrameDisplay.imageBegin")
+
+let test_fig1_null_path_sound () =
+  (* when null actually flows, the allocation must be considered *)
+  let src =
+    String.concat ""
+      [
+        String.sub sunflow_src 0 (String.length sunflow_src);
+        {|
+class Main2 {
+  static void main() {
+    Scene s = new Scene();
+    Display d = null;
+    s.render(d);
+  }
+}
+|};
+      ]
+  in
+  let prog = F.Frontend.compile src in
+  let main2 =
+    Option.get (Program.find_class prog "Main2") |> fun c ->
+    Option.get (Program.find_meth prog c "main")
+  in
+  let r = C.Analysis.run prog ~roots:[ main2 ] in
+  let reach q =
+    List.exists
+      (fun (m : Program.meth) ->
+        String.equal (Program.qualified_name prog m.Program.m_id) q)
+      (C.Engine.reachable_methods r.C.Analysis.engine)
+  in
+  Alcotest.(check bool)
+    "FrameDisplay.imageBegin reachable when null flows" true
+    (reach "FrameDisplay.imageBegin")
+
+(* ----- control flow: loops, short circuit, materialized booleans ----- *)
+
+let test_loop_and_shortcircuit () =
+  let src =
+    {|
+class Counter {
+  var int n;
+  boolean positive() { return this.n > 0; }
+}
+class Main {
+  static int run(Counter c, int k) {
+    int acc = 0;
+    int i = 0;
+    while (i < k && c.positive()) {
+      acc = acc + i;
+      i = i + 1;
+    }
+    boolean flag = c.positive() || k == 0;
+    if (flag) { return acc; }
+    return 0 - acc;
+  }
+  static void main() {
+    Counter c = new Counter();
+    c.n = 5;
+    int r = Main.run(c, 10);
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "run reachable" true (reachable res "Main.run");
+  Alcotest.(check bool) "positive reachable" true (reachable res "Counter.positive")
+
+let test_never_returns_predicate () =
+  (* invoke-as-predicate: code after a call to a non-returning method is
+     unreachable (Section 5, exception/assert-fail pattern) *)
+  let src =
+    {|
+class Util {
+  static void hang() { while (true) { } }
+  static void after() { }
+}
+class Main {
+  static void main() {
+    Util.hang();
+    Util.after();
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "hang reachable" true (reachable res "Util.hang");
+  Alcotest.(check bool) "after dead" false (reachable res "Util.after");
+  let res_pta = analyze ~config:C.Config.pta src in
+  Alcotest.(check bool)
+    "after reachable under PTA" true
+    (reachable res_pta "Util.after")
+
+let test_constant_feature_flag () =
+  (* interprocedural constant propagation through a static call *)
+  let src =
+    {|
+class Features {
+  static boolean useCache() { return false; }
+}
+class Cache { void init() { } }
+class Main {
+  static void main() {
+    if (Features.useCache()) {
+      Cache c = new Cache();
+      c.init();
+    }
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "init dead" false (reachable res "Cache.init");
+  let res_pta = analyze ~config:C.Config.pta src in
+  Alcotest.(check bool) "init reachable under PTA" true (reachable res_pta "Cache.init")
+
+let test_prim_comparison_pruning () =
+  (* Figure 4: x = 42; only the x > 10 branch is live *)
+  let src =
+    {|
+class M { void m() { } void f() { } }
+class Main {
+  static void main() {
+    int x = 42;
+    M o = new M();
+    if (x > 10) { o.m(); } else { o.f(); }
+  }
+}
+|}
+  in
+  let res = analyze src in
+  Alcotest.(check bool) "m reachable" true (reachable res "M.m");
+  Alcotest.(check bool) "f dead" false (reachable res "M.f")
+
+let suite =
+  ( "pipeline",
+    [
+      Alcotest.test_case "fig2 skipflow kills remove()" `Quick test_fig2_skipflow;
+      Alcotest.test_case "fig2 sound with virtual thread" `Quick test_fig2_sound;
+      Alcotest.test_case "fig2 PTA keeps remove()" `Quick test_fig2_pta;
+      Alcotest.test_case "fig1 skipflow kills FrameDisplay" `Quick test_fig1_skipflow;
+      Alcotest.test_case "fig1 PTA keeps FrameDisplay" `Quick test_fig1_pta;
+      Alcotest.test_case "fig1 sound when null flows" `Quick test_fig1_null_path_sound;
+      Alcotest.test_case "loops and short-circuit" `Quick test_loop_and_shortcircuit;
+      Alcotest.test_case "never-returning invoke as predicate" `Quick
+        test_never_returns_predicate;
+      Alcotest.test_case "constant feature flag" `Quick test_constant_feature_flag;
+      Alcotest.test_case "figure 4 primitive pruning" `Quick test_prim_comparison_pruning;
+    ] )

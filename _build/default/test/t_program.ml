@@ -1,0 +1,135 @@
+(* Tests for the program model: class hierarchy, subtyping, virtual method
+   resolution (the paper's Resolve), and field lookup (LookUp). *)
+
+open Skipflow_ir
+
+(* Build:   A        (f, m, n)
+           / \
+          B   C      B overrides m; C overrides n, adds g
+          |
+          D          D overrides m again
+   plus an unrelated root class E. *)
+let fixture () =
+  let p = Program.create () in
+  let a = Program.declare_class p ~name:"A" () in
+  let b = Program.declare_class p ~name:"B" ~super:a.Program.c_id () in
+  let c = Program.declare_class p ~name:"C" ~super:a.Program.c_id () in
+  let d = Program.declare_class p ~name:"D" ~super:b.Program.c_id () in
+  let e = Program.declare_class p ~name:"E" () in
+  let f_fld = Program.declare_field p a ~name:"f" ~ty:Ty.Int () in
+  let g_fld = Program.declare_field p c ~name:"g" ~ty:(Ty.Obj a.Program.c_id) () in
+  let m_a = Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int in
+  let n_a = Program.declare_meth p a ~name:"n" ~static:false ~param_tys:[] ~ret_ty:Ty.Void in
+  let m_b = Program.declare_meth p b ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int in
+  let n_c = Program.declare_meth p c ~name:"n" ~static:false ~param_tys:[] ~ret_ty:Ty.Void in
+  let m_d = Program.declare_meth p d ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int in
+  (p, (a, b, c, d, e), (f_fld, g_fld), (m_a, n_a, m_b, n_c, m_d))
+
+let test_subtype () =
+  let p, (a, b, c, d, e), _, _ = fixture () in
+  let sub x y = Program.subtype p ~sub:x.Program.c_id ~sup:y.Program.c_id in
+  Alcotest.(check bool) "reflexive" true (sub a a);
+  Alcotest.(check bool) "B <: A" true (sub b a);
+  Alcotest.(check bool) "D <: A transitively" true (sub d a);
+  Alcotest.(check bool) "D <: B" true (sub d b);
+  Alcotest.(check bool) "A not <: B" false (sub a b);
+  Alcotest.(check bool) "C not <: B" false (sub c b);
+  Alcotest.(check bool) "E unrelated" false (sub e a);
+  Alcotest.(check bool) "A not <: E" false (sub a e)
+
+let test_all_subtypes () =
+  let p, (a, b, _c, _d, _e), _, _ = fixture () in
+  let names cid = List.map (Program.class_name p) (Program.all_subtypes p cid) in
+  Alcotest.(check (slist string compare)) "subtypes of A" [ "A"; "B"; "C"; "D" ]
+    (names a.Program.c_id);
+  Alcotest.(check (slist string compare)) "subtypes of B" [ "B"; "D" ] (names b.Program.c_id)
+
+let test_concrete_subtypes_excludes_abstract () =
+  let p = Program.create () in
+  let a = Program.declare_class p ~name:"A" ~abstract:true () in
+  let b = Program.declare_class p ~name:"B" ~super:a.Program.c_id () in
+  ignore b;
+  let names = List.map (Program.class_name p) (Program.concrete_subtypes p a.Program.c_id) in
+  Alcotest.(check (list string)) "only concrete" [ "B" ] names
+
+let test_resolve () =
+  let p, (a, b, c, d, _e), _, (m_a, n_a, m_b, n_c, m_d) = fixture () in
+  let resolve cls target =
+    Option.map
+      (fun (m : Program.meth) -> Ids.Meth.to_int m.Program.m_id)
+      (Program.resolve p ~recv_cls:cls.Program.c_id ~target)
+  in
+  let id (m : Program.meth) = Some (Ids.Meth.to_int m.Program.m_id) in
+  Alcotest.(check (option int)) "A.m -> A.m" (id m_a) (resolve a m_a.Program.m_id);
+  Alcotest.(check (option int)) "B.m -> B.m" (id m_b) (resolve b m_a.Program.m_id);
+  Alcotest.(check (option int)) "C.m -> A.m (inherited)" (id m_a) (resolve c m_a.Program.m_id);
+  Alcotest.(check (option int)) "D.m -> D.m (deep override)" (id m_d) (resolve d m_a.Program.m_id);
+  Alcotest.(check (option int)) "D.n -> A.n" (id n_a) (resolve d n_a.Program.m_id);
+  Alcotest.(check (option int)) "C.n -> C.n" (id n_c) (resolve c n_a.Program.m_id);
+  (* resolution on the null class returns nothing *)
+  Alcotest.(check (option int)) "null receiver" None
+    (Option.map
+       (fun (m : Program.meth) -> Ids.Meth.to_int m.Program.m_id)
+       (Program.resolve p ~recv_cls:Program.null_class ~target:m_a.Program.m_id))
+
+let test_lookup_field () =
+  let p, (a, _b, c, d, e), (f_fld, g_fld), _ = fixture () in
+  let look cls fld =
+    Option.map
+      (fun (f : Program.field) -> f.Program.f_name)
+      (Program.lookup_field p ~recv_cls:cls.Program.c_id ~field:fld.Program.f_id)
+  in
+  Alcotest.(check (option string)) "A.f" (Some "f") (look a f_fld);
+  Alcotest.(check (option string)) "D inherits f" (Some "f") (look d f_fld);
+  Alcotest.(check (option string)) "C.g" (Some "g") (look c g_fld);
+  Alcotest.(check (option string)) "A has no g" None (look a g_fld);
+  Alcotest.(check (option string)) "E has no f" None (look e f_fld)
+
+let test_duplicates_rejected () =
+  let p = Program.create () in
+  let a = Program.declare_class p ~name:"A" () in
+  Alcotest.check_raises "duplicate class" (Program.Duplicate "class A declared twice")
+    (fun () -> ignore (Program.declare_class p ~name:"A" ()));
+  ignore (Program.declare_field p a ~name:"x" ~ty:Ty.Int ());
+  Alcotest.check_raises "duplicate field" (Program.Duplicate "field A.x declared twice")
+    (fun () -> ignore (Program.declare_field p a ~name:"x" ~ty:Ty.Int ()));
+  ignore (Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Void);
+  Alcotest.check_raises "duplicate method" (Program.Duplicate "method A.m declared twice")
+    (fun () ->
+      ignore (Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Void))
+
+let test_null_class_reserved () =
+  let p = Program.create () in
+  Alcotest.(check bool) "id 0 is null" true (Program.is_null_class Program.null_class);
+  Alcotest.(check string) "name" "null" (Program.class_name p Program.null_class);
+  let a = Program.declare_class p ~name:"A" () in
+  Alcotest.(check bool) "first user class is not null" false
+    (Program.is_null_class a.Program.c_id)
+
+let test_names () =
+  let p, (a, _, _, _, _), (f_fld, _), (m_a, _, _, _, _) = fixture () in
+  ignore a;
+  Alcotest.(check string) "qualified meth" "A.m" (Program.qualified_name p m_a.Program.m_id);
+  Alcotest.(check string) "qualified field" "A.f"
+    (Program.qualified_field_name p f_fld.Program.f_id)
+
+let test_freeze_idempotent () =
+  let p, _, _, _ = fixture () in
+  let z1 = Program.freeze p in
+  let z2 = Program.freeze p in
+  Alcotest.(check bool) "same frozen value" true (z1 == z2)
+
+let suite =
+  ( "program",
+    [
+      Alcotest.test_case "subtype" `Quick test_subtype;
+      Alcotest.test_case "all_subtypes" `Quick test_all_subtypes;
+      Alcotest.test_case "concrete excludes abstract" `Quick
+        test_concrete_subtypes_excludes_abstract;
+      Alcotest.test_case "virtual resolve" `Quick test_resolve;
+      Alcotest.test_case "field lookup" `Quick test_lookup_field;
+      Alcotest.test_case "duplicates rejected" `Quick test_duplicates_rejected;
+      Alcotest.test_case "null class reserved" `Quick test_null_class_reserved;
+      Alcotest.test_case "qualified names" `Quick test_names;
+      Alcotest.test_case "freeze idempotent" `Quick test_freeze_idempotent;
+    ] )

@@ -1,0 +1,55 @@
+(* Tests for the primitive-value lattice ℙ (paper, Figure 6). *)
+
+module P = Skipflow_core.Pval
+
+let pv = Alcotest.testable P.pp P.equal
+
+let test_join_table () =
+  Alcotest.check pv "bot ∨ c" (P.Const 3) (P.join P.Bot (P.Const 3));
+  Alcotest.check pv "c ∨ bot" (P.Const 3) (P.join (P.Const 3) P.Bot);
+  Alcotest.check pv "c ∨ c" (P.Const 3) (P.join (P.Const 3) (P.Const 3));
+  (* the join of two different constants is immediately Any (Section 3) *)
+  Alcotest.check pv "c ∨ c'" P.Top (P.join (P.Const 3) (P.Const 4));
+  Alcotest.check pv "top absorbs" P.Top (P.join P.Top (P.Const 3));
+  Alcotest.check pv "bot ∨ bot" P.Bot (P.join P.Bot P.Bot)
+
+let test_leq () =
+  Alcotest.(check bool) "bot ≤ c" true (P.leq P.Bot (P.Const 0));
+  Alcotest.(check bool) "c ≤ top" true (P.leq (P.Const 0) P.Top);
+  Alcotest.(check bool) "c ≤ c" true (P.leq (P.Const 0) (P.Const 0));
+  Alcotest.(check bool) "c ≤ c' fails" false (P.leq (P.Const 0) (P.Const 1));
+  Alcotest.(check bool) "top ≤ c fails" false (P.leq P.Top (P.Const 1))
+
+let gen =
+  QCheck.Gen.(
+    frequency
+      [ (1, return P.Bot); (4, map (fun n -> P.Const n) (int_range (-5) 5)); (1, return P.Top) ])
+
+let arb = QCheck.make ~print:(Format.asprintf "%a" P.pp) gen
+let prop name g f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 g f)
+
+let props =
+  [
+    prop "join comm" (QCheck.pair arb arb) (fun (a, b) -> P.equal (P.join a b) (P.join b a));
+    prop "join assoc" (QCheck.triple arb arb arb) (fun (a, b, c) ->
+        P.equal (P.join a (P.join b c)) (P.join (P.join a b) c));
+    prop "join idem" arb (fun a -> P.equal (P.join a a) a);
+    prop "leq defines join" (QCheck.pair arb arb) (fun (a, b) ->
+        P.leq a b = P.equal (P.join a b) b);
+    prop "bot is bottom" arb (fun a -> P.leq P.Bot a);
+    prop "top is top" arb (fun a -> P.leq a P.Top);
+    prop "lattice height ≤ 3"
+      (QCheck.triple arb arb arb)
+      (fun (a, b, c) ->
+        (* any strictly increasing chain has length at most 3 *)
+        not (P.leq a b && P.leq b c && (not (P.equal a b)) && not (P.equal b c))
+        || (P.equal a P.Bot && P.equal c P.Top));
+  ]
+
+let suite =
+  ( "pval",
+    [
+      Alcotest.test_case "join table" `Quick test_join_table;
+      Alcotest.test_case "leq" `Quick test_leq;
+    ]
+    @ props )

@@ -1,0 +1,194 @@
+(* Smoke tests: the JDK motivating example of Figure 2, built directly
+   through the SSA builder, analyzed under SkipFlow and the baseline PTA.
+   This exercises the full core pipeline (builder -> PVPG -> engine) before
+   the frontend exists: the paper's headline behaviour is that
+   [Set.remove] is unreachable under SkipFlow when no virtual thread is
+   instantiated, but reachable under PTA. *)
+
+open Skipflow_ir
+module C = Skipflow_core
+
+(* Builds:
+     class Thread { boolean isVirtual() { return this instanceof BaseVirtualThread; } }
+     class BaseVirtualThread extends Thread {}
+     class Set { void remove(Thread t) {} }
+     class Container { Set vts; void onExit(Thread t) { if (t.isVirtual()) { this.vts.remove(t); } } }
+     class Main { static void main() { c = new Container(); c.vts = new Set();
+                                       t = <new Thread() | new BaseVirtualThread()>; c.onExit(t); } }
+*)
+let mk_program ~with_virtual_thread =
+  let p = Program.create () in
+  let thread = Program.declare_class p ~name:"Thread" () in
+  let bvt = Program.declare_class p ~name:"BaseVirtualThread" ~super:thread.Program.c_id () in
+  let set_cls = Program.declare_class p ~name:"Set" () in
+  let container = Program.declare_class p ~name:"Container" () in
+  let main_cls = Program.declare_class p ~name:"Main" () in
+  let vts =
+    Program.declare_field p container ~name:"vts" ~ty:(Ty.Obj set_cls.Program.c_id) ()
+  in
+  let is_virtual =
+    Program.declare_meth p thread ~name:"isVirtual" ~static:false ~param_tys:[]
+      ~ret_ty:Ty.Bool
+  in
+  let remove =
+    Program.declare_meth p set_cls ~name:"remove" ~static:false
+      ~param_tys:[ Ty.Obj thread.Program.c_id ] ~ret_ty:Ty.Void
+  in
+  let on_exit =
+    Program.declare_meth p container ~name:"onExit" ~static:false
+      ~param_tys:[ Ty.Obj thread.Program.c_id ] ~ret_ty:Ty.Void
+  in
+  let main =
+    Program.declare_meth p main_cls ~name:"main" ~static:true ~param_tys:[]
+      ~ret_ty:Ty.Void
+  in
+  (* Thread.isVirtual: if (this instanceof BVT) r=1 else r=0; return r *)
+  let () =
+    let b = Ssa_builder.create ~params:[ ("this", Ty.Obj thread.Program.c_id) ] in
+    let entry = Ssa_builder.entry_block b in
+    let l1 = Ssa_builder.label_block b in
+    let l2 = Ssa_builder.label_block b in
+    let m = Ssa_builder.merge_block b in
+    let this = Ssa_builder.read_var b entry "this" ~ty:(Ty.Obj thread.Program.c_id) in
+    Ssa_builder.terminate b entry
+      (Bl.If
+         { cond = Bl.InstanceOf (this, bvt.Program.c_id); then_ = l1.Bl.b_id; else_ = l2.Bl.b_id });
+    let one = Ssa_builder.const b l1 1 in
+    Ssa_builder.write_var b l1 "r" one;
+    Ssa_builder.terminate b l1 (Bl.Jump m.Bl.b_id);
+    let zero = Ssa_builder.const b l2 0 in
+    Ssa_builder.write_var b l2 "r" zero;
+    Ssa_builder.terminate b l2 (Bl.Jump m.Bl.b_id);
+    Ssa_builder.seal b m;
+    let r = Ssa_builder.read_var b m "r" ~ty:Ty.Int in
+    Ssa_builder.terminate b m (Bl.Return (Some r));
+    let body = Ssa_builder.finish b in
+    Validate.run body;
+    Program.set_body is_virtual body
+  in
+  (* Set.remove: return *)
+  let () =
+    let b =
+      Ssa_builder.create
+        ~params:[ ("this", Ty.Obj set_cls.Program.c_id); ("t", Ty.Obj thread.Program.c_id) ]
+    in
+    let entry = Ssa_builder.entry_block b in
+    Ssa_builder.terminate b entry (Bl.Return None);
+    Program.set_body remove (Ssa_builder.finish b)
+  in
+  (* Container.onExit: v = t.isVirtual(); if (v == 0) {} else { s = this.vts; s.remove(t) } *)
+  let () =
+    let b =
+      Ssa_builder.create
+        ~params:
+          [ ("this", Ty.Obj container.Program.c_id); ("t", Ty.Obj thread.Program.c_id) ]
+    in
+    let entry = Ssa_builder.entry_block b in
+    let this = Ssa_builder.read_var b entry "this" ~ty:(Ty.Obj container.Program.c_id) in
+    let t = Ssa_builder.read_var b entry "t" ~ty:(Ty.Obj thread.Program.c_id) in
+    let v =
+      Ssa_builder.invoke b entry ~ty:Ty.Int ~recv:(Some t) ~target:is_virtual.Program.m_id
+        ~args:[] ~virtual_:true
+    in
+    let zero = Ssa_builder.const b entry 0 in
+    let l_skip = Ssa_builder.label_block b in
+    let l_rm = Ssa_builder.label_block b in
+    let m = Ssa_builder.merge_block b in
+    Ssa_builder.terminate b entry
+      (Bl.If { cond = Bl.Cmp (`Eq, v, zero); then_ = l_skip.Bl.b_id; else_ = l_rm.Bl.b_id });
+    Ssa_builder.terminate b l_skip (Bl.Jump m.Bl.b_id);
+    let s =
+      Ssa_builder.load b l_rm ~ty:(Ty.Obj set_cls.Program.c_id) ~recv:this
+        ~field:vts.Program.f_id
+    in
+    let _ =
+      Ssa_builder.invoke b l_rm ~ty:Ty.Void ~recv:(Some s) ~target:remove.Program.m_id
+        ~args:[ t ] ~virtual_:true
+    in
+    Ssa_builder.terminate b l_rm (Bl.Jump m.Bl.b_id);
+    Ssa_builder.seal b m;
+    Ssa_builder.terminate b m (Bl.Return None);
+    let body = Ssa_builder.finish b in
+    Validate.run body;
+    Program.set_body on_exit body
+  in
+  (* Main.main *)
+  let () =
+    let b = Ssa_builder.create ~params:[] in
+    let entry = Ssa_builder.entry_block b in
+    let c = Ssa_builder.new_ b entry container.Program.c_id in
+    let s = Ssa_builder.new_ b entry set_cls.Program.c_id in
+    Ssa_builder.store b entry ~recv:c ~field:vts.Program.f_id ~src:s;
+    let t =
+      if with_virtual_thread then Ssa_builder.new_ b entry bvt.Program.c_id
+      else Ssa_builder.new_ b entry thread.Program.c_id
+    in
+    let _ =
+      Ssa_builder.invoke b entry ~ty:Ty.Void ~recv:(Some c) ~target:on_exit.Program.m_id
+        ~args:[ t ] ~virtual_:true
+    in
+    Ssa_builder.terminate b entry (Bl.Return None);
+    let body = Ssa_builder.finish b in
+    Validate.run body;
+    Program.set_body main body
+  in
+  (p, main, remove, on_exit, is_virtual)
+
+let qname prog m = Program.qualified_name prog m.Program.m_id
+
+let run_with config ~with_virtual_thread =
+  let prog, main, remove, on_exit, is_virtual = mk_program ~with_virtual_thread in
+  let r = C.Analysis.run ~config prog ~roots:[ main ] in
+  (prog, r, main, remove, on_exit, is_virtual)
+
+let test_skipflow_removes_dead_call () =
+  let _, r, _, remove, on_exit, is_virtual =
+    run_with C.Config.skipflow ~with_virtual_thread:false
+  in
+  Alcotest.(check bool)
+    "onExit reachable" true
+    (C.Engine.is_reachable r.C.Analysis.engine on_exit.Program.m_id);
+  Alcotest.(check bool)
+    "isVirtual reachable" true
+    (C.Engine.is_reachable r.C.Analysis.engine is_virtual.Program.m_id);
+  Alcotest.(check bool)
+    "remove NOT reachable under SkipFlow" false
+    (C.Engine.is_reachable r.C.Analysis.engine remove.Program.m_id)
+
+let test_skipflow_sound_with_virtual_thread () =
+  let _, r, _, remove, _, _ = run_with C.Config.skipflow ~with_virtual_thread:true in
+  Alcotest.(check bool)
+    "remove reachable when a virtual thread exists" true
+    (C.Engine.is_reachable r.C.Analysis.engine remove.Program.m_id)
+
+let test_pta_keeps_spurious_call () =
+  let _, r, _, remove, _, _ = run_with C.Config.pta ~with_virtual_thread:false in
+  Alcotest.(check bool)
+    "remove reachable under baseline PTA" false
+    (not (C.Engine.is_reachable r.C.Analysis.engine remove.Program.m_id))
+
+let test_metrics_shape () =
+  let _, r, _, _, _, _ = run_with C.Config.skipflow ~with_virtual_thread:false in
+  let m = r.C.Analysis.metrics in
+  Alcotest.(check bool) "some methods reachable" true (m.C.Metrics.reachable_methods >= 3);
+  let _, rp, _, _, _, _ = run_with C.Config.pta ~with_virtual_thread:false in
+  let mp = rp.C.Analysis.metrics in
+  Alcotest.(check bool)
+    "SkipFlow reaches fewer or equal methods" true
+    (m.C.Metrics.reachable_methods <= mp.C.Metrics.reachable_methods)
+
+let test_reachable_names () =
+  let prog, r, main, _, _, _ = run_with C.Config.skipflow ~with_virtual_thread:false in
+  let names = C.Analysis.reachable_names r in
+  Alcotest.(check bool) "main in reachable" true (List.mem (qname prog main) names)
+
+let suite =
+  ( "smoke",
+    [
+      Alcotest.test_case "skipflow removes dead remove()" `Quick test_skipflow_removes_dead_call;
+      Alcotest.test_case "skipflow sound with virtual thread" `Quick
+        test_skipflow_sound_with_virtual_thread;
+      Alcotest.test_case "pta keeps spurious call" `Quick test_pta_keeps_spurious_call;
+      Alcotest.test_case "metrics shape" `Quick test_metrics_shape;
+      Alcotest.test_case "reachable names" `Quick test_reachable_names;
+    ] )

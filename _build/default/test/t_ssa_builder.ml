@@ -1,0 +1,137 @@
+(* Tests for the Braun-style on-the-fly SSA builder. *)
+
+open Skipflow_ir
+module B = Ssa_builder
+
+let test_straightline () =
+  let b = B.create ~params:[ ("x", Ty.Int) ] in
+  let e = B.entry_block b in
+  let x = B.read_var b e "x" ~ty:Ty.Int in
+  let c = B.const b e 1 in
+  let s = B.arith b e Bl.Add x c in
+  B.write_var b e "x" s;
+  let x2 = B.read_var b e "x" ~ty:Ty.Int in
+  Alcotest.(check bool) "read after write returns new var" true (Ids.Var.equal s x2);
+  B.terminate b e (Bl.Return (Some x2));
+  let body = B.finish b in
+  Validate.run body;
+  Alcotest.(check int) "no phis" 0
+    (Array.fold_left (fun a blk -> a + List.length blk.Bl.b_phis) 0 body.Bl.blocks)
+
+let diamond ~write_then ~write_else =
+  (* if (x == x) { [y = 1] } else { [y = 2] }; return y  (y pre-set to 0) *)
+  let b = B.create ~params:[ ("x", Ty.Int) ] in
+  let e = B.entry_block b in
+  let x = B.read_var b e "x" ~ty:Ty.Int in
+  let z = B.const b e 0 in
+  B.write_var b e "y" z;
+  let l1 = B.label_block b and l2 = B.label_block b in
+  let m = B.merge_block b in
+  B.terminate b e (Bl.If { cond = Bl.Cmp (`Eq, x, x); then_ = l1.Bl.b_id; else_ = l2.Bl.b_id });
+  if write_then then B.write_var b l1 "y" (B.const b l1 1);
+  B.terminate b l1 (Bl.Jump m.Bl.b_id);
+  if write_else then B.write_var b l2 "y" (B.const b l2 2);
+  B.terminate b l2 (Bl.Jump m.Bl.b_id);
+  B.seal b m;
+  let y = B.read_var b m "y" ~ty:Ty.Int in
+  B.terminate b m (Bl.Return (Some y));
+  let body = B.finish b in
+  Validate.run body;
+  (body, m)
+
+let phi_count body =
+  Array.fold_left (fun a blk -> a + List.length blk.Bl.b_phis) 0 body.Bl.blocks
+
+let test_diamond_phi () =
+  let body, m = diamond ~write_then:true ~write_else:true in
+  Alcotest.(check int) "one phi at the merge" 1 (List.length (Bl.block body m.Bl.b_id).Bl.b_phis);
+  let phi = List.hd (Bl.block body m.Bl.b_id).Bl.b_phis in
+  Alcotest.(check int) "two operands" 2 (List.length phi.Bl.phi_args)
+
+let test_diamond_one_sided () =
+  (* a write on one side only still needs a phi joining with the entry def *)
+  let body, _ = diamond ~write_then:true ~write_else:false in
+  Alcotest.(check int) "one phi" 1 (phi_count body)
+
+let test_diamond_no_writes () =
+  (* no conflicting definitions: no phi is needed *)
+  let body, _ = diamond ~write_then:false ~write_else:false in
+  Alcotest.(check int) "no phis" 0 (phi_count body)
+
+let test_loop_incomplete_phi () =
+  (* x = 0; while (x < 3) { x = x + 1 }; return x — reads the loop variable
+     in the unsealed header, exercising incomplete phis *)
+  let b = B.create ~params:[] in
+  let e = B.entry_block b in
+  B.write_var b e "x" (B.const b e 0);
+  let header = B.merge_block b in
+  B.terminate b e (Bl.Jump header.Bl.b_id);
+  let x = B.read_var b header "x" ~ty:Ty.Int in
+  let three = B.const b header 3 in
+  let body_l = B.label_block b and exit_l = B.label_block b in
+  B.terminate b header
+    (Bl.If { cond = Bl.Cmp (`Lt, x, three); then_ = body_l.Bl.b_id; else_ = exit_l.Bl.b_id });
+  let x1 = B.read_var b body_l "x" ~ty:Ty.Int in
+  let one = B.const b body_l 1 in
+  let x2 = B.arith b body_l Bl.Add x1 one in
+  B.write_var b body_l "x" x2;
+  B.terminate b body_l (Bl.Jump header.Bl.b_id);
+  B.seal b header;
+  let xr = B.read_var b exit_l "x" ~ty:Ty.Int in
+  B.terminate b exit_l (Bl.Return (Some xr));
+  let body = B.finish b in
+  Validate.run body;
+  let hphis = (Bl.block body header.Bl.b_id).Bl.b_phis in
+  Alcotest.(check int) "loop phi at the header" 1 (List.length hphis);
+  let phi = List.hd hphis in
+  Alcotest.(check int) "phi has two operands (preheader + back edge)" 2
+    (List.length phi.Bl.phi_args);
+  (* the value read inside the loop is the header phi *)
+  Alcotest.(check bool) "loop body reads the phi" true (Ids.Var.equal x1 phi.Bl.phi_var)
+
+let test_read_undefined_fails () =
+  let b = B.create ~params:[] in
+  let e = B.entry_block b in
+  Alcotest.(check bool) "undefined read raises" true
+    (match B.read_var b e "nope" ~ty:Ty.Int with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_jump_to_label_rejected () =
+  let b = B.create ~params:[] in
+  let e = B.entry_block b in
+  let l = B.label_block b in
+  ignore l;
+  Alcotest.(check bool) "jump must target a merge" true
+    (match B.terminate b e (Bl.Jump l.Bl.b_id) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_finish_requires_termination () =
+  let b = B.create ~params:[] in
+  ignore (B.entry_block b);
+  Alcotest.(check bool) "unterminated body rejected" true
+    (match B.finish b with exception Invalid_argument _ -> true | _ -> false)
+
+let test_var_tys_lowered () =
+  let b = B.create ~params:[ ("f", Ty.Bool) ] in
+  let e = B.entry_block b in
+  B.terminate b e (Bl.Return None);
+  let body = B.finish b in
+  (* booleans are lowered to ints in the base language (Section 5) *)
+  Alcotest.(check bool) "bool param lowered to int" true
+    (Ty.equal (Bl.var_ty body (List.hd body.Bl.params)) Ty.Int)
+
+let suite =
+  ( "ssa_builder",
+    [
+      Alcotest.test_case "straight line" `Quick test_straightline;
+      Alcotest.test_case "diamond creates phi" `Quick test_diamond_phi;
+      Alcotest.test_case "one-sided write still phis" `Quick test_diamond_one_sided;
+      Alcotest.test_case "no writes, no phi" `Quick test_diamond_no_writes;
+      Alcotest.test_case "loop with incomplete phi" `Quick test_loop_incomplete_phi;
+      Alcotest.test_case "undefined read fails" `Quick test_read_undefined_fails;
+      Alcotest.test_case "jump-to-label rejected" `Quick test_jump_to_label_rejected;
+      Alcotest.test_case "finish requires terminators" `Quick test_finish_requires_termination;
+      Alcotest.test_case "boolean types lowered" `Quick test_var_tys_lowered;
+    ] )

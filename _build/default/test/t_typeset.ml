@@ -1,0 +1,95 @@
+(* Unit and property tests for the bitset type-set representation. *)
+
+module TS = Skipflow_core.Typeset
+
+let set () = Alcotest.testable (fun ppf s -> TS.pp ppf s) TS.equal
+let ts = set ()
+
+let test_empty () =
+  Alcotest.(check bool) "empty is empty" true (TS.is_empty TS.empty);
+  Alcotest.(check int) "cardinal 0" 0 (TS.cardinal TS.empty);
+  Alcotest.(check (list int)) "no elements" [] (TS.elements TS.empty)
+
+let test_singleton () =
+  let s = TS.singleton 5 in
+  Alcotest.(check bool) "mem 5" true (TS.mem 5 s);
+  Alcotest.(check bool) "not mem 4" false (TS.mem 4 s);
+  Alcotest.(check bool) "not mem 500" false (TS.mem 500 s);
+  Alcotest.(check int) "cardinal" 1 (TS.cardinal s)
+
+let test_add_remove () =
+  let s = TS.of_list [ 1; 63; 64; 200 ] in
+  Alcotest.(check (list int)) "elements sorted" [ 1; 63; 64; 200 ] (TS.elements s);
+  let s' = TS.remove 64 s in
+  Alcotest.(check (list int)) "removed" [ 1; 63; 200 ] (TS.elements s');
+  Alcotest.(check ts) "remove absent is id" s (TS.remove 77 s);
+  (* removal must renormalize so equality stays structural *)
+  let t = TS.remove 200 (TS.of_list [ 1; 200 ]) in
+  Alcotest.(check ts) "normalization after remove" (TS.singleton 1) t
+
+let test_ops () =
+  let a = TS.of_list [ 0; 1; 70 ] and b = TS.of_list [ 1; 2; 200 ] in
+  Alcotest.(check (list int)) "union" [ 0; 1; 2; 70; 200 ] (TS.elements (TS.union a b));
+  Alcotest.(check (list int)) "inter" [ 1 ] (TS.elements (TS.inter a b));
+  Alcotest.(check (list int)) "diff" [ 0; 70 ] (TS.elements (TS.diff a b));
+  Alcotest.(check bool) "subset yes" true (TS.subset (TS.of_list [ 1; 70 ]) a);
+  Alcotest.(check bool) "subset no" false (TS.subset b a)
+
+let test_inter_normalizes () =
+  (* intersection of disjoint high sets must equal empty structurally *)
+  let a = TS.singleton 300 and b = TS.singleton 301 in
+  Alcotest.(check ts) "disjoint inter = empty" TS.empty (TS.inter a b);
+  Alcotest.(check bool) "equal empties" true (TS.equal (TS.inter a b) TS.empty)
+
+let test_null_bit () =
+  Alcotest.(check bool) "null bit" true (TS.has_null TS.null_bit);
+  Alcotest.(check bool) "empty lacks null" false (TS.has_null TS.empty)
+
+(* ---------------------------- properties ------------------------------ *)
+
+let gen_set =
+  QCheck.Gen.(
+    map TS.of_list (list_size (int_bound 12) (int_bound 150)))
+
+let arb_set = QCheck.make ~print:(Format.asprintf "%a" TS.pp) gen_set
+
+let prop name gen f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:300 gen f)
+
+let props =
+  [
+    prop "union comm" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        TS.equal (TS.union a b) (TS.union b a));
+    prop "union assoc" (QCheck.triple arb_set arb_set arb_set) (fun (a, b, c) ->
+        TS.equal (TS.union a (TS.union b c)) (TS.union (TS.union a b) c));
+    prop "union idem" arb_set (fun a -> TS.equal (TS.union a a) a);
+    prop "inter comm" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        TS.equal (TS.inter a b) (TS.inter b a));
+    prop "de morgan via diff" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        (* a \ b = a \ (a ∩ b) *)
+        TS.equal (TS.diff a b) (TS.diff a (TS.inter a b)));
+    prop "diff then union restores" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        TS.equal (TS.union (TS.diff a b) (TS.inter a b)) a);
+    prop "subset union" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        TS.subset a (TS.union a b));
+    prop "mem after add" (QCheck.pair arb_set (QCheck.int_bound 150)) (fun (a, i) ->
+        TS.mem i (TS.add i a));
+    prop "cardinal union inter" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        TS.cardinal (TS.union a b) + TS.cardinal (TS.inter a b)
+        = TS.cardinal a + TS.cardinal b);
+    prop "equal iff same elements" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        TS.equal a b = (TS.elements a = TS.elements b));
+    prop "fold consistent with elements" arb_set (fun a ->
+        List.rev (TS.fold (fun i acc -> i :: acc) a []) = TS.elements a);
+  ]
+
+let suite =
+  ( "typeset",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "singleton" `Quick test_singleton;
+      Alcotest.test_case "add/remove" `Quick test_add_remove;
+      Alcotest.test_case "set operations" `Quick test_ops;
+      Alcotest.test_case "inter normalizes" `Quick test_inter_normalizes;
+      Alcotest.test_case "null bit" `Quick test_null_bit;
+    ]
+    @ props )

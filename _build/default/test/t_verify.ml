@@ -1,0 +1,175 @@
+(* Fixed-point certification (lib/core/verify.ml) and the dead-code report
+   client (lib/core/report.ml). *)
+
+module C = Skipflow_core
+module F = Skipflow_frontend
+module W = Skipflow_workloads
+
+let solve ?(config = C.Config.skipflow) src =
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  (C.Analysis.run ~config prog ~roots:[ main ]).C.Analysis.engine
+
+let fig2 =
+  {|
+class Thread { boolean isVirtual() { return this instanceof BaseVirtualThread; } }
+class BaseVirtualThread extends Thread { }
+class Set { void remove(Thread t) { } }
+class Container {
+  var Set virtualThreads;
+  void onExit(Thread thread) {
+    if (thread.isVirtual()) { this.virtualThreads.remove(thread); }
+  }
+}
+class Main {
+  static void main() {
+    Container c = new Container();
+    c.virtualThreads = new Set();
+    c.onExit(new Thread());
+  }
+}
+|}
+
+let certify name engine =
+  match C.Verify.run engine with
+  | [] -> ()
+  | vs -> Alcotest.failf "%s: %d violations, first: %s" name (List.length vs) (List.hd vs)
+
+let test_certify_examples () =
+  List.iter
+    (fun (cname, config) -> certify cname (solve ~config fig2))
+    [
+      ("skipflow", C.Config.skipflow);
+      ("pta", C.Config.pta);
+      ("preds-only", C.Config.predicates_only);
+      ("prims-only", C.Config.primitives_only);
+      ("saturated", { C.Config.skipflow with C.Config.saturation = Some 1 });
+    ]
+
+let test_certify_benchmark () =
+  let prog, main =
+    W.Gen.compile { W.Gen.default_params with W.Gen.live_units = 8; dead_units = 3 }
+  in
+  List.iter
+    (fun config ->
+      certify "benchmark"
+        (C.Analysis.run ~config prog ~roots:[ main ]).C.Analysis.engine)
+    [ C.Config.skipflow; C.Config.pta ]
+
+let test_detects_corruption () =
+  let engine = solve fig2 in
+  (* corrupt one flow: shrink an enabled, non-empty state to Empty *)
+  let corrupted = ref false in
+  List.iter
+    (fun (g : C.Graph.method_graph) ->
+      List.iter
+        (fun (f : C.Flow.t) ->
+          if
+            (not !corrupted) && f.C.Flow.enabled
+            && (not (C.Vstate.is_empty f.C.Flow.state))
+            && f.C.Flow.uses <> []
+          then begin
+            f.C.Flow.state <- C.Vstate.empty;
+            f.C.Flow.raw <- C.Vstate.empty;
+            corrupted := true
+          end)
+        g.C.Graph.g_flows)
+    (C.Engine.graphs engine);
+  Alcotest.(check bool) "corrupted something" true !corrupted;
+  Alcotest.(check bool) "verifier notices" true (C.Verify.run engine <> [])
+
+let prop_certify =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random programs certify under all configs" ~count:60
+       (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 50_000))
+       (fun seed ->
+         let cfg =
+           { W.Gen_random.default_cfg with W.Gen_random.seed; classes = 3 + (seed mod 6) }
+         in
+         let prog, main = W.Gen_random.compile cfg in
+         List.for_all
+           (fun config ->
+             C.Verify.run (C.Analysis.run ~config prog ~roots:[ main ]).C.Analysis.engine
+             = [])
+           [ C.Config.skipflow; C.Config.pta; C.Config.predicates_only ]))
+
+(* ------------------------------- report -------------------------------- *)
+
+let test_report () =
+  let src =
+    {|
+class H { int h() { return 0; } }
+class H1 extends H { int h() { return 1; } }
+class H2 extends H { int h() { return 2; } }
+class Flags { static boolean enabled() { return false; } }
+class DeadLib { void init() { } }
+class Main {
+  static void main() {
+    H x = new H1();
+    if (Flags.enabled()) {
+      DeadLib d = new DeadLib();
+      d.init();
+      x = new H2();
+    }
+    int r = x.h();
+  }
+}
+|}
+  in
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  let pta = C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ] in
+  let sf = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
+  let r =
+    C.Report.compare_runs ~baseline:pta.C.Analysis.engine ~precise:sf.C.Analysis.engine
+  in
+  Alcotest.(check bool) "DeadLib.init removed" true
+    (List.mem "DeadLib.init" r.C.Report.removed_methods);
+  Alcotest.(check bool) "H2.h removed" true (List.mem "H2.h" r.C.Report.removed_methods);
+  (* the feature-flag branch folds to one side (verdicts are in terms of
+     the normalized IR branches: boolean conditions lower to '== 0' with
+     swapped targets, so the surface-else is the IR-then here) *)
+  Alcotest.(check bool) "a folded branch reported" true
+    (List.exists
+       (fun (m, _, v) ->
+         m = "Main.main" && (v = C.Report.Then_only || v = C.Report.Else_only))
+       r.C.Report.folded_branches);
+  (* x.h() devirtualizes to H1.h *)
+  Alcotest.(check bool) "devirtualized to H1.h" true
+    (List.mem ("Main.main", "H1.h") r.C.Report.devirtualized);
+  (* Flags.enabled returns the constant 0 *)
+  Alcotest.(check bool) "constant return found" true
+    (List.mem ("Flags.enabled", 0) r.C.Report.constant_returns);
+  (* the pretty-printer produces all sections *)
+  let text = Format.asprintf "%a" C.Report.pp r in
+  Alcotest.(check bool) "pp sections" true
+    (String.length text > 50
+    && List.for_all
+         (fun sub ->
+           let n = String.length text and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+           go 0)
+         [ "methods removed"; "foldable branches"; "devirtualized"; "constant-returning" ])
+
+let test_report_empty_when_equal () =
+  (* on a program with no SkipFlow-only facts the removed list is empty *)
+  let src = {| class Main { static void main() { int x = 1; } } |} in
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  let pta = C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ] in
+  let sf = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
+  let r =
+    C.Report.compare_runs ~baseline:pta.C.Analysis.engine ~precise:sf.C.Analysis.engine
+  in
+  Alcotest.(check (list string)) "nothing removed" [] r.C.Report.removed_methods
+
+let suite =
+  ( "verify",
+    [
+      Alcotest.test_case "examples certify (all configs)" `Quick test_certify_examples;
+      Alcotest.test_case "benchmark certifies" `Quick test_certify_benchmark;
+      Alcotest.test_case "verifier detects corruption" `Quick test_detects_corruption;
+      prop_certify;
+      Alcotest.test_case "dead-code report" `Quick test_report;
+      Alcotest.test_case "report empty on trivial program" `Quick test_report_empty_when_equal;
+    ] )

@@ -1,0 +1,218 @@
+(* Tests for the combined value-state lattice 𝕃 (Appendix B.2, Figure 11)
+   and the Compare function (Appendix C) — including the paper's worked
+   examples verbatim. *)
+
+module V = Skipflow_core.Vstate
+module TS = Skipflow_core.Typeset
+
+let vs = Alcotest.testable V.pp V.equal
+let tset l = V.types (TS.of_list l)
+
+(* In these tests class ids are plain ints; 0 is null. *)
+
+let test_join () =
+  Alcotest.check vs "empty ∨ x" (V.const 5) (V.join V.empty (V.const 5));
+  Alcotest.check vs "c ∨ c" (V.const 5) (V.join (V.const 5) (V.const 5));
+  Alcotest.check vs "c ∨ c' = Any" V.any (V.join (V.const 5) (V.const 6));
+  Alcotest.check vs "types union" (tset [ 1; 2; 3 ]) (V.join (tset [ 1; 2 ]) (tset [ 2; 3 ]));
+  Alcotest.check vs "prim ∨ types = Any (⊤)" V.any (V.join (V.const 1) (tset [ 2 ]));
+  Alcotest.check vs "any absorbs" V.any (V.join V.any (tset [ 2 ]))
+
+let test_leq () =
+  Alcotest.(check bool) "empty ≤ all" true (V.leq V.empty (V.const 1));
+  Alcotest.(check bool) "ts ≤ bigger ts" true (V.leq (tset [ 1 ]) (tset [ 1; 2 ]));
+  Alcotest.(check bool) "ts ≰ smaller" false (V.leq (tset [ 1; 2 ]) (tset [ 1 ]));
+  Alcotest.(check bool) "ts ≤ Any" true (V.leq (tset [ 1; 2 ]) V.any);
+  Alcotest.(check bool) "const ≤ Any" true (V.leq (V.const 9) V.any);
+  Alcotest.(check bool) "const ≰ types" false (V.leq (V.const 9) (tset [ 1 ]))
+
+(* ---- the Compare examples of Appendix C, verbatim ---- *)
+
+let test_compare_paper_examples () =
+  (* Compare('=', {Any}, {5}) = {5} *)
+  Alcotest.check vs "eq any 5" (V.const 5) (V.compare_filter V.Eq V.any (V.const 5));
+  (* Compare('=', {Any}, {Any}) = {Any} *)
+  Alcotest.check vs "eq any any" V.any (V.compare_filter V.Eq V.any V.any);
+  (* Compare('=', {A,B}, {B,C}) = {B} *)
+  Alcotest.check vs "eq typesets" (tset [ 2 ])
+    (V.compare_filter V.Eq (tset [ 1; 2 ]) (tset [ 2; 3 ]));
+  (* Compare('=', {5}, {5}) = {5};  Compare('=', {5}, {3}) = {} *)
+  Alcotest.check vs "eq 5 5" (V.const 5) (V.compare_filter V.Eq (V.const 5) (V.const 5));
+  Alcotest.check vs "eq 5 3" V.empty (V.compare_filter V.Eq (V.const 5) (V.const 3));
+  (* Compare('≠', {0}, {0}) = {};  Compare('≠', {5}, {3}) = {5} *)
+  Alcotest.check vs "ne 0 0" V.empty (V.compare_filter V.Ne (V.const 0) (V.const 0));
+  Alcotest.check vs "ne 5 3" (V.const 5) (V.compare_filter V.Ne (V.const 5) (V.const 3));
+  (* Compare('<', {3}, {5}) = {3};  Compare('<', {3}, {1}) = {} *)
+  Alcotest.check vs "lt 3 5" (V.const 3) (V.compare_filter V.Lt (V.const 3) (V.const 5));
+  Alcotest.check vs "lt 3 1" V.empty (V.compare_filter V.Lt (V.const 3) (V.const 1))
+
+let test_compare_empty_and_any () =
+  Alcotest.check vs "empty left" V.empty (V.compare_filter V.Lt V.empty (V.const 1));
+  Alcotest.check vs "empty right" V.empty (V.compare_filter V.Lt (V.const 1) V.empty);
+  (* relational with Any anywhere: no filtering *)
+  Alcotest.check vs "lt any r" (V.const 3) (V.compare_filter V.Lt (V.const 3) V.any);
+  Alcotest.check vs "lt any l" V.any (V.compare_filter V.Lt V.any (V.const 3));
+  Alcotest.check vs "ne any l" V.any (V.compare_filter V.Ne V.any (V.const 3));
+  Alcotest.check vs "ne any r" (V.const 3) (V.compare_filter V.Ne (V.const 3) V.any)
+
+let test_compare_null_checks () =
+  let null = tset [ 0 ] in
+  let maybe_null = tset [ 0; 4 ] in
+  (* x == null keeps only null *)
+  Alcotest.check vs "eq null" null (V.compare_filter V.Eq maybe_null null);
+  (* x != null drops null *)
+  Alcotest.check vs "ne null" (tset [ 4 ]) (V.compare_filter V.Ne maybe_null null);
+  (* null != x where x may be null: null can still differ from an object;
+     the paper's raw set difference would unsoundly return {} here (see the
+     comment in Vstate.compare_filter) *)
+  Alcotest.check vs "ne non-singleton rhs" null (V.compare_filter V.Ne null maybe_null);
+  (* object != object on the type abstraction must not filter: two distinct
+     objects of the same type are different references *)
+  Alcotest.check vs "ne same typeset" (tset [ 4 ])
+    (V.compare_filter V.Ne (tset [ 4 ]) (tset [ 4 ]))
+
+let test_relational_ops () =
+  let chk op l r expect =
+    Alcotest.check vs
+      (Format.asprintf "%a" V.pp_cmp_op op)
+      expect
+      (V.compare_filter op (V.const l) (V.const r))
+  in
+  chk V.Ge 5 5 (V.const 5);
+  chk V.Ge 4 5 V.empty;
+  chk V.Gt 6 5 (V.const 6);
+  chk V.Gt 5 5 V.empty;
+  chk V.Le 5 5 (V.const 5);
+  chk V.Le 6 5 V.empty
+
+let test_inv_flip () =
+  Alcotest.(check bool) "inv eq" true (V.inv V.Eq = V.Ne);
+  Alcotest.(check bool) "inv lt" true (V.inv V.Lt = V.Ge);
+  Alcotest.(check bool) "inv involutive" true
+    (List.for_all (fun o -> V.inv (V.inv o) = o) [ V.Eq; V.Ne; V.Lt; V.Ge; V.Gt; V.Le ]);
+  Alcotest.(check bool) "flip lt = gt" true (V.flip V.Lt = V.Gt);
+  Alcotest.(check bool) "flip ge = le" true (V.flip V.Ge = V.Le);
+  Alcotest.(check bool) "flip involutive" true
+    (List.for_all (fun o -> V.flip (V.flip o) = o) [ V.Eq; V.Ne; V.Lt; V.Ge; V.Gt; V.Le ])
+
+let test_instanceof_filter () =
+  let mask = TS.of_list [ 2; 3 ] in
+  (* positive instanceof: null (bit 0) never passes *)
+  Alcotest.check vs "positive" (tset [ 2 ])
+    (V.filter_instanceof ~mask ~negated:false (tset [ 0; 1; 2 ]));
+  (* negated: null passes, subtypes do not *)
+  Alcotest.check vs "negated" (tset [ 0; 1 ])
+    (V.filter_instanceof ~mask ~negated:true (tset [ 0; 1; 2 ]));
+  Alcotest.check vs "prim passes through" (V.const 1)
+    (V.filter_instanceof ~mask ~negated:false (V.const 1));
+  Alcotest.check vs "empty stays empty" V.empty
+    (V.filter_instanceof ~mask ~negated:false V.empty)
+
+let test_declared_filter () =
+  let mask_with_null = TS.of_list [ 0; 2; 3 ] in
+  Alcotest.check vs "declared keeps null + subtypes" (tset [ 0; 2 ])
+    (V.filter_declared ~mask_with_null (tset [ 0; 1; 2 ]));
+  Alcotest.check vs "prim unchanged" V.any (V.filter_declared ~mask_with_null V.any)
+
+(* ---------------------------- properties ------------------------------ *)
+
+let gen_v =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return V.empty);
+        (3, map V.const (int_range (-3) 3));
+        (3, map (fun l -> V.types (TS.of_list l)) (list_size (int_bound 4) (int_bound 8)));
+        (1, return V.any);
+      ])
+
+let arb_v = QCheck.make ~print:(Format.asprintf "%a" V.pp) gen_v
+
+let arb_op =
+  QCheck.make
+    ~print:(Format.asprintf "%a" V.pp_cmp_op)
+    QCheck.Gen.(oneofl [ V.Eq; V.Ne; V.Lt; V.Ge; V.Gt; V.Le ])
+
+(* all states drawn from the same typed sublattice? (Empty and Any belong
+   to both) *)
+let same_kind vs =
+  let prims = List.for_all (function V.Types _ -> false | _ -> true) vs in
+  let objs = List.for_all (function V.Const _ -> false | _ -> true) vs in
+  prims || objs
+
+let prop name g f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 g f)
+
+let props =
+  [
+    prop "join comm" (QCheck.pair arb_v arb_v) (fun (a, b) ->
+        V.equal (V.join a b) (V.join b a));
+    prop "join assoc" (QCheck.triple arb_v arb_v arb_v) (fun (a, b, c) ->
+        V.equal (V.join a (V.join b c)) (V.join (V.join a b) c));
+    prop "join idem" arb_v (fun a -> V.equal (V.join a a) a);
+    prop "leq defines join" (QCheck.pair arb_v arb_v) (fun (a, b) ->
+        V.leq a b = V.equal (V.join a b) b);
+    prop "compare result ≤ lhs or rhs-bounded"
+      (QCheck.triple arb_op arb_v arb_v)
+      (fun (op, l, r) ->
+        (* the filtered value never exceeds the unfiltered lhs *)
+        V.leq (V.compare_filter op l r) l
+        ||
+        (* ...except Eq with Any on the left, which returns the rhs *)
+        (op = V.Eq && V.equal l V.any));
+    (* Monotonicity holds on the well-typed sublattices (all operands
+       primitive, or all object type sets); the engine never compares a
+       primitive with a type set in a type-checked program.  On ill-typed
+       mixtures the paper's Compare (Eq-with-Any returning the lower value)
+       is not monotone, so the generators here are kinded. *)
+    prop "compare monotone in lhs (well-typed)"
+      (QCheck.triple arb_op (QCheck.pair arb_v arb_v) arb_v)
+      (fun (op, (l1, l2), r) ->
+        QCheck.assume (same_kind [ l1; l2; r ]);
+        let l2 = V.join l1 l2 in
+        V.leq (V.compare_filter op l1 r) (V.compare_filter op l2 r));
+    prop "compare monotone in rhs (well-typed)"
+      (QCheck.triple arb_op (QCheck.pair arb_v arb_v) arb_v)
+      (fun (op, (r1, r2), l) ->
+        QCheck.assume (same_kind [ l; r1; r2 ]);
+        let r2 = V.join r1 r2 in
+        V.leq (V.compare_filter op l r1) (V.compare_filter op l r2));
+    prop "instanceof filter monotone"
+      (QCheck.triple (QCheck.pair arb_v arb_v) QCheck.bool
+         (QCheck.make QCheck.Gen.(map TS.of_list (list_size (int_bound 4) (int_bound 8)))))
+      (fun ((a, b), negated, mask) ->
+        let b = V.join a b in
+        V.leq (V.filter_instanceof ~mask ~negated a) (V.filter_instanceof ~mask ~negated b));
+    prop "compare soundness on concrete ints"
+      (QCheck.triple arb_op (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3))
+      (fun (op, x, y) ->
+        (* if concrete x op y holds, the abstraction of x survives
+           filtering against the abstraction of y *)
+        let holds =
+          match op with
+          | V.Eq -> x = y
+          | V.Ne -> x <> y
+          | V.Lt -> x < y
+          | V.Ge -> x >= y
+          | V.Gt -> x > y
+          | V.Le -> x <= y
+        in
+        (not holds) || V.leq (V.const x) (V.compare_filter op (V.const x) (V.const y)));
+    prop "compare soundness under Any rhs"
+      (QCheck.pair arb_op (QCheck.int_range (-3) 3))
+      (fun (op, x) -> V.leq (V.const x) (V.compare_filter op (V.const x) V.any));
+  ]
+
+let suite =
+  ( "vstate",
+    [
+      Alcotest.test_case "join" `Quick test_join;
+      Alcotest.test_case "leq" `Quick test_leq;
+      Alcotest.test_case "Compare: paper examples" `Quick test_compare_paper_examples;
+      Alcotest.test_case "Compare: empty and Any" `Quick test_compare_empty_and_any;
+      Alcotest.test_case "Compare: null checks" `Quick test_compare_null_checks;
+      Alcotest.test_case "Compare: relational" `Quick test_relational_ops;
+      Alcotest.test_case "inv and flip" `Quick test_inv_flip;
+      Alcotest.test_case "instanceof filter" `Quick test_instanceof_filter;
+      Alcotest.test_case "declared-type filter" `Quick test_declared_filter;
+    ]
+    @ props )

@@ -1,0 +1,181 @@
+(* Workload generator tests: determinism, PRNG behaviour, catalog
+   integrity, and that generated benchmarks have the intended reachability
+   structure (live units reachable under both analyses, dead-guarded units
+   only under PTA, unused units under neither). *)
+
+open Skipflow_ir
+module C = Skipflow_core
+module W = Skipflow_workloads
+
+(* ------------------------------- rng ---------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = W.Rng.create 42 and b = W.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (W.Rng.int a 1000) (W.Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = W.Rng.create 42 in
+  let child = W.Rng.split a in
+  let v1 = W.Rng.int child 1000000 in
+  (* drawing more from the parent must not change what an identically
+     derived child produces *)
+  let b = W.Rng.create 42 in
+  let child2 = W.Rng.split b in
+  ignore (W.Rng.int b 7);
+  Alcotest.(check int) "child stream stable" v1 (W.Rng.int child2 1000000)
+
+let test_rng_bounds () =
+  let r = W.Rng.create 1 in
+  for _ = 1 to 1000 do
+    let v = W.Rng.range r 3 9 in
+    Alcotest.(check bool) "in range" true (v >= 3 && v <= 9)
+  done;
+  for _ = 1 to 100 do
+    let v = W.Rng.pick r [ "a"; "b" ] in
+    Alcotest.(check bool) "picked member" true (v = "a" || v = "b")
+  done
+
+let test_rng_weighted () =
+  let r = W.Rng.create 5 in
+  for _ = 1 to 200 do
+    (* weight 0 choices are never taken *)
+    let v = W.Rng.weighted r [ (0, `Never); (5, `Often) ] in
+    Alcotest.(check bool) "never means never" true (v = `Often)
+  done
+
+(* ----------------------------- generator ------------------------------ *)
+
+let test_gen_deterministic () =
+  let p = { W.Gen.default_params with W.Gen.seed = 17 } in
+  Alcotest.(check string) "same source for same seed" (W.Gen.source p) (W.Gen.source p);
+  let p2 = { p with W.Gen.seed = 18 } in
+  Alcotest.(check bool) "different seed, different source" false
+    (String.equal (W.Gen.source p) (W.Gen.source p2))
+
+let test_gen_structure () =
+  let p =
+    { W.Gen.default_params with W.Gen.live_units = 10; dead_units = 4; unused_units = 3 }
+  in
+  let prog, main = W.Gen.compile p in
+  let sf = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
+  let pta = C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ] in
+  let reachable r u =
+    let cls = Option.get (Program.find_class prog (Printf.sprintf "Unit%d" u)) in
+    let m = Option.get (Program.find_meth prog cls "entry") in
+    C.Engine.is_reachable r.C.Analysis.engine m.Program.m_id
+  in
+  (* live units: reachable under both *)
+  for u = 0 to 9 do
+    Alcotest.(check bool) (Printf.sprintf "unit %d live under PTA" u) true (reachable pta u);
+    Alcotest.(check bool)
+      (Printf.sprintf "unit %d live under SkipFlow" u)
+      true (reachable sf u)
+  done;
+  (* dead-guarded units: PTA yes, SkipFlow no *)
+  for u = 10 to 13 do
+    Alcotest.(check bool) (Printf.sprintf "unit %d guarded: PTA reaches" u) true (reachable pta u);
+    Alcotest.(check bool)
+      (Printf.sprintf "unit %d guarded: SkipFlow prunes" u)
+      false (reachable sf u)
+  done;
+  (* unused units: neither *)
+  for u = 14 to 16 do
+    Alcotest.(check bool) (Printf.sprintf "unit %d unused: PTA" u) false (reachable pta u);
+    Alcotest.(check bool) (Printf.sprintf "unit %d unused: SkipFlow" u) false (reachable sf u)
+  done
+
+let test_gen_reduction_tracks_dead_fraction () =
+  let p =
+    { W.Gen.default_params with W.Gen.live_units = 45; dead_units = 5; unused_units = 4 }
+  in
+  let prog, main = W.Gen.compile p in
+  let m cfg = (C.Analysis.run ~config:cfg prog ~roots:[ main ]).C.Analysis.metrics in
+  let pta = (m C.Config.pta).C.Metrics.reachable_methods in
+  let sf = (m C.Config.skipflow).C.Metrics.reachable_methods in
+  let red = 100. *. float_of_int (pta - sf) /. float_of_int pta in
+  (* 5/50 guarded units: the reduction should land near 10% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "reduction %.1f%% in [6, 14]" red)
+    true
+    (red >= 6. && red <= 14.)
+
+let test_gen_rejects_bad_params () =
+  let bad f = match f () with exception Invalid_argument _ -> true | _ -> false in
+  Alcotest.(check bool) "unit_size < 2" true
+    (bad (fun () -> W.Gen.generate { W.Gen.default_params with W.Gen.unit_size = 1 }));
+  Alcotest.(check bool) "poly_width < 2" true
+    (bad (fun () -> W.Gen.generate { W.Gen.default_params with W.Gen.poly_width = 1 }))
+
+(* ------------------------------ catalog ------------------------------- *)
+
+let test_catalog () =
+  Alcotest.(check int) "35 benchmarks" 35 (List.length W.Suites.all);
+  Alcotest.(check int) "8 dacapo" 8 (List.length W.Suites.dacapo);
+  Alcotest.(check int) "9 microservices" 9 (List.length W.Suites.microservices);
+  Alcotest.(check int) "18 renaissance" 18 (List.length W.Suites.renaissance);
+  (* names unique *)
+  let names = List.map (fun b -> b.W.Suites.name) W.Suites.all in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  (* sunflow is the paper's outlier *)
+  let sunflow = Option.get (W.Suites.find "sunflow") in
+  Alcotest.(check bool) "sunflow > 50%" true (sunflow.W.Suites.paper_reduction_pct > 50.);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (b.W.Suites.name ^ " reduction sane")
+        true
+        (b.W.Suites.paper_reduction_pct > 0. && b.W.Suites.paper_reduction_pct < 60.))
+    W.Suites.all
+
+let test_params_scaling () =
+  let b = Option.get (W.Suites.find "fop") in
+  let p1 = W.Suites.params_of ~scale:0.01 b in
+  let p2 = W.Suites.params_of ~scale:0.02 b in
+  Alcotest.(check bool) "scale grows units" true (p2.W.Gen.live_units > p1.W.Gen.live_units);
+  (* dead fraction approximates the paper's reduction *)
+  let frac =
+    float_of_int p2.W.Gen.dead_units
+    /. float_of_int (p2.W.Gen.dead_units + p2.W.Gen.live_units)
+  in
+  Alcotest.(check bool) "dead fraction ~ paper reduction" true
+    (Float.abs ((100. *. frac) -. b.W.Suites.paper_reduction_pct) < 2.5)
+
+(* --------------------------- random generator ------------------------- *)
+
+let test_gen_random_compiles_and_runs () =
+  List.iter
+    (fun seed ->
+      let cfg = { W.Gen_random.default_cfg with W.Gen_random.seed; classes = 6 } in
+      let prog, main = W.Gen_random.compile cfg in
+      let trace, _halt = Skipflow_interp.Interp.run ~fuel:30_000 prog main in
+      Alcotest.(check bool) "main executed" true
+        (Ids.Meth.Set.mem main.Program.m_id trace.Skipflow_interp.Interp.called))
+    [ 101; 102; 103; 104; 105; 106; 107; 108 ]
+
+let test_gen_random_deterministic () =
+  let cfg = { W.Gen_random.default_cfg with W.Gen_random.seed = 55 } in
+  let s1 = Skipflow_frontend.Ast_pp.to_string (W.Gen_random.generate cfg) in
+  let s2 = Skipflow_frontend.Ast_pp.to_string (W.Gen_random.generate cfg) in
+  Alcotest.(check string) "deterministic" s1 s2
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng split independence" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng weighted" `Quick test_rng_weighted;
+      Alcotest.test_case "generator deterministic" `Quick test_gen_deterministic;
+      Alcotest.test_case "generated structure (live/dead/unused)" `Quick test_gen_structure;
+      Alcotest.test_case "reduction tracks dead fraction" `Quick
+        test_gen_reduction_tracks_dead_fraction;
+      Alcotest.test_case "bad params rejected" `Quick test_gen_rejects_bad_params;
+      Alcotest.test_case "benchmark catalog" `Quick test_catalog;
+      Alcotest.test_case "catalog params scaling" `Quick test_params_scaling;
+      Alcotest.test_case "random programs compile and run" `Quick
+        test_gen_random_compiles_and_runs;
+      Alcotest.test_case "random generator deterministic" `Quick test_gen_random_deterministic;
+    ] )
