@@ -6,52 +6,63 @@
       lowered IR;
     - [compare FILE.mj] — run SkipFlow, PTA, RTA and CHA side by side;
     - [run FILE.mj] — execute the program in the concrete interpreter;
+    - [fuzz] — randomized robustness harness over generated programs;
     - [gen] — emit a synthetic benchmark program as MiniJava source;
-    - [bench-list] — list the benchmark catalog. *)
+    - [bench-list] — list the benchmark catalog.
+
+    Exit codes: 0 success; 1 analysis error (certifier violations, fuzz
+    failures); 2 input error (bad source, bad roots — rendered as caret
+    diagnostics); 3 a resource budget tripped and the result is degraded
+    but [--allow-degraded] was not given. *)
 
 open Skipflow_ir
 module C = Skipflow_core
+module F = Skipflow_frontend
 module W = Skipflow_workloads
 open Cmdliner
 
-let config_of_string = function
-  | "skipflow" -> C.Config.skipflow
-  | "pta" -> C.Config.pta
-  | "preds-only" -> C.Config.predicates_only
-  | "prims-only" -> C.Config.primitives_only
-  | s -> invalid_arg (Printf.sprintf "unknown analysis %S" s)
+let exit_analysis_error = 1
+let exit_input_error = 2
+let exit_degraded = 3
 
+(** Compile [file], rendering accumulated caret diagnostics on stderr and
+    exiting with the input-error code if any are reported. *)
 let load_program file =
-  try Skipflow_frontend.Frontend.compile_file file
-  with Skipflow_frontend.Frontend.Error msg ->
-    Printf.eprintf "%s: %s\n" file msg;
-    exit 1
+  let src, result = F.Frontend.compile_file_diags file in
+  match result with
+  | Ok prog -> prog
+  | Error ds ->
+      F.Diag.render_all ~file ~src Format.err_formatter ds;
+      exit exit_input_error
 
 let roots_of prog = function
   | [] -> (
-      match Skipflow_frontend.Frontend.main_of prog with
+      match F.Frontend.main_of prog with
       | Some m -> [ m ]
       | None ->
           prerr_endline "error: no static main method found and no --root given";
-          exit 1)
+          exit exit_input_error)
   | names -> (
       try C.Analysis.roots_by_name prog names
       with Not_found | Invalid_argument _ ->
         prerr_endline "error: a --root was not found (use Class.method)";
-        exit 1)
+        exit exit_input_error)
 
 (* ------------------------------- analyze ------------------------------ *)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file")
 
+(* the enum maps names straight to configurations: there is no string to
+   re-validate downstream *)
 let analysis_arg =
   Arg.(
     value
     & opt (enum
-             [ ("skipflow", "skipflow"); ("pta", "pta"); ("preds-only", "preds-only");
-               ("prims-only", "prims-only") ])
-        "skipflow"
+             [ ("skipflow", C.Config.skipflow); ("pta", C.Config.pta);
+               ("preds-only", C.Config.predicates_only);
+               ("prims-only", C.Config.primitives_only) ])
+        C.Config.skipflow
     & info [ "a"; "analysis" ] ~doc:"Analysis configuration: skipflow, pta, preds-only, prims-only")
 
 let roots_arg =
@@ -62,11 +73,42 @@ let dot_arg = Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"OUT.do
 let ir_arg = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the lowered SSA base-language IR")
 let sat_arg = Arg.(value & opt (some int) None & info [ "saturation" ] ~docv:"K" ~doc:"Enable type-set saturation with cutoff K")
 
+let max_tasks_arg =
+  Arg.(value & opt (some int) None & info [ "max-tasks" ] ~docv:"N" ~doc:"Budget: cap on worklist tasks; on trip the engine degrades to a sound, coarser fixed point")
+
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Budget: wall-clock cap on the fixed-point solve")
+
+let max_flows_arg =
+  Arg.(value & opt (some int) None & info [ "max-flows" ] ~docv:"N" ~doc:"Budget: cap on live flows across all reachable methods")
+
+let allow_degraded_arg =
+  Arg.(value & flag & info [ "allow-degraded" ] ~doc:"Exit 0 instead of 3 when a budget trips and the result is degraded")
+
+let budget_of ~max_tasks ~timeout ~max_flows =
+  C.Budget.{ max_tasks; max_seconds = timeout; max_flows }
+
+(** Shared tail: report degradation and exit 3 unless it was opted into. *)
+let finish_degradation (r : C.Analysis.result) ~allow_degraded =
+  if r.C.Analysis.metrics.C.Metrics.degraded then
+    if allow_degraded then
+      Format.eprintf "warning: budget exhausted; results are sound but degraded@."
+    else begin
+      Format.eprintf
+        "error: budget exhausted; results are degraded (re-run with --allow-degraded to accept them)@.";
+      exit exit_degraded
+    end
+
 let analyze_cmd =
-  let run file analysis roots list_reachable dot dump_ir saturation =
+  let run file config roots list_reachable dot dump_ir saturation max_tasks timeout
+      max_flows allow_degraded =
     let prog = load_program file in
     if dump_ir then Format.printf "%a@." Ir_pp.pp_program prog;
-    let config = { (config_of_string analysis) with C.Config.saturation } in
+    let config =
+      { config with
+        C.Config.saturation;
+        budget = budget_of ~max_tasks ~timeout ~max_flows }
+    in
     let roots = roots_of prog roots in
     let t0 = Unix.gettimeofday () in
     let r = C.Analysis.run ~config prog ~roots in
@@ -79,15 +121,18 @@ let analyze_cmd =
         (fun (m : Program.meth) ->
           Format.printf "  %s@." (Program.qualified_name prog m.Program.m_id))
         (C.Engine.reachable_methods r.C.Analysis.engine);
-    match dot with
+    (match dot with
     | Some path ->
         C.Dot.write_file prog ~path (C.Engine.graphs r.C.Analysis.engine);
         Format.printf "PVPG written to %s@." path
-    | None -> ()
+    | None -> ());
+    finish_degradation r ~allow_degraded
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a MiniJava program")
-    Term.(const run $ file_arg $ analysis_arg $ roots_arg $ list_arg $ dot_arg $ ir_arg $ sat_arg)
+    Term.(
+      const run $ file_arg $ analysis_arg $ roots_arg $ list_arg $ dot_arg $ ir_arg
+      $ sat_arg $ max_tasks_arg $ timeout_arg $ max_flows_arg $ allow_degraded_arg)
 
 (* ------------------------------- compare ------------------------------ *)
 
@@ -138,7 +183,7 @@ let deadcode_cmd =
       | vs ->
           Format.printf "FIXED POINT VIOLATIONS:@.";
           List.iter (fun v -> Format.printf "  %s@." v) vs;
-          exit 1
+          exit exit_analysis_error
     end
   in
   let verify = Arg.(value & flag & info [ "verify" ] ~doc:"Re-check the Figure 15 rules over the fixed point") in
@@ -152,10 +197,10 @@ let deadcode_cmd =
 let run_cmd =
   let run file fuel =
     let prog = load_program file in
-    match Skipflow_frontend.Frontend.main_of prog with
+    match F.Frontend.main_of prog with
     | None ->
         prerr_endline "error: no static main method";
-        exit 1
+        exit exit_input_error
     | Some main ->
         let trace, halt = Skipflow_interp.Interp.run ~fuel prog main in
         Format.printf "halt: %s@."
@@ -166,7 +211,8 @@ let run_cmd =
           | Out_of_fuel -> "out of fuel"
           | Index_oob -> "array index out of bounds"
           | Class_cast -> "class cast error"
-          | Uncaught -> "uncaught exception");
+          | Uncaught -> "uncaught exception"
+          | Interp_error msg -> "internal interpreter error: " ^ msg);
         Format.printf "steps: %d@." trace.Skipflow_interp.Interp.steps;
         Format.printf "methods executed: %d@."
           (Ids.Meth.Set.cardinal trace.Skipflow_interp.Interp.called);
@@ -179,6 +225,26 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute a MiniJava program in the concrete interpreter")
     Term.(const run $ file_arg $ fuel)
 
+(* -------------------------------- fuzz -------------------------------- *)
+
+let fuzz_cmd =
+  let run seeds quiet =
+    let progress =
+      if quiet then fun _ -> ()
+      else fun s ->
+        if (s + 1) mod 25 = 0 then Format.eprintf "fuzz: %d/%d seeds@." (s + 1) seeds
+    in
+    let report = Skipflow_fuzz.Fuzz.run ~progress ~seeds () in
+    Format.printf "%a@." Skipflow_fuzz.Fuzz.pp_report report;
+    if report.Skipflow_fuzz.Fuzz.r_failures <> [] then exit exit_analysis_error
+  in
+  let seeds = Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Number of random programs to generate and check") in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output") in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Fuzz the pipeline: generated programs, every configuration, random worklist orders, tiny budgets; certify every fixed point against the interpreter")
+    Term.(const run $ seeds $ quiet)
+
 (* --------------------------------- gen -------------------------------- *)
 
 let gen_cmd =
@@ -190,7 +256,7 @@ let gen_cmd =
           | Some b -> W.Suites.params_of b
           | None ->
               Printf.eprintf "unknown benchmark %s (see bench-list)\n" name;
-              exit 1)
+              exit exit_input_error)
       | None -> { W.Gen.default_params with seed }
     in
     let src = W.Gen.source params in
@@ -221,4 +287,7 @@ let bench_list_cmd =
 
 let () =
   let info = Cmd.info "skipflow" ~version:"1.0.0" ~doc:"SkipFlow predicated points-to analysis (CGO 2025 reproduction)" in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; compare_cmd; deadcode_cmd; run_cmd; gen_cmd; bench_list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; compare_cmd; deadcode_cmd; run_cmd; fuzz_cmd; gen_cmd; bench_list_cmd ]))

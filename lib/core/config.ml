@@ -30,9 +30,19 @@ type t = {
   primitives : bool;
   saturation : int option;
   seed_root_params : bool;
+  budget : Budget.t;
+      (** resource caps for {!Engine.run}; on trip the engine degrades
+          precision (never correctness) instead of aborting *)
 }
 
-let skipflow = { predicates = true; primitives = true; saturation = None; seed_root_params = true }
+let skipflow =
+  {
+    predicates = true;
+    primitives = true;
+    saturation = None;
+    seed_root_params = true;
+    budget = Budget.unlimited;
+  }
 
 (** The baseline points-to analysis of the paper's evaluation. *)
 let pta = { skipflow with predicates = false; primitives = false }
@@ -54,4 +64,6 @@ let name c =
 
 let pp ppf c =
   Format.fprintf ppf "%s%s" (name c)
-    (match c.saturation with None -> "" | Some k -> Printf.sprintf "+sat%d" k)
+    (match c.saturation with None -> "" | Some k -> Printf.sprintf "+sat%d" k);
+  if not (Budget.is_unlimited c.budget) then
+    Format.fprintf ppf "[%a]" Budget.pp c.budget

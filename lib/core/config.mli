@@ -16,6 +16,11 @@ type t = {
       (** seed root-method object parameters with all instantiated
           subtypes of their declared type (the Section 5 reflection/JNI
           policy) *)
+  budget : Budget.t;
+      (** resource caps for {!Engine.run}; when a cap trips the engine
+          switches to degradation mode — saturate object flows, widen
+          primitive flows to [Any], and finish at a sound but coarser
+          fixed point — instead of aborting *)
 }
 
 val skipflow : t

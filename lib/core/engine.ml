@@ -28,6 +28,10 @@ type stats = {
   mutable use_edges : int;  (** counted at link time only *)
   mutable links : int;
   mutable max_queue : int;
+  mutable live_flows : int;  (** flows created across all reachable PVPGs *)
+  mutable budget_trips : int;  (** budget-cap trip events (0 or 1 per run) *)
+  mutable degraded : bool;  (** a budget trip switched the run to degradation mode *)
+  mutable first_trip : Budget.trip option;  (** which cap tripped first *)
 }
 
 type t = {
@@ -68,7 +72,17 @@ let create prog config =
     all_inst_any = always_on (Flow.All_instantiated Program.null_class) Vstate.empty;
     instantiated = Typeset.empty;
     pred_on = always_on Flow.Pred_on (Vstate.const 1);
-    stats = { tasks_processed = 0; use_edges = 0; links = 0; max_queue = 0 };
+    stats =
+      {
+        tasks_processed = 0;
+        use_edges = 0;
+        links = 0;
+        max_queue = 0;
+        live_flows = 0;
+        budget_trips = 0;
+        degraded = false;
+        first_trip = None;
+      };
   }
 
 let emit t task = Queue.add task t.queue
@@ -158,6 +172,41 @@ let input t (f : Flow.t) v =
     recompute t f
   end
 
+(* --------------------------- degradation ------------------------------ *)
+
+(** Degradation mode (budget exhaustion): precision is abandoned, never
+    soundness.  Every flow is force-enabled (as in the no-predicates
+    baseline); flows holding type sets are saturated onto the global
+    all-instantiated flow — exactly the paper's saturation mechanism with
+    cutoff 0 — and everything else is widened to the lattice top [Any].
+    The result, once the worklist re-drains, is a sound but much coarser
+    fixed point: the degraded reachable-method set is a superset of the
+    precise one (a property the fuzz harness asserts). *)
+let degrade_flow t (f : Flow.t) =
+  emit t (Edges.Enable f);
+  (if not f.Flow.saturated then
+     match f.Flow.raw with
+     | Vstate.Types _ ->
+         f.Flow.saturated <- true;
+         Edges.use_edge ~emit:(emit t) t.all_inst_any f
+     | Vstate.Empty | Vstate.Const _ | Vstate.Any ->
+         emit t (Edges.Input (f, Vstate.any)));
+  (* re-run the flow-specific action against the widened operand states *)
+  match f.Flow.kind with
+  | Flow.Invoke _ | Flow.Field_load _ | Flow.Field_store _ ->
+      emit t (Edges.Notify f)
+  | _ -> ()
+
+let degrade t (trip : Budget.trip) =
+  t.stats.budget_trips <- t.stats.budget_trips + 1;
+  if not t.stats.degraded then begin
+    t.stats.degraded <- true;
+    t.stats.first_trip <- Some trip;
+    Ids.Meth.Tbl.iter
+      (fun _ g -> List.iter (degrade_flow t) g.Graph.g_flows)
+      t.graphs
+  end
+
 (* ----------------------- reachability & linking ----------------------- *)
 
 let rec ensure_reachable t (m : Program.meth) =
@@ -178,9 +227,13 @@ let rec ensure_reachable t (m : Program.meth) =
       in
       Ids.Meth.Tbl.replace t.graphs m.Program.m_id g;
       t.reachable_order <- m :: t.reachable_order;
-      (* Baseline configuration: no predicate edges — every flow of a
-         reachable method propagates unconditionally. *)
-      if not t.config.Config.predicates then
+      t.stats.live_flows <- t.stats.live_flows + Graph.flow_count g;
+      (* Degradation mode: methods discovered after the budget tripped are
+         coarsened on arrival, like everything built before the trip. *)
+      if t.stats.degraded then List.iter (degrade_flow t) g.Graph.g_flows
+      else if not t.config.Config.predicates then
+        (* Baseline configuration: no predicate edges — every flow of a
+           reachable method propagates unconditionally. *)
         List.iter (fun f -> emit t (Edges.Enable f)) g.Graph.g_flows;
       g
 
@@ -249,7 +302,14 @@ and try_field t (f : Flow.t) =
   if f.Flow.enabled then
     match f.Flow.kind with
     | Flow.Field_load fa | Flow.Field_store fa ->
-        let tyset = Vstate.type_set fa.Flow.fa_recv.Flow.state in
+        let tyset =
+          match fa.Flow.fa_recv.Flow.state with
+          | Vstate.Any ->
+              (* Object flows only reach [Any] under degradation mode; be
+                 conservative, as the Invoke rule is. *)
+              t.instantiated
+          | s -> Vstate.type_set s
+        in
         Typeset.iter_classes
           (fun c ->
             if not (Program.is_null_class c) then
@@ -331,8 +391,15 @@ let add_root ?seed_params t (m : Program.meth) =
     By default tasks are processed FIFO.  With [random_order:seed] tasks
     are picked pseudo-randomly instead — the fixed point must not change
     (all transfer functions are monotone joins over a finite lattice),
-    which the property-test suite verifies by comparing runs. *)
+    which the property-test suite verifies by comparing runs.
+
+    The run is subject to [t.config.budget]: when a cap trips, the engine
+    switches to degradation mode ({!degrade}) and finishes at a sound but
+    coarser fixed point instead of aborting. *)
 let run ?random_order t =
+  let budget = t.config.Config.budget in
+  let start = Unix.gettimeofday () in
+  let elapsed_s () = Unix.gettimeofday () -. start in
   let process task =
     t.stats.tasks_processed <- t.stats.tasks_processed + 1;
     let q = Queue.length t.queue in
@@ -342,39 +409,91 @@ let run ?random_order t =
     | Edges.Input (f, v) -> input t f v
     | Edges.Notify f -> notify t f
   in
-  match random_order with
-  | None ->
-      let continue_ = ref true in
-      while !continue_ do
-        match Queue.take_opt t.queue with
-        | None -> continue_ := false
-        | Some task -> process task
-      done
-  | Some seed ->
-      (* array-backed bag with swap-remove; deterministic LCG *)
-      let state = ref (seed land 0x3FFFFFFF) in
-      let next bound =
-        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
-        !state mod bound
-      in
-      let bag = ref [||] in
-      let len = ref 0 in
-      let refill () =
-        let l = Queue.length t.queue in
-        if l > 0 then begin
-          bag := Array.init l (fun _ -> Queue.pop t.queue);
-          len := l
-        end
-      in
-      refill ();
-      while !len > 0 do
-        let i = next !len in
-        let task = !bag.(i) in
-        !bag.(i) <- !bag.(!len - 1);
-        decr len;
-        process task;
-        if !len = 0 then refill ()
-      done
+  (* Checked after every task while un-degraded; once degraded, the
+     remaining (fast: everything is saturated) drain runs to completion so
+     the final state is a genuine fixed point. *)
+  let step_budget () =
+    if (not t.stats.degraded) && not (Budget.is_unlimited budget) then
+      match
+        Budget.check budget ~tasks:t.stats.tasks_processed
+          ~flows:t.stats.live_flows ~elapsed_s
+      with
+      | Some trip -> degrade t trip
+      | None -> ()
+  in
+  let drain_fifo () =
+    let continue_ = ref true in
+    while !continue_ do
+      match Queue.take_opt t.queue with
+      | None -> continue_ := false
+      | Some task ->
+          process task;
+          step_budget ()
+    done
+  in
+  let drain_random seed =
+    (* array-backed bag with swap-remove; deterministic LCG *)
+    let state = ref (seed land 0x3FFFFFFF) in
+    let next bound =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod bound
+    in
+    let bag = ref [||] in
+    let len = ref 0 in
+    let refill () =
+      let l = Queue.length t.queue in
+      if l > 0 then begin
+        bag := Array.init l (fun _ -> Queue.pop t.queue);
+        len := l
+      end
+    in
+    refill ();
+    while !len > 0 do
+      let i = next !len in
+      let task = !bag.(i) in
+      !bag.(i) <- !bag.(!len - 1);
+      decr len;
+      process task;
+      step_budget ();
+      if !len = 0 then refill ()
+    done
+  in
+  let drain () =
+    match random_order with None -> drain_fifo () | Some s -> drain_random s
+  in
+  drain ();
+  if t.stats.degraded then begin
+    (* Degradation introduces [Any] object states.  An invoke (or field
+       access) observing an [Any] receiver no longer sees incremental
+       notifications when further types are instantiated (its receiver
+       state cannot grow past top), so close the fixed point explicitly:
+       re-run every flow-specific action and re-drain until the linked
+       sets stop changing.  Each pass only adds links/graphs, so this
+       terminates. *)
+    let signature () =
+      let field_links = ref 0 in
+      Ids.Meth.Tbl.iter
+        (fun _ g ->
+          List.iter
+            (fun (f : Flow.t) ->
+              match f.Flow.kind with
+              | Flow.Field_load fa | Flow.Field_store fa ->
+                  field_links := !field_links + List.length fa.Flow.fa_linked
+              | _ -> ())
+            g.Graph.g_flows)
+        t.graphs;
+      (Ids.Meth.Tbl.length t.graphs, t.stats.links, !field_links)
+    in
+    let rec close prev =
+      Ids.Meth.Tbl.iter
+        (fun _ g -> List.iter (fun f -> notify t f) g.Graph.g_flows)
+        t.graphs;
+      drain ();
+      let s = signature () in
+      if s <> prev then close s
+    in
+    close (signature ())
+  end
 
 (* ------------------------------ results ------------------------------- *)
 
@@ -395,5 +514,9 @@ let graphs t =
 let graph_of t (m : Ids.Meth.t) = Ids.Meth.Tbl.find_opt t.graphs m
 
 let instantiated_types t = Typeset.classes t.instantiated
+
+let instantiated t = t.instantiated
+
+let is_degraded t = t.stats.degraded
 
 let stats t = t.stats

@@ -16,6 +16,10 @@ type stats = {
   mutable use_edges : int;  (** counted at link time only *)
   mutable links : int;
   mutable max_queue : int;
+  mutable live_flows : int;  (** flows created across all reachable PVPGs *)
+  mutable budget_trips : int;  (** budget-cap trip events (0 or 1 per run) *)
+  mutable degraded : bool;  (** a budget trip switched the run to degradation mode *)
+  mutable first_trip : Budget.trip option;  (** which cap tripped first *)
 }
 
 type t
@@ -31,7 +35,14 @@ val add_root : ?seed_params:bool -> t -> Skipflow_ir.Program.meth -> unit
 val run : ?random_order:int -> t -> unit
 (** Drain the worklist to the fixed point.  With [random_order:seed],
     tasks are picked pseudo-randomly instead of FIFO; the fixed point must
-    not change (checked by the property tests). *)
+    not change (checked by the property tests).
+
+    The run honors the configuration's {!Budget.t}: when a cap trips, the
+    engine does not abort — it switches to degradation mode (all flows
+    enabled, object flows saturated to the all-instantiated set, primitive
+    flows widened to [Any]) and finishes at a sound but coarser fixed
+    point.  [stats.degraded] records that this happened; the degraded
+    reachable-method set is always a superset of the precise one. *)
 
 (** {2 Results} *)
 
@@ -50,6 +61,14 @@ val graphs : t -> Graph.method_graph list
 
 val graph_of : t -> Skipflow_ir.Ids.Meth.t -> Graph.method_graph option
 val instantiated_types : t -> Skipflow_ir.Ids.Class.t list
+
+val instantiated : t -> Typeset.t
+(** The instantiated-type set as a typeset (what virtual resolution and
+    the certifier iterate for conservative [Any] receivers). *)
+
+val is_degraded : t -> bool
+(** Whether a budget trip switched this run to degradation mode. *)
+
 val stats : t -> stats
 
 (** {2 Internals exposed for {!Build} and white-box tests} *)

@@ -26,6 +26,10 @@ type t = {
   binary_size : int;  (** Σ instruction count over reachable methods *)
   flows : int;  (** total flows created *)
   instantiated_types : int;
+  degraded : bool;
+      (** the run exhausted its {!Budget.t} and finished at a coarser,
+          still-sound fixed point *)
+  budget_trips : int;  (** budget-cap trip events recorded by the engine *)
 }
 
 let compute (e : Engine.t) : t =
@@ -71,6 +75,8 @@ let compute (e : Engine.t) : t =
     binary_size = !size;
     flows = !flows;
     instantiated_types = List.length (Engine.instantiated_types e);
+    degraded = (Engine.stats e).Engine.degraded;
+    budget_trips = (Engine.stats e).Engine.budget_trips;
   }
 
 let pp ppf m =
@@ -78,6 +84,10 @@ let pp ppf m =
     "@[<v>reachable methods: %d@,type checks:      %d@,null checks:      \
      %d@,prim checks:      %d@,poly calls:       %d@,mono calls:       \
      %d@,dead invokes:     %d@,binary size:      %d insns@,flows:            \
-     %d@,instantiated:     %d types@]"
+     %d@,instantiated:     %d types@,degraded:         %s@]"
     m.reachable_methods m.type_checks m.null_checks m.prim_checks m.poly_calls
     m.mono_calls m.dead_invokes m.binary_size m.flows m.instantiated_types
+    (if m.degraded then
+       Printf.sprintf "yes (%d budget trip%s)" m.budget_trips
+         (if m.budget_trips = 1 then "" else "s")
+     else "no")

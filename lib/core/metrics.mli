@@ -14,6 +14,10 @@ type t = {
   binary_size : int;  (** Σ instruction count over reachable methods *)
   flows : int;  (** total flows created *)
   instantiated_types : int;
+  degraded : bool;
+      (** the run exhausted its {!Budget.t} and finished at a coarser,
+          still-sound fixed point *)
+  budget_trips : int;  (** budget-cap trip events recorded by the engine *)
 }
 
 val compute : Engine.t -> t

@@ -66,6 +66,13 @@ let check_flow_invariants prog (violations : violation list ref) (f : Flow.t) =
         f.Flow.pred_out
   end
 
+(** The type-set content a receiver state denotes for linking purposes.
+    Object flows only reach [Any] in degradation mode (budget exhaustion);
+    there the engine conservatively resolves against every instantiated
+    type, and the certifier must demand the same. *)
+let recv_typeset engine (s : Vstate.t) =
+  match s with Vstate.Any -> Engine.instantiated engine | _ -> Vstate.type_set s
+
 let check_invoke engine prog violations (f : Flow.t) =
   let bad fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
   match f.Flow.kind with
@@ -82,7 +89,7 @@ let check_invoke engine prog violations (f : Flow.t) =
                     match Program.resolve prog ~recv_cls:c ~target:inv.Flow.inv_target with
                     | Some m -> m :: acc
                     | None -> acc)
-                (Vstate.type_set r.Flow.state)
+                (recv_typeset engine r.Flow.state)
                 []
           | None -> []
         else [ Program.meth prog inv.Flow.inv_target ]
@@ -145,7 +152,7 @@ let check_field_access engine prog violations (f : Flow.t) =
                   if not ok then
                     bad "field access %s: value states inconsistent with field flow"
                       (Program.qualified_field_name prog fa.Flow.fa_field))
-        (Vstate.type_set fa.Flow.fa_recv.Flow.state)
+        (recv_typeset engine fa.Flow.fa_recv.Flow.state)
   | _ -> ()
 
 (** [run engine] re-checks the Figure 15 rules over the engine's fixed
@@ -153,10 +160,20 @@ let check_field_access engine prog violations (f : Flow.t) =
 let run (engine : Engine.t) : violation list =
   let prog = Engine.prog_of engine in
   let violations = ref [] in
+  let degraded = Engine.is_degraded engine in
   List.iter
     (fun (g : Graph.method_graph) ->
       List.iter
-        (fun f ->
+        (fun (f : Flow.t) ->
+          (* Degradation invariant: a degraded run force-enables every
+             flow of every reachable method; a disabled flow would mean
+             the coarse fixed point silently kept some precision — and any
+             soundness argument that relied on "everything enabled" would
+             be void. *)
+          if degraded && not f.Flow.enabled then
+            violations :=
+              Format.asprintf "%a: flow disabled in a degraded run" Flow.pp f
+              :: !violations;
           check_flow_invariants prog violations f;
           check_invoke engine prog violations f;
           check_field_access engine prog violations f)

@@ -1,0 +1,82 @@
+(** Structured frontend diagnostics.
+
+    A {!t} carries a severity, the source position of the offending token,
+    which frontend stage produced it ([lexical] / [syntax] / [type]), the
+    message, and an optional hint.  The recovering entry points
+    ({!Parser.parse_program_diags}, {!Typecheck.check_diags},
+    {!Frontend.compile_diags}) accumulate these instead of stopping at the
+    first error, so one compiler run reports every independent mistake.
+
+    [render] prints a diagnostic the way a batch compiler does: a
+    [file:line:col] header, the offending source line, and a caret under
+    the column. *)
+
+type severity = Error | Warning
+type stage = Lexical | Syntax | Type
+
+type t = {
+  severity : severity;
+  stage : stage;
+  pos : Lexer.pos;
+  message : string;
+  hint : string option;
+}
+
+let stage_name = function Lexical -> "lexical" | Syntax -> "syntax" | Type -> "type"
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let make ?hint ~severity ~stage pos fmt =
+  Format.kasprintf (fun message -> { severity; stage; pos; message; hint }) fmt
+
+let error ?hint ~stage pos fmt = make ?hint ~severity:Error ~stage pos fmt
+let is_error d = d.severity = Error
+
+(** Compact one-line form: [3:14: syntax error: ...]. *)
+let pp ppf d =
+  Format.fprintf ppf "%a: %s %s: %s" Lexer.pp_pos d.pos (stage_name d.stage)
+    (severity_name d.severity) d.message
+
+(** The 1-based [n]th line of [src] (without its newline), if it exists. *)
+let source_line src n =
+  let rec find off line =
+    if line = n then
+      let stop =
+        match String.index_from_opt src off '\n' with
+        | Some i -> i
+        | None -> String.length src
+      in
+      Some (String.sub src off (stop - off))
+    else
+      match String.index_from_opt src off '\n' with
+      | Some i -> find (i + 1) (line + 1)
+      | None -> None
+  in
+  if n >= 1 then find 0 1 else None
+
+(** [render ~file ~src ppf d] prints the full caret form:
+    {v
+    foo.mj:3:14: syntax error: expected ';' but found '}'
+        x = y + 1
+                 ^
+        hint: statements end with ';'
+    v} *)
+let render ?(file = "<input>") ~src ppf d =
+  Format.fprintf ppf "%s:%a: %s %s: %s@." file Lexer.pp_pos d.pos
+    (stage_name d.stage) (severity_name d.severity) d.message;
+  (match source_line src d.pos.Lexer.line with
+  | Some line ->
+      (* tabs would misalign the caret; render them as single spaces *)
+      let line = String.map (function '\t' -> ' ' | c -> c) line in
+      Format.fprintf ppf "    %s@." line;
+      Format.fprintf ppf "    %s^@." (String.make (max 0 (d.pos.Lexer.col - 1)) ' ')
+  | None -> ());
+  match d.hint with
+  | Some h -> Format.fprintf ppf "    hint: %s@." h
+  | None -> ()
+
+(** Render a batch of diagnostics followed by an error count. *)
+let render_all ?file ~src ppf ds =
+  List.iter (render ?file ~src ppf) ds;
+  let errs = List.length (List.filter is_error ds) in
+  if errs > 0 then
+    Format.fprintf ppf "%d error%s@." errs (if errs = 1 then "" else "s")

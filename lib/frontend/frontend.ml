@@ -36,13 +36,35 @@ let compile (src : string) : Program.t =
 let compile_ast (ast : Ast.program) : Program.t =
   wrap_errors (fun () -> Lower.lower_program (Typecheck.check ast))
 
-(** [compile_file path] reads and compiles a [.mj] file. *)
-let compile_file (path : string) : Program.t =
+let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  compile src
+  src
+
+(** [compile_file path] reads and compiles a [.mj] file. *)
+let compile_file (path : string) : Program.t = compile (read_file path)
+
+(** [compile_diags src] compiles with error recovery, accumulating every
+    independent syntax / type error instead of stopping at the first.
+    Parse diagnostics are reported alone (type-checking a partial AST
+    would cascade spurious errors); a clean parse proceeds to the
+    recovering type checker.  [Ok] results are fully lowered and
+    validated, exactly like {!compile}. *)
+let compile_diags (src : string) : (Program.t, Diag.t list) result =
+  match Parser.parse_program_diags src with
+  | _, (_ :: _ as ds) -> Stdlib.Error ds
+  | ast, [] -> (
+      match Typecheck.check_diags ast with
+      | Stdlib.Error ds -> Stdlib.Error ds
+      | Ok tp -> Ok (Lower.lower_program tp))
+
+(** [compile_file_diags path] is {!compile_diags} over a file's contents;
+    also returns the source text so callers can render carets. *)
+let compile_file_diags (path : string) : string * (Program.t, Diag.t list) result =
+  let src = read_file path in
+  (src, compile_diags src)
 
 (** [main_of prog] finds the conventional entry point: a static method
     named [main], preferring one declared in a class named [Main]. *)

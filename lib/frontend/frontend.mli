@@ -15,6 +15,15 @@ val compile_ast : Ast.program -> Skipflow_ir.Program.t
 val compile_file : string -> Skipflow_ir.Program.t
 (** Read and compile a [.mj] file. *)
 
+val compile_diags : string -> (Skipflow_ir.Program.t, Diag.t list) result
+(** Compile with error recovery: accumulate every independent syntax /
+    type error instead of stopping at the first.  [Ok] results are fully
+    lowered and validated, exactly like {!compile}. *)
+
+val compile_file_diags : string -> string * (Skipflow_ir.Program.t, Diag.t list) result
+(** {!compile_diags} over a file's contents; also returns the source text
+    so callers can render caret diagnostics. *)
+
 val main_of : Skipflow_ir.Program.t -> Skipflow_ir.Program.meth option
 (** The conventional entry point: a static method named [main], preferring
     one declared in a class named [Main]. *)

@@ -10,9 +10,17 @@
 
 exception Error of string * Lexer.pos
 
-type t = { toks : (Token.t * Lexer.pos) array; mutable i : int }
+type t = {
+  toks : (Token.t * Lexer.pos) array;
+  mutable i : int;
+  mutable recovering : bool;
+      (** accumulate diagnostics and resynchronize instead of raising out
+          of the statement / member / class loops *)
+  mutable diags : Diag.t list;  (** newest first *)
+}
 
-let of_string src = { toks = Array.of_list (Lexer.tokenize src); i = 0 }
+let of_string src =
+  { toks = Array.of_list (Lexer.tokenize src); i = 0; recovering = false; diags = [] }
 let peek p = fst p.toks.(p.i)
 let peek2 p = if p.i + 1 < Array.length p.toks then fst p.toks.(p.i + 1) else Token.EOF
 let peekn p n = if p.i + n < Array.length p.toks then fst p.toks.(p.i + n) else Token.EOF
@@ -62,6 +70,64 @@ let parse_ty p : Ast.ty =
 let is_ty_start = function
   | Token.KW_INT | Token.KW_BOOLEAN | Token.KW_VOID | Token.IDENT _ -> true
   | _ -> false
+
+(* ------------------------------ recovery ------------------------------- *)
+
+let record ?hint p msg epos = p.diags <- Diag.error ?hint ~stage:Diag.Syntax epos "%s" msg :: p.diags
+
+(** Skip to a statement boundary: consume through the next [;] at brace
+    depth 0, or stop (without consuming) before a [}] / EOF that closes
+    the enclosing block.  Tracking the depth keeps a malformed statement
+    containing nested blocks from desynchronizing the whole method. *)
+let sync_stmt p =
+  let rec go depth =
+    match peek p with
+    | Token.EOF -> ()
+    | Token.SEMI when depth = 0 -> advance p
+    | Token.RBRACE when depth = 0 -> ()
+    | Token.LBRACE ->
+        advance p;
+        go (depth + 1)
+    | Token.RBRACE ->
+        advance p;
+        go (depth - 1)
+    | _ ->
+        advance p;
+        go depth
+  in
+  go 0
+
+(** Skip to a member boundary: past the next [;] or balanced [{...}] body
+    at depth 0, stopping before a [}] closing the class or a following
+    class declaration (a missing closing brace). *)
+let sync_member p =
+  let rec go depth =
+    match peek p with
+    | Token.EOF -> ()
+    | (Token.RBRACE | Token.KW_CLASS | Token.KW_ABSTRACT) when depth = 0 -> ()
+    | Token.SEMI when depth = 0 -> advance p
+    | Token.LBRACE ->
+        advance p;
+        go (depth + 1)
+    | Token.RBRACE ->
+        advance p;
+        go (depth - 1)
+    | _ ->
+        advance p;
+        go depth
+  in
+  go 0
+
+(** Skip to the next top-level class declaration. *)
+let sync_class p =
+  let rec go () =
+    match peek p with
+    | Token.EOF | Token.KW_CLASS | Token.KW_ABSTRACT -> ()
+    | _ ->
+        advance p;
+        go ()
+  in
+  go ()
 
 (* ------------------------------ expressions --------------------------- *)
 
@@ -318,7 +384,17 @@ let rec parse_block p : Ast.stmt list =
       advance p;
       List.rev acc
     end
-    else go (parse_stmt p :: acc)
+    else if p.recovering && peek p = Token.EOF then begin
+      record p "expected '}' before end of input" (pos p);
+      List.rev acc
+    end
+    else
+      match parse_stmt p with
+      | s -> go (s :: acc)
+      | exception Error (msg, epos) when p.recovering ->
+          record p msg epos;
+          sync_stmt p;
+          go acc
   in
   go []
 
@@ -496,12 +572,30 @@ let parse_class p : Ast.class_decl =
   let fields = ref [] and meths = ref [] in
   let rec go () =
     if peek p = Token.RBRACE then advance p
-    else begin
-      (match parse_member p with
-      | `Field f -> fields := f :: !fields
-      | `Meth m -> meths := m :: !meths);
-      go ()
-    end
+    else if
+      p.recovering
+      && match peek p with
+         | Token.EOF | Token.KW_CLASS | Token.KW_ABSTRACT -> true
+         | _ -> false
+    then
+      (* unterminated class body: report once and resume at the next
+         class declaration (or stop at end of input) *)
+      record p
+        (Format.asprintf "expected '}' to close class %s but found '%s'" name
+           (Token.to_string (peek p)))
+        (pos p)
+    else
+      match parse_member p with
+      | `Field f ->
+          fields := f :: !fields;
+          go ()
+      | `Meth m ->
+          meths := m :: !meths;
+          go ()
+      | exception Error (msg, epos) when p.recovering ->
+          record p msg epos;
+          sync_member p;
+          go ()
   in
   go ();
   {
@@ -513,7 +607,7 @@ let parse_class p : Ast.class_decl =
     cd_pos = ps;
   }
 
-(** Parse a whole program from source text. *)
+(** Parse a whole program from source text, stopping at the first error. *)
 let parse_program src : Ast.program =
   let p = of_string src in
   let rec go acc =
@@ -523,5 +617,40 @@ let parse_program src : Ast.program =
     | t -> errorf p "expected a class declaration but found '%s'" (Token.to_string t)
   in
   go []
+
+(** Parse with error recovery: malformed statements resynchronize at the
+    next [;] / [}], malformed members at the next member boundary, and
+    malformed classes at the next [class] keyword, so a single run reports
+    every independent syntax error.  Returns the classes that did parse
+    together with the accumulated diagnostics (empty = clean parse; a
+    lexical error fails fast with a single diagnostic because the token
+    stream ends there). *)
+let parse_program_diags src : Ast.program * Diag.t list =
+  match of_string src with
+  | exception Lexer.Error (msg, epos) ->
+      ([], [ Diag.error ~stage:Diag.Lexical epos "%s" msg ])
+  | p ->
+      p.recovering <- true;
+      let rec go acc =
+        match peek p with
+        | Token.EOF -> List.rev acc
+        | Token.KW_CLASS | Token.KW_ABSTRACT -> (
+            match parse_class p with
+            | c -> go (c :: acc)
+            | exception Error (msg, epos) ->
+                record p msg epos;
+                sync_class p;
+                go acc)
+        | t ->
+            record p
+              (Format.asprintf "expected a class declaration but found '%s'"
+                 (Token.to_string t))
+              (pos p);
+            advance p;
+            sync_class p;
+            go acc
+      in
+      let classes = go [] in
+      (classes, List.rev p.diags)
 
 let _ = is_ty_start (* exported for tests *)

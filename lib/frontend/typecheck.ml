@@ -490,6 +490,36 @@ let check_meth prog (cls : Program.cls) (m : Program.meth) (md : Ast.meth_decl) 
       cls.Program.c_name m.Program.m_name;
   { Tast.tm_meth = m; tm_params = params; tm_body = body }
 
+(** Type-check with error recovery at method boundaries.  Phase 1
+    (declarations) still fails fast — a broken hierarchy makes every
+    downstream message unreliable — but phase 2 checks every method body
+    even after some have failed, accumulating one diagnostic per broken
+    method.  Returns [Ok] only when no diagnostics were produced. *)
+let check_diags (cds : Ast.program) : (Tast.tprogram, Diag.t list) result =
+  let prog = Program.create () in
+  match declare_classes prog cds with
+  | exception Error (msg, epos) ->
+      Stdlib.Error [ Diag.error ~stage:Diag.Type epos "%s" msg ]
+  | declared ->
+      let diags = ref [] in
+      let tmeths =
+        List.concat_map
+          (fun (cd : Ast.class_decl) ->
+            let cls = Hashtbl.find declared cd.Ast.cd_name in
+            List.filter_map
+              (fun (md : Ast.meth_decl) ->
+                let m = Option.get (Program.find_meth prog cls md.Ast.md_name) in
+                match check_meth prog cls m md with
+                | tm -> Some tm
+                | exception Error (msg, epos) ->
+                    diags := Diag.error ~stage:Diag.Type epos "%s" msg :: !diags;
+                    None)
+              cd.Ast.cd_meths)
+          cds
+      in
+      if !diags = [] then Ok { Tast.tp_prog = prog; tp_meths = tmeths }
+      else Stdlib.Error (List.rev !diags)
+
 (** Type-check a parsed program, producing the program model and the typed
     bodies ready for lowering. *)
 let check (cds : Ast.program) : Tast.tprogram =

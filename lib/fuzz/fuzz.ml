@@ -1,0 +1,178 @@
+(** Randomized robustness harness for the whole analysis pipeline.
+
+    For every seed, generate a well-typed random program
+    ({!Skipflow_workloads.Gen_random}), execute it in the concrete
+    interpreter, and then analyze it under every configuration
+    (skipflow / pta / preds-only / prims-only) crossed with
+    {FIFO, random worklist order} × {unlimited, deliberately tiny budget}.
+    Every run must satisfy, with no exception escaping:
+
+    - the final state passes the independent certifier ({!C.Verify.run}),
+      degraded or not;
+    - every method the interpreter actually executed is in the reachable
+      set (the differential soundness oracle);
+    - with the same config, a random worklist order reaches exactly the
+      FIFO fixed point, and a budget-degraded run reaches a {e superset}
+      of it (degradation may only lose precision, never soundness).
+
+    Used by [skipflow fuzz] and by the [t_fuzz] suite; a {!failure} record
+    carries the seed so any finding replays deterministically. *)
+
+open Skipflow_ir
+module C = Skipflow_core
+module W = Skipflow_workloads
+module I = Skipflow_interp.Interp
+
+type failure = {
+  f_seed : int;
+  f_config : string;  (** configuration name, or ["-"] for pre-analysis stages *)
+  f_case : string;  (** which run of the matrix, e.g. ["random+budget"] *)
+  f_detail : string;
+}
+
+type report = {
+  r_seeds : int;
+  r_runs : int;  (** engine runs performed *)
+  r_degraded : int;  (** runs that tripped their budget and degraded *)
+  r_failures : failure list;
+}
+
+let pp_failure ppf f =
+  Format.fprintf ppf "seed %d / %s / %s: %s" f.f_seed f.f_config f.f_case f.f_detail
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d failure%s"
+    r.r_seeds r.r_runs r.r_degraded
+    (List.length r.r_failures)
+    (if List.length r.r_failures = 1 then "" else "s");
+  List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_failure f) r.r_failures;
+  Format.fprintf ppf "@]"
+
+(** Same seed-to-shape mapping as the property-test suite, so a failing
+    seed reported by either harness replays in the other. *)
+let cfg_of_seed seed =
+  {
+    W.Gen_random.seed;
+    classes = 3 + (seed mod 7);
+    meths_per_class = 1 + (seed mod 3);
+    max_stmts = 4 + (seed mod 5);
+  }
+
+let configs =
+  [
+    ("skipflow", C.Config.skipflow);
+    ("pta", C.Config.pta);
+    ("preds-only", C.Config.predicates_only);
+    ("prims-only", C.Config.primitives_only);
+  ]
+
+let reachable_set (r : C.Analysis.result) =
+  List.fold_left
+    (fun acc (m : Program.meth) -> Ids.Meth.Set.add m.Program.m_id acc)
+    Ids.Meth.Set.empty
+    (C.Engine.reachable_methods r.C.Analysis.engine)
+
+(** How a run's reachable set must relate to the reference (the FIFO,
+    unlimited-budget fixed point of the same configuration). *)
+type expect = Exact | Superset
+
+let fuzz_seed seed =
+  let failures = ref [] in
+  let runs = ref 0 and degraded = ref 0 in
+  let fail ~config ~case fmt =
+    Format.kasprintf
+      (fun f_detail ->
+        failures := { f_seed = seed; f_config = config; f_case = case; f_detail } :: !failures)
+      fmt
+  in
+  (match W.Gen_random.compile (cfg_of_seed seed) with
+  | exception e ->
+      fail ~config:"-" ~case:"generate" "exception escaped the generator/frontend: %s"
+        (Printexc.to_string e)
+  | prog, main ->
+      let trace =
+        match I.run ~fuel:20_000 prog main with
+        | trace, I.Interp_error msg ->
+            fail ~config:"-" ~case:"interp" "internal interpreter error: %s" msg;
+            trace
+        | trace, _ -> trace
+        | exception e ->
+            fail ~config:"-" ~case:"interp" "exception escaped the interpreter: %s"
+              (Printexc.to_string e);
+            {
+              I.called = Ids.Meth.Set.empty;
+              created = Ids.Class.Set.empty;
+              defs = [];
+              steps = 0;
+            }
+      in
+      List.iter
+        (fun (cname, base_cfg) ->
+          let tiny = { base_cfg with C.Config.budget = C.Budget.tiny } in
+          let cases =
+            [
+              ("fifo", base_cfg, None, Exact);
+              ("random", base_cfg, Some ((seed * 31) + 1), Exact);
+              ("fifo+budget", tiny, None, Superset);
+              ("random+budget", tiny, Some ((seed * 31) + 1), Superset);
+            ]
+          in
+          let reference = ref None in
+          List.iter
+            (fun (case, config, random_order, expect) ->
+              incr runs;
+              match C.Analysis.run ~config ?random_order prog ~roots:[ main ] with
+              | exception e ->
+                  fail ~config:cname ~case "exception escaped the engine: %s"
+                    (Printexc.to_string e)
+              | r ->
+                  if C.Engine.is_degraded r.C.Analysis.engine then incr degraded;
+                  (match C.Verify.run r.C.Analysis.engine with
+                  | [] -> ()
+                  | v :: _ as vs ->
+                      fail ~config:cname ~case "%d certifier violation%s (first: %s)"
+                        (List.length vs)
+                        (if List.length vs = 1 then "" else "s")
+                        v);
+                  let reach = reachable_set r in
+                  Ids.Meth.Set.iter
+                    (fun m ->
+                      if not (Ids.Meth.Set.mem m reach) then
+                        fail ~config:cname ~case "executed method %s is not reachable"
+                          (Program.qualified_name prog m))
+                    trace.I.called;
+                  (match (!reference, expect) with
+                  | None, _ -> reference := Some reach
+                  | Some r0, Exact ->
+                      if not (Ids.Meth.Set.equal reach r0) then
+                        fail ~config:cname ~case
+                          "fixed point depends on worklist order (%d vs %d reachable)"
+                          (Ids.Meth.Set.cardinal reach)
+                          (Ids.Meth.Set.cardinal r0)
+                  | Some r0, Superset ->
+                      if not (Ids.Meth.Set.subset r0 reach) then
+                        fail ~config:cname ~case
+                          "degraded reachable set is not a superset (%d vs %d reachable)"
+                          (Ids.Meth.Set.cardinal reach)
+                          (Ids.Meth.Set.cardinal r0)))
+            cases)
+        configs);
+  (List.rev !failures, !runs, !degraded)
+
+(** [run ~seeds ()] fuzzes seeds [0 .. seeds-1]; [progress] is called
+    after each seed (for CLI feedback). *)
+let run ?(progress = fun _ -> ()) ~seeds () : report =
+  let failures = ref [] and runs = ref 0 and degraded = ref 0 in
+  for s = 0 to seeds - 1 do
+    let fs, r, d = fuzz_seed s in
+    failures := List.rev_append fs !failures;
+    runs := !runs + r;
+    degraded := !degraded + d;
+    progress s
+  done;
+  {
+    r_seeds = seeds;
+    r_runs = !runs;
+    r_degraded = !degraded;
+    r_failures = List.rev !failures;
+  }

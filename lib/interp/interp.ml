@@ -30,6 +30,10 @@ type halt =
   | Index_oob  (** array index out of bounds, or negative array size *)
   | Class_cast  (** failed checkcast *)
   | Uncaught  (** an executed [throw] (MiniJava has no handlers) *)
+  | Interp_error of string
+      (** an internal invariant failed (ill-formed input program); the
+          interpreter halts with a message instead of leaking an exception
+          into its caller — fuzzing feeds it adversarial programs *)
 
 (** Everything observed during a run, used by soundness checks. *)
 type trace = {
@@ -248,9 +252,14 @@ and eval_expr st fr (e : Bl.expr) : value =
       | Bl.Rem -> if y = 0 then raise (Halt Div_by_zero) else VInt (x mod y))
 
 (** [run prog root] executes a zero-parameter root method and returns the
-    trace together with how the run ended. *)
+    trace together with how the run ended.  Internal invariant failures
+    (ill-formed bodies, arity mismatches) surface as [Interp_error] rather
+    than escaping as exceptions: the trace collected so far is still a
+    valid soundness witness. *)
 let run ?fuel ?record_defs prog (root : Program.meth) : trace * halt =
   let st = create ?fuel ?record_defs prog in
   match call st root [] with
   | _ -> (st.trace, Finished)
   | exception Halt h -> (st.trace, h)
+  | exception Invalid_argument msg -> (st.trace, Interp_error msg)
+  | exception Failure msg -> (st.trace, Interp_error msg)

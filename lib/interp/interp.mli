@@ -24,6 +24,9 @@ type halt =
   | Index_oob  (** out-of-bounds index or negative array size *)
   | Class_cast  (** failed checkcast *)
   | Uncaught  (** an executed [throw] (MiniJava has no handlers) *)
+  | Interp_error of string
+      (** an internal invariant failed (ill-formed input program); the run
+          halts with a message instead of leaking an exception *)
 
 (** Everything observed during a run. *)
 type trace = {

@@ -158,7 +158,12 @@ let generate (c : cfg) : Ast.program =
       in
       match Rng.weighted rng atoms with
       | `Const -> int (Rng.range rng (-10) 50)
-      | `Local -> var (Rng.pick rng (ints ()))
+      | `Local -> (
+          (* the atom is only offered when an int local exists, but the
+             guard is non-local: stay total with an explicit fallback *)
+          match Rng.pick_opt rng (ints ()) with
+          | Some x -> var x
+          | None -> int 0)
       | `Arith ->
           let op = Rng.pick rng [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Rem ] in
           binop op (int_expr (depth - 1)) (int_expr (depth - 1))
@@ -173,8 +178,14 @@ let generate (c : cfg) : Ast.program =
       in
       match Rng.weighted rng choices with
       | `Null -> null_
-      | `New -> new_ (cls_name (Rng.pick rng subs))
-      | `Local -> evar (Rng.pick rng (objs_of cname))
+      | `New -> (
+          match Rng.pick_opt rng subs with
+          | Some s -> new_ (cls_name s)
+          | None -> null_)
+      | `Local -> (
+          match Rng.pick_opt rng (objs_of cname) with
+          | Some x -> evar x
+          | None -> null_)
     in
     let bool_expr () =
       match Rng.int rng 4 with

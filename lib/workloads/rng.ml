@@ -37,12 +37,21 @@ let chance t p = int t 1_000_000 < int_of_float (p *. 1_000_000.)
 (** [range t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
 let range t lo hi = lo + int t (hi - lo + 1)
 
+(** [pick_opt t xs] selects a uniform element of [xs], or [None] when the
+    list is empty.  Total: generator code should prefer this and handle
+    [None] with an explicit fallback.  For non-empty lists it consumes
+    exactly the same draw as {!pick}, so migrating a call site does not
+    perturb the generated stream. *)
+let pick_opt t xs =
+  match xs with [] -> None | _ -> Some (List.nth xs (int t (List.length xs)))
+
 (** [pick t xs] selects a uniform element of the non-empty list [xs]. *)
 let pick t xs =
-  match xs with [] -> invalid_arg "Rng.pick: empty" | _ -> List.nth xs (int t (List.length xs))
+  match pick_opt t xs with Some x -> x | None -> invalid_arg "Rng.pick: empty"
 
 (** [weighted t choices] picks among [(weight, value)] pairs with
-    probability proportional to weight. *)
+    probability proportional to weight; zero-weight entries are never
+    picked. *)
 let weighted t choices =
   let total = List.fold_left (fun a (w, _) -> a + w) 0 choices in
   if total <= 0 then invalid_arg "Rng.weighted";

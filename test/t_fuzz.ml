@@ -1,0 +1,93 @@
+(* Randomized robustness harness (lib/fuzz) plus targeted tests of the
+   budget/degradation machinery on a large generated workload:
+
+   - the fuzz matrix (4 configs × {FIFO, random order} × {unlimited, tiny
+     budget}) reports zero failures and actually exercises degradation;
+   - a budget-tripped run on a benchmark-sized program terminates, is
+     flagged degraded, still passes the independent certifier, and reaches
+     a superset of the precise reachable set;
+   - each budget dimension (tasks / wall-clock / flows) trips. *)
+
+open Skipflow_ir
+module C = Skipflow_core
+module W = Skipflow_workloads
+module Fz = Skipflow_fuzz.Fuzz
+
+let certify name engine =
+  match C.Verify.run engine with
+  | [] -> ()
+  | vs -> Alcotest.failf "%s: %d violations, first: %s" name (List.length vs) (List.hd vs)
+
+let reachable_set (r : C.Analysis.result) =
+  List.fold_left
+    (fun acc (m : Program.meth) -> Ids.Meth.Set.add m.Program.m_id acc)
+    Ids.Meth.Set.empty
+    (C.Engine.reachable_methods r.C.Analysis.engine)
+
+let test_fuzz_matrix () =
+  let r = Fz.run ~seeds:25 () in
+  (match r.Fz.r_failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%d fuzz failures, first: %a" (List.length r.Fz.r_failures)
+        Fz.pp_failure f);
+  Alcotest.(check int) "all runs performed" (25 * 16) r.Fz.r_runs;
+  (* the tiny budget must actually fault-inject the degradation path *)
+  Alcotest.(check bool) "degradation exercised" true (r.Fz.r_degraded > 0)
+
+let bench_workload () =
+  W.Gen.compile { W.Gen.default_params with W.Gen.live_units = 8; dead_units = 3 }
+
+let test_task_budget_superset () =
+  let prog, main = bench_workload () in
+  let precise = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
+  Alcotest.(check bool) "precise run is not degraded" false
+    precise.C.Analysis.metrics.C.Metrics.degraded;
+  let config =
+    { C.Config.skipflow with C.Config.budget = C.Budget.make ~max_tasks:500 () }
+  in
+  let degraded = C.Analysis.run ~config prog ~roots:[ main ] in
+  Alcotest.(check bool) "budget tripped" true
+    degraded.C.Analysis.metrics.C.Metrics.degraded;
+  Alcotest.(check bool) "trips recorded" true
+    (degraded.C.Analysis.metrics.C.Metrics.budget_trips > 0);
+  certify "degraded fixed point" degraded.C.Analysis.engine;
+  Alcotest.(check bool) "degradation only adds reachable methods" true
+    (Ids.Meth.Set.subset (reachable_set precise) (reachable_set degraded))
+
+let test_time_budget_trips () =
+  let prog, main = bench_workload () in
+  let config =
+    { C.Config.skipflow with C.Config.budget = C.Budget.make ~max_seconds:0.0 () }
+  in
+  let r = C.Analysis.run ~config prog ~roots:[ main ] in
+  Alcotest.(check bool) "zero wall-clock budget trips deterministically" true
+    r.C.Analysis.metrics.C.Metrics.degraded;
+  certify "time-degraded fixed point" r.C.Analysis.engine
+
+let test_flow_budget_trips () =
+  let prog, main = bench_workload () in
+  let config =
+    { C.Config.skipflow with C.Config.budget = C.Budget.make ~max_flows:10 () }
+  in
+  let r = C.Analysis.run ~config prog ~roots:[ main ] in
+  Alcotest.(check bool) "flow cap trips" true r.C.Analysis.metrics.C.Metrics.degraded;
+  certify "flow-degraded fixed point" r.C.Analysis.engine
+
+let test_unlimited_budget_never_degrades () =
+  let prog, main = bench_workload () in
+  let r = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
+  Alcotest.(check bool) "unlimited budget" false r.C.Analysis.metrics.C.Metrics.degraded;
+  Alcotest.(check int) "no trips" 0 r.C.Analysis.metrics.C.Metrics.budget_trips
+
+let suite =
+  ( "fuzz",
+    [
+      Alcotest.test_case "matrix: 25 seeds, zero failures" `Quick test_fuzz_matrix;
+      Alcotest.test_case "task budget: degraded superset certifies" `Quick
+        test_task_budget_superset;
+      Alcotest.test_case "zero time budget trips" `Quick test_time_budget_trips;
+      Alcotest.test_case "flow budget trips" `Quick test_flow_budget_trips;
+      Alcotest.test_case "unlimited budget never degrades" `Quick
+        test_unlimited_budget_never_degrades;
+    ] )

@@ -20,7 +20,8 @@ let halted = Alcotest.testable (fun ppf h ->
       | I.Out_of_fuel -> "fuel"
       | I.Index_oob -> "oob"
       | I.Class_cast -> "cast"
-      | I.Uncaught -> "throw")) ( = )
+      | I.Uncaught -> "throw"
+      | I.Interp_error m -> "interp error: " ^ m)) ( = )
 
 let called prog trace q =
   Ids.Meth.Set.exists

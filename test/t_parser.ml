@@ -181,6 +181,55 @@ let test_roundtrip_random () =
       roundtrip_program (PP.to_string (W.Gen_random.generate cfg)))
     [ 10; 11; 12; 13; 14 ]
 
+(* ---------------------- recovery and diagnostics ---------------------- *)
+
+module D = Skipflow_frontend.Diag
+
+let test_recovery_accumulates () =
+  (* two independent statement-level errors in one method: both reported,
+     and the malformed statements do not desynchronize the rest *)
+  let src =
+    "class A {\n  int f(int x) {\n    int y = x +;\n    int z = 1;\n    return )z;\n  }\n}\n"
+  in
+  let classes, ds = P.parse_program_diags src in
+  Alcotest.(check int) "both errors reported" 2 (List.length ds);
+  Alcotest.(check int) "class still parsed" 1 (List.length classes);
+  List.iter
+    (fun (d : D.t) -> Alcotest.(check bool) "syntax stage" true (d.D.stage = D.Syntax))
+    ds;
+  (* spans point at the offending lines *)
+  Alcotest.(check (list int)) "lines" [ 3; 5 ]
+    (List.map (fun (d : D.t) -> d.D.pos.Skipflow_frontend.Lexer.line) ds)
+
+let test_recovery_member_and_class () =
+  (* a broken member resynchronizes to the next member; a broken class to
+     the next class *)
+  let src =
+    "class A {\n  int int;\n  int ok() { return 1; }\n}\nclass % {\n}\nclass B { }\n"
+  in
+  let classes, ds = P.parse_program_diags src in
+  Alcotest.(check bool) "multiple diagnostics" true (List.length ds >= 2);
+  let names = List.map (fun (c : A.class_decl) -> c.A.cd_name) classes in
+  Alcotest.(check bool) "A survived" true (List.mem "A" names);
+  Alcotest.(check bool) "B survived" true (List.mem "B" names);
+  let a = List.find (fun (c : A.class_decl) -> c.A.cd_name = "A") classes in
+  Alcotest.(check int) "A.ok recovered" 1 (List.length a.A.cd_meths)
+
+let test_clean_parse_no_diags () =
+  let src = "class A { int f() { return 1; } }" in
+  let classes, ds = P.parse_program_diags src in
+  Alcotest.(check int) "no diagnostics" 0 (List.length ds);
+  Alcotest.(check int) "one class" 1 (List.length classes)
+
+let test_render_caret () =
+  let src = "class A {\n  int f() { return }; }\n}\n" in
+  let _, ds = P.parse_program_diags src in
+  Alcotest.(check bool) "has diagnostics" true (ds <> []);
+  let text = Format.asprintf "%a" (fun ppf -> D.render ~file:"t.mj" ~src ppf) (List.hd ds) in
+  Alcotest.(check bool) "header" true
+    (String.length text > 0 && String.sub text 0 5 = "t.mj:");
+  Alcotest.(check bool) "caret line" true (String.contains text '^')
+
 let suite =
   ( "parser",
     [
@@ -195,4 +244,10 @@ let suite =
       Alcotest.test_case "roundtrip handwritten" `Quick test_roundtrip_handwritten;
       Alcotest.test_case "roundtrip generated benches" `Quick test_roundtrip_generated;
       Alcotest.test_case "roundtrip random programs" `Quick test_roundtrip_random;
+      Alcotest.test_case "recovery accumulates statement errors" `Quick
+        test_recovery_accumulates;
+      Alcotest.test_case "recovery at member and class boundaries" `Quick
+        test_recovery_member_and_class;
+      Alcotest.test_case "clean parse has no diagnostics" `Quick test_clean_parse_no_diags;
+      Alcotest.test_case "caret rendering" `Quick test_render_caret;
     ] )

@@ -145,6 +145,41 @@ class Main {
 }
 |}
 
+module D = Skipflow_frontend.Diag
+module Fr = Skipflow_frontend.Frontend
+
+let test_diags_accumulate_per_method () =
+  (* independent type errors in different methods are all reported *)
+  let src =
+    {|
+class A {
+  int bad1() { return true; }
+  void bad2() { unknown = 1; }
+  int ok() { return 3; }
+}
+|}
+  in
+  match Fr.compile_diags src with
+  | Ok _ -> Alcotest.fail "expected diagnostics"
+  | Error ds ->
+      Alcotest.(check int) "two type errors" 2 (List.length ds);
+      List.iter
+        (fun (d : D.t) -> Alcotest.(check bool) "type stage" true (d.D.stage = D.Type))
+        ds
+
+let test_diags_declaration_fail_fast () =
+  (* a broken hierarchy reports a single declaration-phase diagnostic *)
+  let src = "class A extends Missing { }" in
+  match Fr.compile_diags src with
+  | Ok _ -> Alcotest.fail "expected diagnostics"
+  | Error ds -> Alcotest.(check int) "one diagnostic" 1 (List.length ds)
+
+let test_diags_clean_compiles () =
+  let src = "class Main { static void main() { int x = 1; } }" in
+  match Fr.compile_diags src with
+  | Ok prog -> Alcotest.(check bool) "has main" true (Fr.main_of prog <> None)
+  | Error ds -> Alcotest.failf "unexpected diagnostics: %d" (List.length ds)
+
 let suite =
   ( "typecheck",
     [
@@ -155,4 +190,9 @@ let suite =
       Alcotest.test_case "call checking" `Quick test_call_checking;
       Alcotest.test_case "field checking" `Quick test_field_checking;
       Alcotest.test_case "static vs local receiver" `Quick test_static_vs_local_receiver;
+      Alcotest.test_case "diagnostics accumulate per method" `Quick
+        test_diags_accumulate_per_method;
+      Alcotest.test_case "declaration errors fail fast" `Quick
+        test_diags_declaration_fail_fast;
+      Alcotest.test_case "clean source compiles via diags" `Quick test_diags_clean_compiles;
     ] )

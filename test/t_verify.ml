@@ -78,6 +78,63 @@ let test_detects_corruption () =
   Alcotest.(check bool) "corrupted something" true !corrupted;
   Alcotest.(check bool) "verifier notices" true (C.Verify.run engine <> [])
 
+let contains sub text =
+  let n = String.length text and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+  go 0
+
+(* clear the completion token of an enabled void return: the Return rule
+   requires an enabled void return to carry its token *)
+let test_detects_cleared_return_token () =
+  let engine = solve fig2 in
+  let prog = C.Engine.prog_of engine in
+  let corrupted = ref false in
+  List.iter
+    (fun (g : C.Graph.method_graph) ->
+      List.iter
+        (fun (f : C.Flow.t) ->
+          match (f.C.Flow.kind, f.C.Flow.meth) with
+          | C.Flow.Return, Some m
+            when (not !corrupted) && f.C.Flow.enabled
+                 && Skipflow_ir.Ty.equal
+                      (Skipflow_ir.Program.meth prog m).Skipflow_ir.Program.m_ret_ty
+                      Skipflow_ir.Ty.Void ->
+              f.C.Flow.state <- C.Vstate.empty;
+              f.C.Flow.raw <- C.Vstate.empty;
+              corrupted := true
+          | _ -> ())
+        g.C.Graph.g_flows)
+    (C.Engine.graphs engine);
+  Alcotest.(check bool) "corrupted a void return" true !corrupted;
+  let vs = C.Verify.run engine in
+  Alcotest.(check bool) "void-return violation reported" true
+    (List.exists (contains "void return") vs)
+
+(* drop the join along a use edge: pretend Propagate never ran for one
+   edge by clearing the target's VS_in (and keeping its VS_out locally
+   consistent, so only the edge rule can fire) *)
+let test_detects_dropped_use_join () =
+  let engine = solve fig2 in
+  let corrupted = ref false in
+  List.iter
+    (fun (g : C.Graph.method_graph) ->
+      List.iter
+        (fun (f : C.Flow.t) ->
+          if (not !corrupted) && f.C.Flow.enabled
+             && not (C.Vstate.is_empty f.C.Flow.state) then
+            match f.C.Flow.uses with
+            | t :: _ ->
+                t.C.Flow.raw <- C.Vstate.empty;
+                t.C.Flow.state <- C.Flow.apply_filter t C.Vstate.empty;
+                corrupted := true
+            | [] -> ())
+        g.C.Graph.g_flows)
+    (C.Engine.graphs engine);
+  Alcotest.(check bool) "dropped a use-edge join" true !corrupted;
+  let vs = C.Verify.run engine in
+  Alcotest.(check bool) "use-edge violation reported" true
+    (List.exists (contains "use edge") vs)
+
 let prop_certify =
   QCheck_alcotest.to_alcotest
     (QCheck.Test.make ~name:"random programs certify under all configs" ~count:60
@@ -169,6 +226,10 @@ let suite =
       Alcotest.test_case "examples certify (all configs)" `Quick test_certify_examples;
       Alcotest.test_case "benchmark certifies" `Quick test_certify_benchmark;
       Alcotest.test_case "verifier detects corruption" `Quick test_detects_corruption;
+      Alcotest.test_case "verifier detects a cleared return token" `Quick
+        test_detects_cleared_return_token;
+      Alcotest.test_case "verifier detects a dropped use-edge join" `Quick
+        test_detects_dropped_use_join;
       prop_certify;
       Alcotest.test_case "dead-code report" `Quick test_report;
       Alcotest.test_case "report empty on trivial program" `Quick test_report_empty_when_equal;
