@@ -5,6 +5,9 @@
       reachable methods and metrics; optionally dump the PVPG as DOT or the
       lowered IR;
     - [compare FILE.mj] — run SkipFlow, PTA, RTA and CHA side by side;
+    - [lint FILE.mj] — fixed-point-driven checks (dead methods/branches,
+      impossible casts, null dereferences, devirtualizable calls) rendered
+      as caret diagnostics or JSON;
     - [run FILE.mj] — execute the program in the concrete interpreter;
     - [fuzz] — randomized robustness harness over generated programs;
     - [gen] — emit a synthetic benchmark program as MiniJava source;
@@ -192,6 +195,124 @@ let deadcode_cmd =
        ~doc:"Report dead methods, foldable branches, and devirtualizable calls (SkipFlow vs PTA)")
     Term.(const run $ file_arg $ roots_arg $ verify)
 
+(* -------------------------------- lint -------------------------------- *)
+
+module K = Skipflow_checks
+
+let lint_cmd =
+  let list_checks () =
+    String.concat ", " (List.map (fun c -> c.K.Checks.id) K.Checks.all)
+  in
+  let run file config roots checks format fail_on max_tasks timeout max_flows
+      allow_degraded =
+    let src, compiled = F.Frontend.compile_file_diags file in
+    let prog =
+      match compiled with
+      | Ok prog -> prog
+      | Error ds ->
+          F.Diag.render_all ~file ~src Format.err_formatter ds;
+          exit exit_input_error
+    in
+    let only =
+      match checks with
+      | None -> None
+      | Some csv ->
+          let ids =
+            List.filter (fun s -> s <> "") (String.split_on_char ',' csv)
+          in
+          List.iter
+            (fun id ->
+              try ignore (K.Checks.find id)
+              with K.Checks.Unknown_check id ->
+                Format.eprintf "error: unknown check '%s' (available: %s)@." id
+                  (list_checks ());
+                exit exit_input_error)
+            ids;
+          Some ids
+    in
+    let config =
+      { config with
+        C.Config.budget = budget_of ~max_tasks ~timeout ~max_flows }
+    in
+    let roots = roots_of prog roots in
+    let r = C.Analysis.run ~config prog ~roots in
+    let ctx = K.Checks.make_ctx ~engine:r.C.Analysis.engine ~roots in
+    let findings = K.Checks.run ?only ctx in
+    let count sev =
+      List.length (List.filter (fun f -> f.K.Finding.severity = sev) findings)
+    in
+    (match format with
+    | `Text ->
+        F.Diag.render_all ~file ~src Format.std_formatter
+          (List.map K.Finding.to_diag findings);
+        Format.printf "%d finding(s): %d error(s), %d warning(s), %d note(s)@."
+          (List.length findings) (count K.Finding.Error)
+          (count K.Finding.Warning) (count K.Finding.Note)
+    | `Json ->
+        print_string
+          (K.Json.to_string
+             (K.Json.Obj
+                [ ("file", K.Json.Str (Filename.basename file));
+                  ("analysis", K.Json.Str (C.Config.name config));
+                  ("findings", K.Finding.list_to_json findings);
+                ])));
+    finish_degradation r ~allow_degraded;
+    let fails =
+      match fail_on with
+      | `Never -> false
+      | (`Note | `Warning | `Error) as threshold ->
+          let rank =
+            K.Finding.severity_rank
+              (match threshold with
+              | `Note -> K.Finding.Note
+              | `Warning -> K.Finding.Warning
+              | `Error -> K.Finding.Error)
+          in
+          List.exists
+            (fun f -> K.Finding.severity_rank f.K.Finding.severity >= rank)
+            findings
+    in
+    if fails then exit exit_analysis_error
+  in
+  let checks_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checks" ] ~docv:"IDS"
+          ~doc:
+            "Comma-separated checks to run (default: all): dead-method, \
+             dead-branch, impossible-cast, null-deref, devirtualize")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text (caret diagnostics) or json")
+  in
+  let fail_on_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("never", `Never); ("note", `Note); ("warning", `Warning);
+               ("error", `Error) ])
+          `Warning
+      & info [ "fail-on" ] ~docv:"SEV"
+          ~doc:
+            "Exit 1 when a finding at or above this severity is reported: \
+             never, note, warning (default), error")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run fixed-point-driven checks on a MiniJava program (dead methods \
+          and branches, impossible casts, null dereferences, \
+          devirtualizable calls)")
+    Term.(
+      const run $ file_arg $ analysis_arg $ roots_arg $ checks_arg $ format_arg
+      $ fail_on_arg $ max_tasks_arg $ timeout_arg $ max_flows_arg
+      $ allow_degraded_arg)
+
 (* --------------------------------- run -------------------------------- *)
 
 let run_cmd =
@@ -290,4 +411,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; compare_cmd; deadcode_cmd; run_cmd; fuzz_cmd; gen_cmd; bench_list_cmd ]))
+          [ analyze_cmd; compare_cmd; deadcode_cmd; lint_cmd; run_cmd; fuzz_cmd;
+            gen_cmd; bench_list_cmd ]))

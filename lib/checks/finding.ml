@@ -1,0 +1,124 @@
+(** A lint finding: one fact a check proved from the solved PVPG, with
+    enough structure to render as a caret diagnostic ({!to_diag}), as a
+    stable plain-text line, or as JSON ({!to_json} / {!of_json} round-trip
+    exactly — the golden CI test relies on it). *)
+
+open Skipflow_ir
+
+type severity = Error | Warning | Note
+
+type t = {
+  check : string;  (** registry id of the producing check, e.g. ["dead-branch"] *)
+  severity : severity;
+  span : Span.t option;
+      (** position in the analyzed source; [None] for findings about
+          constructs with no recorded span *)
+  meth : string;  (** qualified name of the enclosing (or subject) method *)
+  message : string;
+  hint : string option;
+}
+
+let make ?hint ?span ~check ~severity ~meth message =
+  { check; severity; span; meth; message; hint }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let severity_of_name = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "note" -> Some Note
+  | _ -> None
+
+(** Severity rank for [--fail-on] threshold comparisons (higher = worse). *)
+let severity_rank = function Note -> 0 | Warning -> 1 | Error -> 2
+
+(** Source-position order: spanned findings first (by position), then by
+    check id, method and message so that the full order is deterministic. *)
+let compare a b =
+  let span_key = function Some s -> (0, s) | None -> (1, Span.make ~line:0 ~col:0) in
+  let (ka, sa) = span_key a.span and (kb, sb) = span_key b.span in
+  match Int.compare ka kb with
+  | 0 -> (
+      match Span.compare sa sb with
+      | 0 -> (
+          match String.compare a.check b.check with
+          | 0 -> (
+              match String.compare a.meth b.meth with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+(* ----------------------------- rendering ----------------------------- *)
+
+let diag_severity = function
+  | Error -> Skipflow_frontend.Diag.Error
+  | Warning -> Skipflow_frontend.Diag.Warning
+  | Note -> Skipflow_frontend.Diag.Note
+
+(** Caret-rendered form, reusing the frontend's diagnostic machinery.
+    Span-less findings point at [1:1] (the caret lands on the first source
+    line, which is the best a position-free fact can do). *)
+let to_diag (f : t) : Skipflow_frontend.Diag.t =
+  let pos =
+    match f.span with
+    | Some s -> { Skipflow_frontend.Lexer.line = s.Span.line; col = s.Span.col }
+    | None -> { Skipflow_frontend.Lexer.line = 1; col = 1 }
+  in
+  Skipflow_frontend.Diag.make ?hint:f.hint ~severity:(diag_severity f.severity)
+    ~stage:Skipflow_frontend.Diag.Lint pos "%s [%s]" f.message f.check
+
+(** Compact one-line form: [3:14: warning: message [check] (method)]. *)
+let pp ppf (f : t) =
+  Format.fprintf ppf "%a: %s: %s [%s] (%s)" Span.pp_opt f.span
+    (severity_name f.severity) f.message f.check f.meth
+
+(* ------------------------------- JSON -------------------------------- *)
+
+let to_json (f : t) : Json.t =
+  let span_fields =
+    match f.span with
+    | Some s -> [ ("line", Json.Int s.Span.line); ("col", Json.Int s.Span.col) ]
+    | None -> [ ("line", Json.Null); ("col", Json.Null) ]
+  in
+  Json.Obj
+    ([ ("check", Json.Str f.check);
+       ("severity", Json.Str (severity_name f.severity));
+     ]
+    @ span_fields
+    @ [ ("method", Json.Str f.meth); ("message", Json.Str f.message) ]
+    @ match f.hint with Some h -> [ ("hint", Json.Str h) ] | None -> [])
+
+exception Malformed of string
+
+let of_json (j : Json.t) : t =
+  let str key =
+    match Json.member key j with
+    | Some v -> Json.to_str_exn v
+    | None -> raise (Malformed ("missing field " ^ key))
+  in
+  let severity =
+    match severity_of_name (str "severity") with
+    | Some s -> s
+    | None -> raise (Malformed "bad severity")
+  in
+  let span =
+    match (Json.member "line" j, Json.member "col" j) with
+    | Some (Json.Int line), Some (Json.Int col) -> Some (Span.make ~line ~col)
+    | Some Json.Null, Some Json.Null -> None
+    | _ -> raise (Malformed "bad span")
+  in
+  let hint =
+    match Json.member "hint" j with
+    | Some v -> Some (Json.to_str_exn v)
+    | None -> None
+  in
+  make ?hint ?span ~check:(str "check") ~severity ~meth:(str "method")
+    (str "message")
+
+let list_to_json fs = Json.Arr (List.map to_json fs)
+let list_of_json j = List.map of_json (Json.to_list_exn j)

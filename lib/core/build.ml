@@ -57,7 +57,9 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
   let use_edge = Edges.use_edge ~emit in
   let pred_edge = Edges.pred_edge ~emit in
   let obs_edge = Edges.obs_edge ~emit in
-  let return_flow = Flow.make ~meth:meth.Program.m_id Flow.Return in
+  let return_flow =
+    Flow.make ~meth:meth.Program.m_id ?span:meth.Program.m_span Flow.Return
+  in
   let g : Graph.method_graph =
     {
       g_meth = meth;
@@ -75,7 +77,9 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
     (match f.Flow.kind with Flow.Invoke _ -> g.g_invokes <- f :: g.g_invokes | _ -> ());
     f
   in
-  let mk ?filter kind = register (Flow.make ~meth:meth.Program.m_id ?filter kind) in
+  let mk ?filter ?span kind =
+    register (Flow.make ~meth:meth.Program.m_id ?span ?filter kind)
+  in
   (* canonical defining flow per SSA variable *)
   let def : Flow.t option array = Array.make body.Bl.var_count None in
   let set_def v f = def.(Ids.Var.to_int v) <- Some f in
@@ -143,7 +147,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
               Some (Flow.Declared { mask_with_null = Masks.decl ctx.masks c; cls = c })
           | _ -> None
         in
-        let f = mk ?filter (Flow.Param i) in
+        let f = mk ?filter ?span:meth.Program.m_span (Flow.Param i) in
         pred_edge ctx.pred_on f;
         set_def v f;
         f)
@@ -197,13 +201,14 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
   in
   (* --------------------- initBlock (Fig. 14) ------------------------- *)
   let branches = ref [] in
-  let init_block (b : block_state) (tgt : Ids.Block.t) (cond : Bl.cond) ~negated =
+  let init_block (b : block_state) (tgt : Ids.Block.t) (cond : Bl.cond) ~negated
+      ~span =
     let ts = fresh_state b.cur_pred (* overwritten below *) in
     Hashtbl.iter (fun v f -> Hashtbl.replace ts.map v f) b.map;
     (match cond with
     | Bl.InstanceOf (x, cls) ->
         let f =
-          mk
+          mk ?span
             ~filter:(Flow.Instanceof { mask = Masks.sub ctx.masks cls; negated; cls })
             (Flow.Filter { check = Flow.Type_check; branch_then = not negated })
         in
@@ -220,7 +225,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         let op = if negated then Vstate.inv op else op in
         let lf = lookup b l and rf = lookup b r in
         let f_l =
-          mk
+          mk ?span
             ~filter:(Flow.Compare { op; other = rf })
             (Flow.Filter { check; branch_then = not negated })
         in
@@ -228,7 +233,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         use_edge lf f_l;
         obs_edge rf f_l;
         let f_r =
-          mk
+          mk ?span
             ~filter:(Flow.Compare { op = Vstate.flip op; other = lf })
             (Flow.Filter { check; branch_then = not negated })
         in
@@ -249,22 +254,22 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
     | Bl.Arith _ | Bl.AnyInt -> Vstate.any
     | Bl.New _ | Bl.NewArr _ -> assert false
   in
-  let process_insn (b : block_state) (i : Bl.insn) =
+  let process_insn (b : block_state) ~span (i : Bl.insn) =
     match i with
     | Bl.Assign (v, (Bl.New cls | Bl.NewArr (cls, _))) ->
         (* an array allocation instantiates the array class; the length is
            a primitive the analysis does not track *)
-        let f = mk (Flow.Alloc cls) in
+        let f = mk ?span (Flow.Alloc cls) in
         pred_edge b.cur_pred f;
         set_def v f
     | Bl.Assign (v, e) ->
-        let f = mk (Flow.Source (source_value e)) in
+        let f = mk ?span (Flow.Source (source_value e)) in
         pred_edge b.cur_pred f;
         set_def v f
     | Bl.Load { dst; recv; field } ->
         let rf = lookup b recv in
         let f =
-          mk (Flow.Field_load { fa_field = field; fa_recv = rf; fa_linked = [] })
+          mk ?span (Flow.Field_load { fa_field = field; fa_recv = rf; fa_linked = [] })
         in
         pred_edge b.cur_pred f;
         obs_edge rf f;
@@ -272,18 +277,18 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
     | Bl.Store { recv; field; src } ->
         let rf = lookup b recv in
         let f =
-          mk (Flow.Field_store { fa_field = field; fa_recv = rf; fa_linked = [] })
+          mk ?span (Flow.Field_store { fa_field = field; fa_recv = rf; fa_linked = [] })
         in
         pred_edge b.cur_pred f;
         use_edge (lookup b src) f;
         obs_edge rf f
     | Bl.LoadStatic { dst; field } ->
-        let f = mk (Flow.Static_load field) in
+        let f = mk ?span (Flow.Static_load field) in
         pred_edge b.cur_pred f;
         use_edge (ctx.field_flow field) f;
         set_def dst f
     | Bl.StoreStatic { field; src } ->
-        let f = mk (Flow.Static_store field) in
+        let f = mk ?span (Flow.Static_store field) in
         pred_edge b.cur_pred f;
         use_edge (lookup b src) f;
         use_edge f (ctx.field_flow field)
@@ -291,26 +296,26 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         (* an array read is a load of the element pseudo-field: one element
            flow per array type, linked through the receiver's value state *)
         let rf = lookup b arr in
-        let f = mk (Flow.Field_load { fa_field = elem; fa_recv = rf; fa_linked = [] }) in
+        let f = mk ?span (Flow.Field_load { fa_field = elem; fa_recv = rf; fa_linked = [] }) in
         pred_edge b.cur_pred f;
         obs_edge rf f;
         set_def dst f
     | Bl.ArrStore { arr; idx = _; src; elem } ->
         let rf = lookup b arr in
-        let f = mk (Flow.Field_store { fa_field = elem; fa_recv = rf; fa_linked = [] }) in
+        let f = mk ?span (Flow.Field_store { fa_field = elem; fa_recv = rf; fa_linked = [] }) in
         pred_edge b.cur_pred f;
         use_edge (lookup b src) f;
         obs_edge rf f
     | Bl.ArrLen { dst; arr = _ } ->
         (* array lengths are opaque primitives (Any) *)
-        let f = mk (Flow.Source Vstate.any) in
+        let f = mk ?span (Flow.Source Vstate.any) in
         pred_edge b.cur_pred f;
         set_def dst f
     | Bl.Cast { dst; src; cls } ->
         (* checkcast: a filtering flow in value position that keeps
            subtypes of the cast type plus null *)
         let f =
-          mk
+          mk ?span
             ~filter:(Flow.Declared { mask_with_null = Masks.decl ctx.masks cls; cls })
             (Flow.Cast cls)
         in
@@ -321,7 +326,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         let recv_f = Option.map (lookup b) recv in
         let args_f = List.map (lookup b) args in
         let f =
-          mk
+          mk ?span
             (Flow.Invoke
                {
                  inv_target = target;
@@ -361,17 +366,29 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
               then Flow.Null_check
               else Flow.Prim_check
         in
-        let then_live = init_block b then_ cond ~negated:false in
-        let else_live = init_block b else_ cond ~negated:true in
+        let span = blk.Bl.b_term_span in
+        let then_live = init_block b then_ cond ~negated:false ~span in
+        let else_live = init_block b else_ cond ~negated:true ~span in
         branches :=
-          { Graph.bs_kind = check; bs_then_live = then_live; bs_else_live = else_live }
+          {
+            Graph.bs_kind = check;
+            bs_then_live = then_live;
+            bs_else_live = else_live;
+            bs_span = span;
+            bs_swapped = blk.Bl.b_term_swapped;
+            bs_synthetic = blk.Bl.b_term_synthetic;
+            bs_then_block = then_;
+            bs_else_block = else_;
+          }
           :: !branches
   in
   (* ------------------------------ driver ----------------------------- *)
   List.iter
     (fun (blk : Bl.block) ->
       let b = get_state blk.Bl.b_id in
-      List.iter (process_insn b) blk.Bl.b_insns;
+      List.iter2
+        (fun i span -> process_insn b ~span i)
+        blk.Bl.b_insns (Bl.insn_spans blk);
       process_term b blk)
     (Bl.reverse_postorder body);
   g.Graph.g_branches <- List.rev !branches;

@@ -41,6 +41,7 @@ type t = {
   queue : Edges.task Queue.t;
   graphs : Graph.method_graph Ids.Meth.Tbl.t;
   mutable reachable_order : Program.meth list;  (** reverse discovery order *)
+  mutable roots : Ids.Meth.Set.t;  (** methods registered via {!add_root} *)
   field_flows : Flow.t Ids.Field.Tbl.t;
   all_inst : Flow.t Ids.Class.Tbl.t;
   all_inst_any : Flow.t;
@@ -67,6 +68,7 @@ let create prog config =
     queue = Queue.create ();
     graphs = Ids.Meth.Tbl.create 256;
     reachable_order = [];
+    roots = Ids.Meth.Set.empty;
     field_flows = Ids.Field.Tbl.create 64;
     all_inst = Ids.Class.Tbl.create 32;
     all_inst_any = always_on (Flow.All_instantiated Program.null_class) Vstate.empty;
@@ -369,6 +371,7 @@ and notify t (f : Flow.t) =
 (* ------------------------------ driver -------------------------------- *)
 
 let add_root ?seed_params t (m : Program.meth) =
+  t.roots <- Ids.Meth.Set.add m.Program.m_id t.roots;
   let seed =
     match seed_params with Some s -> s | None -> t.config.Config.seed_root_params
   in
@@ -500,6 +503,7 @@ let run ?random_order t =
 let prog_of t = t.prog
 let config_of t = t.config
 
+let roots t = t.roots
 let is_reachable t (m : Ids.Meth.t) = Ids.Meth.Tbl.mem t.graphs m
 
 let reachable_methods t = List.rev t.reachable_order

@@ -48,6 +48,11 @@ val run : ?random_order:int -> t -> unit
 
 val prog_of : t -> Skipflow_ir.Program.t
 val config_of : t -> Config.t
+
+val roots : t -> Skipflow_ir.Ids.Meth.Set.t
+(** The methods registered via {!add_root} (never reported dead by
+    clients — they are reachable by assumption). *)
+
 val is_reachable : t -> Skipflow_ir.Ids.Meth.t -> bool
 
 val reachable_methods : t -> Skipflow_ir.Program.meth list

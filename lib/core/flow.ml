@@ -79,6 +79,10 @@ and t = {
   id : int;
   kind : kind;
   meth : Ids.Meth.t option;  (** owning method; [None] for global flows *)
+  span : Span.t option;
+      (** source position of the base-language element this flow was
+          created for; [None] for global/synthetic flows and for programs
+          built without the frontend *)
   filter : filter;
   mutable enabled : bool;
   mutable raw : Vstate.t;  (** VS_in: join of enabled inputs *)
@@ -93,12 +97,13 @@ and t = {
 
 let next_id = ref 0
 
-let make ?meth ?(filter = No_filter) kind =
+let make ?meth ?span ?(filter = No_filter) kind =
   incr next_id;
   {
     id = !next_id;
     kind;
     meth;
+    span;
     filter;
     enabled = false;
     raw = Vstate.empty;

@@ -15,6 +15,15 @@ type branch_site = {
   bs_kind : Flow.check_kind;
   bs_then_live : Flow.t;  (** the then-branch's entry predicate (filter flow) *)
   bs_else_live : Flow.t;  (** the else-branch's entry predicate *)
+  bs_span : Span.t option;  (** source position of the branch condition *)
+  bs_swapped : bool;
+      (** condition normalization swapped the targets: the IR then-successor
+          is the {e source} else-branch (see {!Bl.block.b_term_swapped}) *)
+  bs_synthetic : bool;
+      (** branch introduced by lowering a literal boolean condition; lint
+          clients must not report its one-sidedness *)
+  bs_then_block : Ids.Block.t;  (** IR then-successor (label block) *)
+  bs_else_block : Ids.Block.t;  (** IR else-successor (label block) *)
 }
 
 type method_graph = {

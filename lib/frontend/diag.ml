@@ -11,8 +11,8 @@
     [file:line:col] header, the offending source line, and a caret under
     the column. *)
 
-type severity = Error | Warning
-type stage = Lexical | Syntax | Type
+type severity = Error | Warning | Note
+type stage = Lexical | Syntax | Type | Lint
 
 type t = {
   severity : severity;
@@ -22,13 +22,23 @@ type t = {
   hint : string option;
 }
 
-let stage_name = function Lexical -> "lexical" | Syntax -> "syntax" | Type -> "type"
-let severity_name = function Error -> "error" | Warning -> "warning"
+let stage_name = function
+  | Lexical -> "lexical"
+  | Syntax -> "syntax"
+  | Type -> "type"
+  | Lint -> "lint"
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
 
 let make ?hint ~severity ~stage pos fmt =
   Format.kasprintf (fun message -> { severity; stage; pos; message; hint }) fmt
 
 let error ?hint ~stage pos fmt = make ?hint ~severity:Error ~stage pos fmt
+let warning ?hint ~stage pos fmt = make ?hint ~severity:Warning ~stage pos fmt
+let note ?hint ~stage pos fmt = make ?hint ~severity:Note ~stage pos fmt
 let is_error d = d.severity = Error
 
 (** Compact one-line form: [3:14: syntax error: ...]. *)
@@ -74,9 +84,17 @@ let render ?(file = "<input>") ~src ppf d =
   | Some h -> Format.fprintf ppf "    hint: %s@." h
   | None -> ()
 
-(** Render a batch of diagnostics followed by an error count. *)
+(** Source-position order ([line], then [col]); the sort below is stable,
+    so diagnostics at the same position keep their accumulation order. *)
+let compare_pos a b =
+  match Int.compare a.pos.Lexer.line b.pos.Lexer.line with
+  | 0 -> Int.compare a.pos.Lexer.col b.pos.Lexer.col
+  | c -> c
+
+(** Render a batch of diagnostics in source order, followed by an error
+    count. *)
 let render_all ?file ~src ppf ds =
-  List.iter (render ?file ~src ppf) ds;
+  List.iter (render ?file ~src ppf) (List.stable_sort compare_pos ds);
   let errs = List.length (List.filter is_error ds) in
   if errs > 0 then
     Format.fprintf ppf "%d error%s@." errs (if errs = 1 then "" else "s")

@@ -2,8 +2,8 @@
     message, optional hint; rendered with carets like a batch compiler.
     Accumulated (not fail-fast) by the recovering frontend entry points. *)
 
-type severity = Error | Warning
-type stage = Lexical | Syntax | Type
+type severity = Error | Warning | Note
+type stage = Lexical | Syntax | Type | Lint
 
 type t = {
   severity : severity;
@@ -25,6 +25,14 @@ val error :
   ?hint:string -> stage:stage -> Lexer.pos -> ('a, Format.formatter, unit, t) format4 -> 'a
 (** [make ~severity:Error]. *)
 
+val warning :
+  ?hint:string -> stage:stage -> Lexer.pos -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [make ~severity:Warning]. *)
+
+val note :
+  ?hint:string -> stage:stage -> Lexer.pos -> ('a, Format.formatter, unit, t) format4 -> 'a
+(** [make ~severity:Note]. *)
+
 val is_error : t -> bool
 
 val pp : Format.formatter -> t -> unit
@@ -38,4 +46,5 @@ val render : ?file:string -> src:string -> Format.formatter -> t -> unit
     the column, optional hint line. *)
 
 val render_all : ?file:string -> src:string -> Format.formatter -> t list -> unit
-(** [render] each diagnostic, then print an error count. *)
+(** [render] each diagnostic in source-position order (stable for equal
+    positions), then print an error count. *)

@@ -39,6 +39,14 @@ let fresh_tmp ctx prefix =
   ctx.tmp <- n + 1;
   Printf.sprintf "$%s%d" prefix n
 
+let span_of (e : Tast.texpr) =
+  Some (Span.make ~line:e.Tast.pos.Lexer.line ~col:e.Tast.pos.Lexer.col)
+
+(* Spans are recorded by the builder at emission time, so each case below
+   re-sets the current span to its own expression right before emitting
+   (lowering a sub-expression moves it). *)
+let set_sp ctx (e : Tast.texpr) = Ssa_builder.set_span ctx.b (span_of e)
+
 let default_value ctx blk (ty : Ty.t) =
   match ty with
   | Ty.Int | Ty.Bool -> Ssa_builder.const ctx.b blk 0
@@ -58,6 +66,7 @@ let normalize_cmp (op : Ast.binop) va vb : Bl.cond * bool =
   | _ -> invalid_arg "normalize_cmp"
 
 let rec lower_expr ctx (cur : Bl.block) (e : Tast.texpr) : Bl.block * Ids.Var.t =
+  set_sp ctx e;
   match e.Tast.node with
   | Tast.TInt n -> (cur, Ssa_builder.const ctx.b cur n)
   | Tast.TBool bv -> (cur, Ssa_builder.const ctx.b cur (if bv then 1 else 0))
@@ -67,27 +76,33 @@ let rec lower_expr ctx (cur : Bl.block) (e : Tast.texpr) : Bl.block * Ids.Var.t 
   | Tast.TNew c -> (cur, Ssa_builder.new_ ctx.b cur c)
   | Tast.TFieldGet (recv, fld) ->
       let cur, r = lower_expr ctx cur recv in
+      set_sp ctx e;
       (cur, Ssa_builder.load ctx.b cur ~ty:fld.Program.f_ty ~recv:r ~field:fld.Program.f_id)
   | Tast.TStaticGet fld ->
       (cur, Ssa_builder.load_static ctx.b cur ~ty:fld.Program.f_ty ~field:fld.Program.f_id)
   | Tast.TNewArr (acls, len) ->
       let cur, vlen = lower_expr ctx cur len in
+      set_sp ctx e;
       (cur, Ssa_builder.new_arr ctx.b cur acls vlen)
   | Tast.TArrGet (a, i, elem) ->
       let cur, va = lower_expr ctx cur a in
       let cur, vi = lower_expr ctx cur i in
+      set_sp ctx e;
       ( cur,
         Ssa_builder.arr_load ctx.b cur ~ty:elem.Program.f_ty ~arr:va ~idx:vi
           ~elem:elem.Program.f_id )
   | Tast.TArrLen a ->
       let cur, va = lower_expr ctx cur a in
+      set_sp ctx e;
       (cur, Ssa_builder.arr_len ctx.b cur ~arr:va)
-  | Tast.TCast (cls, e) ->
-      let cur, v = lower_expr ctx cur e in
+  | Tast.TCast (cls, inner) ->
+      let cur, v = lower_expr ctx cur inner in
+      set_sp ctx e;
       (cur, Ssa_builder.cast ctx.b cur ~cls ~src:v)
   | Tast.TArith (op, a, bb) ->
       let cur, va = lower_expr ctx cur a in
       let cur, vb = lower_expr ctx cur bb in
+      set_sp ctx e;
       (cur, Ssa_builder.arith ctx.b cur op va vb)
   | Tast.TVirtualCall (recv, m, args) ->
       let cur, r = lower_expr ctx cur recv in
@@ -98,6 +113,7 @@ let rec lower_expr ctx (cur : Bl.block) (e : Tast.texpr) : Bl.block * Ids.Var.t 
             (cur, v :: acc))
           (cur, []) args
       in
+      set_sp ctx e;
       ( cur,
         Ssa_builder.invoke ctx.b cur ~ty:m.Program.m_ret_ty ~recv:(Some r)
           ~target:m.Program.m_id ~args:(List.rev vargs) ~virtual_:true )
@@ -109,6 +125,7 @@ let rec lower_expr ctx (cur : Bl.block) (e : Tast.texpr) : Bl.block * Ids.Var.t 
             (cur, v :: acc))
           (cur, []) args
       in
+      set_sp ctx e;
       ( cur,
         Ssa_builder.invoke ctx.b cur ~ty:m.Program.m_ret_ty ~recv:None
           ~target:m.Program.m_id ~args:(List.rev vargs) ~virtual_:false )
@@ -152,21 +169,33 @@ and lower_cond ctx (cur : Bl.block) (e : Tast.texpr) (then_pad : Bl.block)
       let cur, va = lower_expr ctx cur a in
       let cur, vb = lower_expr ctx cur bb in
       let cond, swap = normalize_cmp op va vb in
-      branch ctx cur cond ~swap then_pad else_pad
+      set_sp ctx e;
+      branch ctx cur cond ~swap ~synthetic:false then_pad else_pad
   | Tast.TInstanceOf (inner, c) ->
       let cur, v = lower_expr ctx cur inner in
-      branch ctx cur (Bl.InstanceOf (v, c)) ~swap:false then_pad else_pad
+      set_sp ctx e;
+      branch ctx cur (Bl.InstanceOf (v, c)) ~swap:false ~synthetic:false
+        then_pad else_pad
   | _ ->
-      (* a boolean-typed value: encode as '!= 0' (Figure 7) *)
+      (* a boolean-typed value: encode as '!= 0' (Figure 7).  A literal
+         boolean here is a lowering artifact — {!Typecheck} wraps block
+         statements as [if (true)] — so the branch is marked synthetic and
+         dead-branch clients ignore it. *)
+      let synthetic =
+        match e.Tast.node with Tast.TBool _ -> true | _ -> false
+      in
       let cur, v = lower_expr ctx cur e in
       let zero = Ssa_builder.const ctx.b cur 0 in
-      branch ctx cur (Bl.Cmp (`Eq, v, zero)) ~swap:true then_pad else_pad
+      set_sp ctx e;
+      branch ctx cur (Bl.Cmp (`Eq, v, zero)) ~swap:true ~synthetic then_pad
+        else_pad
 
-and branch ctx cur cond ~swap then_pad else_pad =
+and branch ctx cur cond ~swap ~synthetic then_pad else_pad =
   let lt = Ssa_builder.label_block ctx.b in
   let le = Ssa_builder.label_block ctx.b in
   Ssa_builder.terminate ctx.b cur
     (Bl.If { cond; then_ = lt.Bl.b_id; else_ = le.Bl.b_id });
+  Ssa_builder.mark_branch ctx.b cur ~swapped:swap ~synthetic;
   let t_target, e_target = if swap then (else_pad, then_pad) else (then_pad, else_pad) in
   Ssa_builder.terminate ctx.b lt (Bl.Jump t_target.Bl.b_id);
   Ssa_builder.terminate ctx.b le (Bl.Jump e_target.Bl.b_id)
@@ -191,12 +220,14 @@ let rec lower_stmt ctx (cur : Bl.block) (s : Tast.tstmt) : Bl.block option =
       | Tast.TSAssignField (recv, fld, e) ->
           let cur, r = lower_expr ctx cur recv in
           let cur, v = lower_expr ctx cur e in
+          set_sp ctx recv;
           Ssa_builder.store ctx.b cur ~recv:r ~field:fld.Program.f_id ~src:v;
           Some cur
       | Tast.TSAssignIndex (a, i, e, elem) ->
           let cur, va = lower_expr ctx cur a in
           let cur, vi = lower_expr ctx cur i in
           let cur, v = lower_expr ctx cur e in
+          set_sp ctx a;
           Ssa_builder.arr_store ctx.b cur ~arr:va ~idx:vi ~src:v ~elem:elem.Program.f_id;
           Some cur
       | Tast.TSAssignStatic (fld, e) ->

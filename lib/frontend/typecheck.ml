@@ -111,9 +111,12 @@ let declare_classes prog (cds : Ast.class_decl list) =
               if Ty.equal t Ty.Void then errorf md.Ast.md_pos "parameter of type void")
             param_tys;
           let ret_ty = lower_ty prog md.Ast.md_pos md.Ast.md_ret in
+          let span =
+            Span.make ~line:md.Ast.md_pos.Lexer.line ~col:md.Ast.md_pos.Lexer.col
+          in
           ignore
-            (Program.declare_meth prog c ~name:md.Ast.md_name ~static:md.Ast.md_static
-               ~param_tys ~ret_ty))
+            (Program.declare_meth prog c ~span ~name:md.Ast.md_name
+               ~static:md.Ast.md_static ~param_tys ~ret_ty ()))
         cd.Ast.cd_meths)
     cds;
   (* override compatibility *)

@@ -22,6 +22,7 @@ open Skipflow_ir
 module C = Skipflow_core
 module W = Skipflow_workloads
 module I = Skipflow_interp.Interp
+module K = Skipflow_checks
 
 type failure = {
   f_seed : int;
@@ -34,6 +35,9 @@ type report = {
   r_seeds : int;
   r_runs : int;  (** engine runs performed *)
   r_degraded : int;  (** runs that tripped their budget and degraded *)
+  r_lint_checked : int;
+      (** lint facts (dead blocks / dead methods) checked against
+          interpreter traces by the lint soundness oracle *)
   r_failures : failure list;
 }
 
@@ -41,8 +45,9 @@ let pp_failure ppf f =
   Format.fprintf ppf "seed %d / %s / %s: %s" f.f_seed f.f_config f.f_case f.f_detail
 
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d failure%s"
-    r.r_seeds r.r_runs r.r_degraded
+  Format.fprintf ppf
+    "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d lint facts, %d failure%s"
+    r.r_seeds r.r_runs r.r_degraded r.r_lint_checked
     (List.length r.r_failures)
     (if List.length r.r_failures = 1 then "" else "s");
   List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_failure f) r.r_failures;
@@ -78,7 +83,7 @@ type expect = Exact | Superset
 
 let fuzz_seed seed =
   let failures = ref [] in
-  let runs = ref 0 and degraded = ref 0 in
+  let runs = ref 0 and degraded = ref 0 and lint_checked = ref 0 in
   let fail ~config ~case fmt =
     Format.kasprintf
       (fun f_detail ->
@@ -103,6 +108,7 @@ let fuzz_seed seed =
               I.called = Ids.Meth.Set.empty;
               created = Ids.Class.Set.empty;
               defs = [];
+              visited = Ids.Meth.Map.empty;
               steps = 0;
             }
       in
@@ -154,25 +160,53 @@ let fuzz_seed seed =
                         fail ~config:cname ~case
                           "degraded reachable set is not a superset (%d vs %d reachable)"
                           (Ids.Meth.Set.cardinal reach)
-                          (Ids.Meth.Set.cardinal r0)))
+                          (Ids.Meth.Set.cardinal r0));
+                  (* lint soundness oracle: anything the checks prove dead
+                     at this fixed point must be absent from the concrete
+                     trace (degradation only shrinks the dead sets, so
+                     every case of the matrix is fair game) *)
+                  let ctx =
+                    K.Checks.make_ctx ~engine:r.C.Analysis.engine
+                      ~roots:[ main ]
+                  in
+                  List.iter
+                    (fun (m, b) ->
+                      incr lint_checked;
+                      if I.visited_block trace m b then
+                        fail ~config:cname ~case
+                          "lint: dead block b%d of %s was executed"
+                          (Ids.Block.to_int b)
+                          (Program.qualified_name prog m))
+                    (K.Checks.dead_blocks ctx);
+                  List.iter
+                    (fun m ->
+                      incr lint_checked;
+                      if Ids.Meth.Set.mem m trace.I.called then
+                        fail ~config:cname ~case
+                          "lint: dead method %s was executed"
+                          (Program.qualified_name prog m))
+                    (K.Checks.dead_methods ctx))
             cases)
         configs);
-  (List.rev !failures, !runs, !degraded)
+  (List.rev !failures, !runs, !degraded, !lint_checked)
 
 (** [run ~seeds ()] fuzzes seeds [0 .. seeds-1]; [progress] is called
     after each seed (for CLI feedback). *)
 let run ?(progress = fun _ -> ()) ~seeds () : report =
   let failures = ref [] and runs = ref 0 and degraded = ref 0 in
+  let lint_checked = ref 0 in
   for s = 0 to seeds - 1 do
-    let fs, r, d = fuzz_seed s in
+    let fs, r, d, l = fuzz_seed s in
     failures := List.rev_append fs !failures;
     runs := !runs + r;
     degraded := !degraded + d;
+    lint_checked := !lint_checked + l;
     progress s
   done;
   {
     r_seeds = seeds;
     r_runs = !runs;
     r_degraded = !degraded;
+    r_lint_checked = !lint_checked;
     r_failures = List.rev !failures;
   }

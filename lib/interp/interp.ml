@@ -41,8 +41,16 @@ type trace = {
   mutable created : Ids.Class.Set.t;  (** every class instantiated *)
   mutable defs : (Ids.Meth.t * Ids.Var.t * value) list;
       (** every SSA variable definition observed (method, variable, value) *)
+  mutable visited : Ids.Block.Set.t Ids.Meth.Map.t;
+      (** every basic block entered, per method; the lint soundness oracle
+          checks branches proved dead at the fixed point against this *)
   mutable steps : int;
 }
+
+let visited_block tr m b =
+  match Ids.Meth.Map.find_opt m tr.visited with
+  | Some bs -> Ids.Block.Set.mem b bs
+  | None -> false
 
 exception Halt of halt
 
@@ -58,7 +66,13 @@ let create ?(fuel = 100_000) ?(record_defs = true) prog =
   {
     prog;
     trace =
-      { called = Ids.Meth.Set.empty; created = Ids.Class.Set.empty; defs = []; steps = 0 };
+      {
+        called = Ids.Meth.Set.empty;
+        created = Ids.Class.Set.empty;
+        defs = [];
+        visited = Ids.Meth.Map.empty;
+        steps = 0;
+      };
     statics = Hashtbl.create 16;
     fuel;
     record_defs;
@@ -112,6 +126,13 @@ let rec call st (m : Program.meth) (args : value list) : value =
 
 and exec_block st fr (blk : Bl.block) ~from : value =
   tick st;
+  st.trace.visited <-
+    Ids.Meth.Map.update fr.meth.Program.m_id
+      (fun prev ->
+        Some
+          (Ids.Block.Set.add blk.Bl.b_id
+             (Option.value prev ~default:Ids.Block.Set.empty)))
+      st.trace.visited;
   (* simultaneous phi evaluation on entry from [from] *)
   (match from with
   | Some src ->

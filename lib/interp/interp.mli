@@ -35,8 +35,14 @@ type trace = {
   mutable defs : (Ids.Meth.t * Ids.Var.t * value) list;
       (** every SSA variable definition observed (method, variable, value);
           only recorded when [record_defs] *)
+  mutable visited : Ids.Block.Set.t Ids.Meth.Map.t;
+      (** every basic block entered, per method; the lint soundness oracle
+          checks branches proved dead at the fixed point against this *)
   mutable steps : int;
 }
+
+val visited_block : trace -> Ids.Meth.t -> Ids.Block.t -> bool
+(** Whether the run entered block [b] of method [m]. *)
 
 val run :
   ?fuel:int ->

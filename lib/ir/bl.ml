@@ -101,6 +101,19 @@ type block = {
   mutable b_insns : insn list;
   mutable b_term : terminator option;
   mutable b_preds : Block.t list;
+  mutable b_spans : Span.t option list;
+      (** source span per instruction, parallel to [b_insns] (maintained by
+          {!Ssa_builder.add_insn}; consumers must go through {!insn_spans},
+          which tolerates a desynchronized list by padding with [None]) *)
+  mutable b_term_span : Span.t option;  (** span of the terminator *)
+  mutable b_term_swapped : bool;
+      (** for [If] terminators: condition normalization swapped the branch
+          targets, so the IR then-successor is the source else-branch *)
+  mutable b_term_synthetic : bool;
+      (** for [If] terminators: the branch was introduced by lowering a
+          literal boolean condition (block statements are wrapped in
+          [if (true)], [while (true)] headers); clients reporting dead
+          branches skip these *)
 }
 
 (** A complete method body. *)
@@ -119,6 +132,20 @@ type body = {
 
 let block body (id : Block.t) = body.blocks.(Block.to_int id)
 let var_ty body (v : Var.t) = body.var_tys.(Var.to_int v)
+
+(** [insn_spans blk] is a span list of exactly the same length as
+    [blk.b_insns].  Code that rewrites [b_insns] without maintaining
+    [b_spans] (some tests do, to build invalid bodies on purpose) only
+    loses span information, never correctness: missing entries read as
+    [None] and extras are dropped. *)
+let insn_spans blk =
+  let rec fit insns spans =
+    match (insns, spans) with
+    | [], _ -> []
+    | _ :: is, [] -> None :: fit is []
+    | _ :: is, s :: ss -> s :: fit is ss
+  in
+  fit blk.b_insns blk.b_spans
 
 let successors blk =
   match blk.b_term with

@@ -30,6 +30,7 @@ type meth = {
   m_param_tys : Ty.t list;  (** declared parameter types, receiver excluded *)
   m_ret_ty : Ty.t;
   mutable m_body : Bl.body option;
+  m_span : Span.t option;  (** source position of the declaration *)
 }
 
 type cls = {
@@ -151,7 +152,7 @@ let declare_field p (c : cls) ~name ~ty ?(static = false) () =
   p.p_fields <- f :: p.p_fields;
   f
 
-let declare_meth p (c : cls) ~name ~static ~param_tys ~ret_ty =
+let declare_meth p (c : cls) ?span ~name ~static ~param_tys ~ret_ty () =
   if List.exists (fun m -> String.equal m.m_name name) c.c_methods then
     raise (Duplicate (Printf.sprintf "method %s.%s declared twice" c.c_name name));
   invalidate p;
@@ -164,6 +165,7 @@ let declare_meth p (c : cls) ~name ~static ~param_tys ~ret_ty =
       m_param_tys = param_tys;
       m_ret_ty = ret_ty;
       m_body = None;
+      m_span = span;
     }
   in
   c.c_methods <- c.c_methods @ [ m ];

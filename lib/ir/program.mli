@@ -26,6 +26,7 @@ type meth = {
   m_param_tys : Ty.t list;  (** declared parameter types, receiver excluded *)
   m_ret_ty : Ty.t;
   mutable m_body : Bl.body option;
+  m_span : Span.t option;  (** source position of the declaration *)
 }
 
 type cls = {
@@ -56,7 +57,15 @@ val declare_class : t -> name:string -> ?super:Class.t -> ?abstract:bool -> unit
 
 val declare_field : t -> cls -> name:string -> ty:Ty.t -> ?static:bool -> unit -> field
 val declare_meth :
-  t -> cls -> name:string -> static:bool -> param_tys:Ty.t list -> ret_ty:Ty.t -> meth
+  t ->
+  cls ->
+  ?span:Span.t ->
+  name:string ->
+  static:bool ->
+  param_tys:Ty.t list ->
+  ret_ty:Ty.t ->
+  unit ->
+  meth
 
 val set_body : meth -> Bl.body -> unit
 

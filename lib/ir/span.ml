@@ -1,0 +1,25 @@
+(** Source spans carried through lowering into the IR.
+
+    A span is the 1-based [line:col] of the first character of the source
+    construct an IR element was lowered from.  The IR layer cannot depend
+    on the frontend, so this mirrors {!Skipflow_frontend.Lexer.pos}
+    structurally; the frontend converts at the boundary.  Spans are
+    optional everywhere — programs built directly through
+    {!Ssa_builder} (tests, workload generators) simply have none — and
+    every consumer (diagnostics, the lint checks) degrades gracefully to
+    a span-less rendering. *)
+
+type t = { line : int; col : int }
+
+let make ~line ~col = { line; col }
+let equal a b = a.line = b.line && a.col = b.col
+
+(** Position order, for stable diagnostic output. *)
+let compare a b =
+  match Int.compare a.line b.line with 0 -> Int.compare a.col b.col | c -> c
+
+let pp ppf s = Format.fprintf ppf "%d:%d" s.line s.col
+
+let pp_opt ppf = function
+  | Some s -> pp ppf s
+  | None -> Format.pp_print_string ppf "?:?"

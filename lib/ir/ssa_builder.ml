@@ -41,6 +41,10 @@ type t = {
   entry : block_state;
   mutable params : Var.t list;
   mutable tys_rev : Ty.t list;  (** reverse var-creation order *)
+  mutable cur_span : Span.t option;
+      (** source span attached to subsequently emitted instructions and
+          terminators; set by the frontend lowering, [None] for generated
+          bodies *)
 }
 
 let fresh_var b ty =
@@ -57,6 +61,10 @@ let mk_block b kind =
       b_insns = [];
       b_term = None;
       b_preds = [];
+      b_spans = [];
+      b_term_span = None;
+      b_term_swapped = false;
+      b_term_synthetic = false;
     }
   in
   let st = { blk; defs = Hashtbl.create 8; sealed = false; incomplete = [] } in
@@ -77,6 +85,10 @@ let create ~params =
       b_insns = [];
       b_term = None;
       b_preds = [];
+      b_spans = [];
+      b_term_span = None;
+      b_term_swapped = false;
+      b_term_synthetic = false;
     }
   in
   let entry =
@@ -91,6 +103,7 @@ let create ~params =
       entry;
       params = [];
       tys_rev = [];
+      cur_span = None;
     }
   in
   Block.Tbl.replace b.by_id entry_blk.b_id entry;
@@ -108,9 +121,15 @@ let label_block b = (mk_block b Bl.Label).blk
 let merge_block b = (mk_block b Bl.Merge).blk
 let state b (blk : Bl.block) = Block.Tbl.find b.by_id blk.b_id
 
-let add_insn _b (blk : Bl.block) insn =
+(** [set_span b sp] attaches [sp] to every instruction and terminator
+    emitted until the next call; the frontend sets it from the source
+    position of the construct being lowered. *)
+let set_span b sp = b.cur_span <- sp
+
+let add_insn b (blk : Bl.block) insn =
   assert (blk.b_term = None);
-  blk.b_insns <- insn :: blk.b_insns
+  blk.b_insns <- insn :: blk.b_insns;
+  blk.b_spans <- b.cur_span :: blk.b_spans
 
 (* -------------------- variable reads/writes (Braun) ------------------- *)
 
@@ -216,7 +235,21 @@ let terminate b (blk : Bl.block) (term : Bl.terminator) =
           tst.sealed <- true)
         [ then_; else_ ]
   | Bl.Return _ | Bl.Throw _ -> ());
-  blk.b_term <- Some term
+  blk.b_term <- Some term;
+  blk.b_term_span <- b.cur_span
+
+(** [mark_branch b blk ~swapped ~synthetic] records how lowering produced
+    [blk]'s [If] terminator: [swapped] when condition normalization
+    exchanged the branch targets (so the IR then-successor is the source
+    else-branch), [synthetic] when the condition was a literal boolean the
+    frontend introduced (block wrappers, [while (true)] headers).  Clients
+    that report dead branches need both to speak in source terms. *)
+let mark_branch _b (blk : Bl.block) ~swapped ~synthetic =
+  (match blk.b_term with
+  | Some (Bl.If _) -> ()
+  | _ -> invalid_arg "Ssa_builder.mark_branch: block has no If terminator");
+  blk.b_term_swapped <- swapped;
+  blk.b_term_synthetic <- synthetic
 
 (* --------------------------- emit helpers ----------------------------- *)
 
@@ -283,7 +316,8 @@ let finish b : Bl.body =
         invalid_arg
           (Printf.sprintf "Ssa_builder.finish: block %d has no terminator"
              (Block.to_int st.blk.b_id));
-      st.blk.b_insns <- List.rev st.blk.b_insns)
+      st.blk.b_insns <- List.rev st.blk.b_insns;
+      st.blk.b_spans <- List.rev st.blk.b_spans)
     states;
   let blocks = Array.of_list (List.map (fun st -> st.blk) states) in
   Array.iteri (fun i blk -> assert (Block.to_int blk.Bl.b_id = i)) blocks;

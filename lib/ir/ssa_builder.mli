@@ -24,6 +24,16 @@ val fresh_var : t -> Ty.t -> Var.t
 val add_insn : t -> Bl.block -> Bl.insn -> unit
 val write_var : t -> Bl.block -> string -> Var.t -> unit
 
+val set_span : t -> Span.t option -> unit
+(** Source span attached to subsequently emitted instructions and
+    terminators ([None] until set; generated bodies never set it). *)
+
+val mark_branch : t -> Bl.block -> swapped:bool -> synthetic:bool -> unit
+(** Record condition-normalization facts about a block's [If] terminator:
+    [swapped] — the IR then-successor is the source else-branch;
+    [synthetic] — the condition was a lowering-introduced literal boolean.
+    @raise Invalid_argument if the block's terminator is not an [If]. *)
+
 val read_var : t -> Bl.block -> string -> ty:Ty.t -> Var.t
 (** Current SSA value of a named local at this block, creating phis where
     definitions merge.  @raise Invalid_argument if undefined on some

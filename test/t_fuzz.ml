@@ -2,7 +2,8 @@
    budget/degradation machinery on a large generated workload:
 
    - the fuzz matrix (4 configs × {FIFO, random order} × {unlimited, tiny
-     budget}) reports zero failures and actually exercises degradation;
+     budget}) reports zero failures, exercises degradation, and checks the
+     lint soundness oracle (dead blocks / methods never appear in traces);
    - a budget-tripped run on a benchmark-sized program terminates, is
      flagged degraded, still passes the independent certifier, and reaches
      a superset of the precise reachable set;
@@ -33,7 +34,10 @@ let test_fuzz_matrix () =
         Fz.pp_failure f);
   Alcotest.(check int) "all runs performed" (25 * 16) r.Fz.r_runs;
   (* the tiny budget must actually fault-inject the degradation path *)
-  Alcotest.(check bool) "degradation exercised" true (r.Fz.r_degraded > 0)
+  Alcotest.(check bool) "degradation exercised" true (r.Fz.r_degraded > 0);
+  (* the lint soundness oracle must actually check dead-block / dead-method
+     facts against the interpreter traces *)
+  Alcotest.(check bool) "lint oracle exercised" true (r.Fz.r_lint_checked > 0)
 
 let bench_workload () =
   W.Gen.compile { W.Gen.default_params with W.Gen.live_units = 8; dead_units = 3 }

@@ -18,11 +18,11 @@ let fixture () =
   let e = Program.declare_class p ~name:"E" () in
   let f_fld = Program.declare_field p a ~name:"f" ~ty:Ty.Int () in
   let g_fld = Program.declare_field p c ~name:"g" ~ty:(Ty.Obj a.Program.c_id) () in
-  let m_a = Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int in
-  let n_a = Program.declare_meth p a ~name:"n" ~static:false ~param_tys:[] ~ret_ty:Ty.Void in
-  let m_b = Program.declare_meth p b ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int in
-  let n_c = Program.declare_meth p c ~name:"n" ~static:false ~param_tys:[] ~ret_ty:Ty.Void in
-  let m_d = Program.declare_meth p d ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int in
+  let m_a = Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int () in
+  let n_a = Program.declare_meth p a ~name:"n" ~static:false ~param_tys:[] ~ret_ty:Ty.Void () in
+  let m_b = Program.declare_meth p b ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int () in
+  let n_c = Program.declare_meth p c ~name:"n" ~static:false ~param_tys:[] ~ret_ty:Ty.Void () in
+  let m_d = Program.declare_meth p d ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Int () in
   (p, (a, b, c, d, e), (f_fld, g_fld), (m_a, n_a, m_b, n_c, m_d))
 
 let test_subtype () =
@@ -93,10 +93,10 @@ let test_duplicates_rejected () =
   ignore (Program.declare_field p a ~name:"x" ~ty:Ty.Int ());
   Alcotest.check_raises "duplicate field" (Program.Duplicate "field A.x declared twice")
     (fun () -> ignore (Program.declare_field p a ~name:"x" ~ty:Ty.Int ()));
-  ignore (Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Void);
+  ignore (Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Void ());
   Alcotest.check_raises "duplicate method" (Program.Duplicate "method A.m declared twice")
     (fun () ->
-      ignore (Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Void))
+      ignore (Program.declare_meth p a ~name:"m" ~static:false ~param_tys:[] ~ret_ty:Ty.Void ()))
 
 let test_null_class_reserved () =
   let p = Program.create () in

@@ -1,0 +1,157 @@
+(* Direct coverage for lib/core/report.ml: branch_verdict on synthetic
+   branch sites, compare_runs on a compiled program where SkipFlow proves
+   strictly more than the points-to baseline (removed methods, folded
+   branches, devirtualized sites, constant returns), and the printer. *)
+
+open Skipflow_ir
+module C = Skipflow_core
+module F = Skipflow_frontend
+
+(* ----- branch_verdict on hand-built sites ----- *)
+
+let mk_flow ~enabled ~state =
+  let f = C.Flow.make (C.Flow.Filter { check = C.Flow.Prim_check; branch_then = true }) in
+  f.C.Flow.enabled <- enabled;
+  f.C.Flow.state <- state;
+  f
+
+let site then_f else_f =
+  {
+    C.Graph.bs_kind = C.Flow.Prim_check;
+    bs_then_live = then_f;
+    bs_else_live = else_f;
+    bs_span = None;
+    bs_swapped = false;
+    bs_synthetic = false;
+    bs_then_block = Ids.Block.of_int 1;
+    bs_else_block = Ids.Block.of_int 2;
+  }
+
+let verdict =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (C.Report.verdict_name v))
+    ( = )
+
+let test_branch_verdict () =
+  let live = mk_flow ~enabled:true ~state:(C.Vstate.Const 1) in
+  let live' = mk_flow ~enabled:true ~state:(C.Vstate.Const 0) in
+  let disabled = mk_flow ~enabled:false ~state:(C.Vstate.Const 1) in
+  let empty = mk_flow ~enabled:true ~state:C.Vstate.empty in
+  Alcotest.check verdict "both live" C.Report.Both_live
+    (C.Report.branch_verdict (site live live'));
+  Alcotest.check verdict "disabled else" C.Report.Then_only
+    (C.Report.branch_verdict (site live disabled));
+  Alcotest.check verdict "empty then" C.Report.Else_only
+    (C.Report.branch_verdict (site empty live));
+  Alcotest.check verdict "dead check" C.Report.Neither
+    (C.Report.branch_verdict (site disabled empty))
+
+(* ----- compare_runs on a compiled program ----- *)
+
+let src =
+  {|
+class Shape {
+  int kind() { return 1; }
+}
+class Circle extends Shape {
+  int kind() { return 2; }
+}
+class Square extends Shape {
+  int kind() { return 3; }
+  int perimeter() { return 4; }
+}
+class Main {
+  static void helper() { }
+  static void main() {
+    Shape s = new Circle();
+    int k = s.kind();
+    if (s instanceof Square) {
+      Square q = (Square) s;
+      int p = q.perimeter();
+    }
+    int flag = 0;
+    if (flag == 1) {
+      Main.helper();
+    }
+  }
+}
+|}
+
+let runs () =
+  let prog = F.Frontend.compile src in
+  let main = Option.get (F.Frontend.main_of prog) in
+  let run config = (C.Analysis.run ~config prog ~roots:[ main ]).C.Analysis.engine in
+  (run C.Config.pta, run C.Config.skipflow)
+
+let test_removed_methods () =
+  let baseline, precise = runs () in
+  let r = C.Report.compare_runs ~baseline ~precise in
+  (* PTA does not track primitive values, so the [flag == 1] guard keeps
+     Main.helper reachable under the baseline; SkipFlow folds it away. *)
+  Alcotest.(check bool) "helper removed" true
+    (List.mem "Main.helper" r.C.Report.removed_methods);
+  (* Square.perimeter is NOT a delta: the cast's type filter already empties
+     its receiver under plain points-to, so both analyses prove it dead. *)
+  Alcotest.(check bool) "perimeter dead under both" false
+    (List.mem "Square.perimeter" r.C.Report.removed_methods)
+
+let test_folded_and_devirtualized () =
+  let baseline, precise = runs () in
+  let r = C.Report.compare_runs ~baseline ~precise in
+  (* verdicts are IR-oriented: instanceof lowers with swapped targets, so
+     the dead source-then branch is the IR then-successor (Else_only) *)
+  Alcotest.(check bool) "instanceof branch folds one-sided" true
+    (List.exists
+       (fun (m, k, v) ->
+         String.equal m "Main.main" && k = C.Flow.Type_check && v = C.Report.Else_only)
+       r.C.Report.folded_branches);
+  Alcotest.(check bool) "constant flag check folds one-sided" true
+    (List.exists
+       (fun (m, k, v) ->
+         String.equal m "Main.main" && k = C.Flow.Prim_check && v <> C.Report.Both_live)
+       r.C.Report.folded_branches);
+  Alcotest.(check bool) "s.kind() devirtualizes to Circle.kind" true
+    (List.mem ("Main.main", "Circle.kind") r.C.Report.devirtualized)
+
+let test_constant_returns () =
+  let baseline, precise = runs () in
+  let r = C.Report.compare_runs ~baseline ~precise in
+  Alcotest.(check bool) "Circle.kind returns the constant 2" true
+    (List.mem ("Circle.kind", 2) r.C.Report.constant_returns)
+
+let test_self_compare_removes_nothing () =
+  let _, precise = runs () in
+  let r = C.Report.compare_runs ~baseline:precise ~precise in
+  Alcotest.(check (list string)) "no removals vs itself" [] r.C.Report.removed_methods
+
+let test_names_and_pp () =
+  Alcotest.(check string) "kind" "type check" (C.Report.kind_name C.Flow.Type_check);
+  Alcotest.(check string) "kind" "null check" (C.Report.kind_name C.Flow.Null_check);
+  Alcotest.(check string) "verdict" "else branch dead"
+    (C.Report.verdict_name C.Report.Then_only);
+  let baseline, precise = runs () in
+  let r = C.Report.compare_runs ~baseline ~precise in
+  let text = Format.asprintf "%a" C.Report.pp r in
+  let contains needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "pp mentions %S" needle) true
+        (contains needle))
+    [ "methods removed"; "foldable branches"; "devirtualized"; "constant-returning" ]
+
+let suite =
+  ( "report",
+    [
+      Alcotest.test_case "branch_verdict truth table" `Quick test_branch_verdict;
+      Alcotest.test_case "compare_runs: removed methods" `Quick test_removed_methods;
+      Alcotest.test_case "compare_runs: folds + devirt" `Quick
+        test_folded_and_devirtualized;
+      Alcotest.test_case "compare_runs: constant returns" `Quick test_constant_returns;
+      Alcotest.test_case "self-compare removes nothing" `Quick
+        test_self_compare_removes_nothing;
+      Alcotest.test_case "names and printer" `Quick test_names_and_pp;
+    ] )

@@ -28,19 +28,19 @@ let mk_program ~with_virtual_thread =
   in
   let is_virtual =
     Program.declare_meth p thread ~name:"isVirtual" ~static:false ~param_tys:[]
-      ~ret_ty:Ty.Bool
+      ~ret_ty:Ty.Bool ()
   in
   let remove =
     Program.declare_meth p set_cls ~name:"remove" ~static:false
-      ~param_tys:[ Ty.Obj thread.Program.c_id ] ~ret_ty:Ty.Void
+      ~param_tys:[ Ty.Obj thread.Program.c_id ] ~ret_ty:Ty.Void ()
   in
   let on_exit =
     Program.declare_meth p container ~name:"onExit" ~static:false
-      ~param_tys:[ Ty.Obj thread.Program.c_id ] ~ret_ty:Ty.Void
+      ~param_tys:[ Ty.Obj thread.Program.c_id ] ~ret_ty:Ty.Void ()
   in
   let main =
     Program.declare_meth p main_cls ~name:"main" ~static:true ~param_tys:[]
-      ~ret_ty:Ty.Void
+      ~ret_ty:Ty.Void ()
   in
   (* Thread.isVirtual: if (this instanceof BVT) r=1 else r=0; return r *)
   let () =
