@@ -6,6 +6,9 @@
      dune exec bench/main.exe figure9         -- Figure 9 (normalized metrics per suite)
      dune exec bench/main.exe ablation        -- extra: feature ablation
      dune exec bench/main.exe micro           -- bechamel micro-benchmarks
+     dune exec bench/main.exe json [opts]     -- machine-readable perf rows
+                                                 (--benches a,b  --min-dedup-ratio X
+                                                  -o FILE; default BENCH_<n>.json)
 
    Environment:
      SKIPFLOW_SCALE   workload scale relative to the paper's method counts
@@ -44,12 +47,12 @@ let median l =
   let a = List.sort compare l in
   List.nth a (List.length a / 2)
 
-let measure ~reps config prog main =
+let measure ?mode ~reps config prog main =
   let times = ref [] in
   let result = ref None in
   for _ = 1 to max 1 reps do
     let t0 = Unix.gettimeofday () in
-    let r = C.Analysis.run ~config prog ~roots:[ main ] in
+    let r = C.Analysis.run ~config ?mode prog ~roots:[ main ] in
     times := (Unix.gettimeofday () -. t0) :: !times;
     result := Some r
   done;
@@ -252,6 +255,171 @@ let print_micro () =
       | _ -> Printf.printf "%-45s (no estimate)\n" name)
     (List.sort compare names)
 
+(* ------------------------------ json verb ----------------------------- *)
+
+(* Machine-readable perf rows, one per (bench, config), written to
+   BENCH_<n>.json so the perf trajectory is tracked across PRs.  Each
+   bench runs under four configs: the two analyses of Table 1 with the
+   deduplicated engine ("PTA", "SkipFlow") and the same analyses on the
+   boxed-FIFO reference drain ("PTA-ref", "SkipFlow-ref"), so the file
+   carries its own task-deduplication baseline. *)
+
+type jrow = {
+  j_suite : string;
+  j_bench : string;
+  j_config : string;
+  j_time_ms : float;
+  j_tasks : int;
+  j_dedup_hits : int;
+  j_reachable : int;
+  j_live_flows : int;
+}
+
+let json_configs =
+  [
+    ("PTA", C.Config.pta, C.Engine.Dedup);
+    ("SkipFlow", C.Config.skipflow, C.Engine.Dedup);
+    ("PTA-ref", C.Config.pta, C.Engine.Reference);
+    ("SkipFlow-ref", C.Config.skipflow, C.Engine.Reference);
+  ]
+
+let json_bench (b : W.Suites.bench) : jrow list =
+  let params = W.Suites.params_of ~scale b in
+  let prog, main = W.Gen.compile params in
+  let n = Program.num_meths prog in
+  (* json rows feed regression gates, so keep at least 5 repetitions even on
+     the big programs: single measurements at scale 0.1 swing by 2x. *)
+  let reps = if n < 2000 then 9 else 5 in
+  List.map
+    (fun (cname, config, mode) ->
+      let r, t = measure ~mode ~reps config prog main in
+      let s = C.Engine.stats r.C.Analysis.engine in
+      {
+        j_suite = b.W.Suites.suite;
+        j_bench = b.W.Suites.name;
+        j_config = cname;
+        j_time_ms = t *. 1000.;
+        j_tasks = s.C.Engine.tasks_processed;
+        j_dedup_hits = C.Engine.dedup_hits s;
+        j_reachable = C.Engine.reachable_count r.C.Analysis.engine;
+        j_live_flows = s.C.Engine.live_flows;
+      })
+    json_configs
+
+let next_bench_file () =
+  let rec go n =
+    let f = Printf.sprintf "BENCH_%d.json" n in
+    if Sys.file_exists f then go (n + 1) else f
+  in
+  go 1
+
+(* The dedup win on a config: reference tasks / dedup tasks, summed over
+   the benches in the file (the CI smoke floor guards this number). *)
+let dedup_ratio rows config =
+  let sum c =
+    List.fold_left
+      (fun acc r -> if String.equal r.j_config c then acc + r.j_tasks else acc)
+      0 rows
+  in
+  let ded = sum config and refr = sum (config ^ "-ref") in
+  if ded = 0 then 0. else float_of_int refr /. float_of_int ded
+
+let speedup rows config =
+  let med c =
+    match
+      List.filter_map
+        (fun r -> if String.equal r.j_config c then Some r.j_time_ms else None)
+        rows
+    with
+    | [] -> 0.
+    | l -> median l
+  in
+  let ded = med config and refr = med (config ^ "-ref") in
+  if ded = 0. then 0. else refr /. ded
+
+let emit_json ~out rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"scale\": %g,\n" scale;
+  Buffer.add_string b "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b
+        "    {\"suite\": %S, \"bench\": %S, \"config\": %S, \"time_ms\": %.3f, \
+         \"tasks\": %d, \"dedup_hits\": %d, \"reachable\": %d, \"live_flows\": %d}"
+        r.j_suite r.j_bench r.j_config r.j_time_ms r.j_tasks r.j_dedup_hits
+        r.j_reachable r.j_live_flows)
+    rows;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b "  \"summary\": {\n";
+  Printf.bprintf b "    \"dedup_task_ratio_pta\": %.3f,\n" (dedup_ratio rows "PTA");
+  Printf.bprintf b "    \"dedup_task_ratio_skipflow\": %.3f,\n"
+    (dedup_ratio rows "SkipFlow");
+  Printf.bprintf b "    \"median_speedup_pta\": %.3f,\n" (speedup rows "PTA");
+  Printf.bprintf b "    \"median_speedup_skipflow\": %.3f\n"
+    (speedup rows "SkipFlow");
+  Buffer.add_string b "  }\n}\n";
+  let oc = open_out out in
+  Buffer.output_buffer oc b;
+  close_out oc
+
+let run_json args =
+  (* plain flag parsing, matching the harness style: [--benches a,b]
+     restricts the run, [--min-dedup-ratio X] makes the process fail when
+     the SkipFlow task-dedup ratio regresses below the floor (the CI smoke
+     job), [-o FILE] overrides the auto-numbered output *)
+  let benches = ref [] and floor_ = ref None and out = ref None in
+  let rec parse = function
+    | "--benches" :: v :: rest ->
+        benches := String.split_on_char ',' v;
+        parse rest
+    | "--min-dedup-ratio" :: v :: rest ->
+        floor_ := Some (float_of_string v);
+        parse rest
+    | "-o" :: v :: rest ->
+        out := Some v;
+        parse rest
+    | [] -> ()
+    | other :: _ ->
+        Printf.eprintf "json: unknown argument %s\n" other;
+        exit 1
+  in
+  parse args;
+  let selected =
+    match !benches with
+    | [] -> W.Suites.all
+    | names ->
+        List.map
+          (fun n ->
+            match W.Suites.find n with
+            | Some b -> b
+            | None ->
+                Printf.eprintf "json: unknown benchmark %s\n" n;
+                exit 1)
+          names
+  in
+  let rows =
+    List.concat_map
+      (fun (b : W.Suites.bench) ->
+        Printf.printf "  %-22s ...%!" b.W.Suites.name;
+        let rows = json_bench b in
+        Printf.printf " ok\n%!";
+        rows)
+      selected
+  in
+  let out = match !out with Some f -> f | None -> next_bench_file () in
+  emit_json ~out rows;
+  let ratio = dedup_ratio rows "SkipFlow" in
+  Printf.printf
+    "wrote %s (%d rows; SkipFlow dedup task ratio %.2fx, median speedup %.2fx)\n" out
+    (List.length rows) ratio (speedup rows "SkipFlow");
+  match !floor_ with
+  | Some f when ratio < f ->
+      Printf.eprintf "json: dedup task ratio %.2f below floor %.2f\n" ratio f;
+      exit 1
+  | _ -> ()
+
 (* -------------------------------- driver ------------------------------ *)
 
 let collect () =
@@ -279,6 +447,8 @@ let () =
       print_figure9 rows
   | "ablation" -> print_ablation ()
   | "micro" -> print_micro ()
+  | "json" ->
+      run_json (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
   | "all" ->
       let rows = collect () in
       print_table1 rows;
@@ -286,5 +456,5 @@ let () =
       print_ablation ();
       print_micro ()
   | other ->
-      Printf.eprintf "unknown command %s (table1|figure9|ablation|micro|all)\n" other;
+      Printf.eprintf "unknown command %s (table1|figure9|ablation|micro|json|all)\n" other;
       exit 1

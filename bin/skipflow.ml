@@ -88,6 +88,25 @@ let max_flows_arg =
 let allow_degraded_arg =
   Arg.(value & flag & info [ "allow-degraded" ] ~doc:"Exit 0 instead of 3 when a budget trips and the result is degraded")
 
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("dedup", C.Engine.Dedup); ("ref", C.Engine.Reference) ])
+        C.Engine.Dedup
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Worklist engine: dedup (deduplicated dirty-flow worklist, the default) or ref (the boxed-FIFO reference drain; same fixed point, more tasks)")
+
+(** Per-task-kind and dedup breakdown of the solver work, printed after
+    the Table 1 metrics. *)
+let pp_engine_stats ppf (s : C.Engine.stats) =
+  Format.fprintf ppf
+    "@[<v>worklist drains:  %d (input %d, enable %d, notify %d)@,\
+     dedup hits:       %d (input %d, enable %d, notify %d)@,\
+     max queue:        %d@]"
+    s.C.Engine.tasks_processed s.C.Engine.input_tasks s.C.Engine.enable_tasks
+    s.C.Engine.notify_tasks (C.Engine.dedup_hits s) s.C.Engine.dedup_input
+    s.C.Engine.dedup_enable s.C.Engine.dedup_notify s.C.Engine.max_queue
+
 let budget_of ~max_tasks ~timeout ~max_flows =
   C.Budget.{ max_tasks; max_seconds = timeout; max_flows }
 
@@ -104,7 +123,7 @@ let finish_degradation (r : C.Analysis.result) ~allow_degraded =
 
 let analyze_cmd =
   let run file config roots list_reachable dot dump_ir saturation max_tasks timeout
-      max_flows allow_degraded =
+      max_flows allow_degraded mode =
     let prog = load_program file in
     if dump_ir then Format.printf "%a@." Ir_pp.pp_program prog;
     let config =
@@ -114,10 +133,11 @@ let analyze_cmd =
     in
     let roots = roots_of prog roots in
     let t0 = Unix.gettimeofday () in
-    let r = C.Analysis.run ~config prog ~roots in
+    let r = C.Analysis.run ~config ~mode prog ~roots in
     let dt = Unix.gettimeofday () -. t0 in
     Format.printf "analysis: %s@." (C.Config.name config);
     Format.printf "%a@." C.Metrics.pp r.C.Analysis.metrics;
+    Format.printf "%a@." pp_engine_stats (C.Engine.stats r.C.Analysis.engine);
     Format.printf "wall time:        %.3f s@." dt;
     if list_reachable then
       List.iter
@@ -135,7 +155,8 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Analyze a MiniJava program")
     Term.(
       const run $ file_arg $ analysis_arg $ roots_arg $ list_arg $ dot_arg $ ir_arg
-      $ sat_arg $ max_tasks_arg $ timeout_arg $ max_flows_arg $ allow_degraded_arg)
+      $ sat_arg $ max_tasks_arg $ timeout_arg $ max_flows_arg $ allow_degraded_arg
+      $ engine_arg)
 
 (* ------------------------------- compare ------------------------------ *)
 

@@ -17,10 +17,10 @@ type result = {
 (** [run ~config prog ~roots] analyzes [prog] starting from the given root
     methods.  Root-method parameters are seeded according to
     [config.seed_root_params] (Section 5's reflection/JNI policy). *)
-let run ?(config = Config.skipflow) ?random_order (prog : Program.t)
+let run ?(config = Config.skipflow) ?random_order ?mode (prog : Program.t)
     ~(roots : Program.meth list) =
   let t0 = Sys.time () in
-  let engine = Engine.create prog config in
+  let engine = Engine.create ?mode prog config in
   List.iter (fun m -> Engine.add_root engine m) roots;
   Engine.run ?random_order engine;
   let cpu_time_s = Sys.time () -. t0 in

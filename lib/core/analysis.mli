@@ -14,13 +14,16 @@ type result = {
 val run :
   ?config:Config.t ->
   ?random_order:int ->
+  ?mode:Engine.mode ->
   Skipflow_ir.Program.t ->
   roots:Skipflow_ir.Program.meth list ->
   result
 (** [run ~config prog ~roots] analyzes [prog] from the given root methods
     (default config: {!Config.skipflow}).  [random_order] processes the
     worklist in a seeded pseudo-random order instead of FIFO — the fixed
-    point must not change; used by determinism tests. *)
+    point must not change; used by determinism tests.  [mode] selects the
+    worklist engine ({!Engine.Dedup} by default; {!Engine.Reference} keeps
+    the original boxed FIFO for differential testing). *)
 
 val roots_by_name : Skipflow_ir.Program.t -> string list -> Skipflow_ir.Program.meth list
 (** Resolve roots from ["Class.method"] names.

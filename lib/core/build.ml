@@ -37,9 +37,17 @@ type ctx = {
           accesses at construction time (no receiver to observe) *)
 }
 
+module VarMap = Map.Make (Int)
+module VarSet = Set.Make (Int)
+
+(* The re-definition environment is a persistent map so that entering a
+   branch target shares the parent block's environment in O(1) instead of
+   copying it; with the old eager [Hashtbl] copy a chain of [d] sequential
+   branches cost O(d²) copying per method, which dominated construction on
+   branchy code. *)
 type block_state = {
-  map : (int, Flow.t) Hashtbl.t;  (** filter/shadow re-definitions, by var id *)
-  shadow_phis : (int, unit) Hashtbl.t;
+  mutable map : Flow.t VarMap.t;  (** filter/shadow re-definitions, by var id *)
+  mutable shadow_phis : VarSet.t;
       (** vars whose [map] entry is a shadow phi created by this merge *)
   mutable cur_pred : Flow.t;
   mutable touched : bool;  (** has any predecessor propagated into this merge? *)
@@ -95,12 +103,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
      before they are visited) *)
   let states : block_state option array = Array.make (Array.length body.Bl.blocks) None in
   let fresh_state cur_pred =
-    {
-      map = Hashtbl.create 8;
-      shadow_phis = Hashtbl.create 4;
-      cur_pred;
-      touched = false;
-    }
+    { map = VarMap.empty; shadow_phis = VarSet.empty; cur_pred; touched = false }
   in
   let get_merge_state (bid : Ids.Block.t) =
     let i = Ids.Block.to_int bid in
@@ -131,7 +134,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
   in
   (* variable lookup: branch-scoped re-definition, else the SSA def *)
   let lookup (s : block_state) v =
-    match Hashtbl.find_opt s.map (Ids.Var.to_int v) with
+    match VarMap.find_opt (Ids.Var.to_int v) s.map with
     | Some f -> f
     | None -> def_flow v
   in
@@ -170,41 +173,36 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
     (* merge branch-scoped re-definitions *)
     if not ts.touched then begin
       ts.touched <- true;
-      Hashtbl.iter (fun v f -> Hashtbl.replace ts.map v f) b.map
+      ts.map <- b.map (* persistent: sharing, not copying *)
     end
-    else begin
-      let keys = Hashtbl.create 8 in
-      Hashtbl.iter (fun v _ -> Hashtbl.replace keys v ()) ts.map;
-      Hashtbl.iter (fun v _ -> Hashtbl.replace keys v ()) b.map;
-      Hashtbl.iter
-        (fun v () ->
-          let var = Ids.Var.of_int v in
-          let tv =
-            match Hashtbl.find_opt ts.map v with Some f -> f | None -> def_flow var
-          in
-          let pv = lookup b var in
-          if tv != pv then
-            if Hashtbl.mem ts.shadow_phis v then
-              (* shadow phi already created for this merge: just add the
-                 new operand (the isPhi branch of Figure 13) *)
-              use_edge pv tv
-            else begin
-              let f = mk Flow.Phi in
-              pred_edge ts.cur_pred f;
-              use_edge tv f;
-              use_edge pv f;
-              Hashtbl.replace ts.map v f;
-              Hashtbl.replace ts.shadow_phis v ()
-            end)
-        keys
-    end
+    else
+      (* walk the union of both environments; a var missing on one side
+         falls back to its SSA def *)
+      VarMap.merge (fun _ tv pv -> Some (tv, pv)) ts.map b.map
+      |> VarMap.iter (fun v (tv_opt, pv_opt) ->
+             let var = Ids.Var.of_int v in
+             let tv = match tv_opt with Some f -> f | None -> def_flow var in
+             let pv = match pv_opt with Some f -> f | None -> def_flow var in
+             if tv != pv then
+               if VarSet.mem v ts.shadow_phis then
+                 (* shadow phi already created for this merge: just add the
+                    new operand (the isPhi branch of Figure 13) *)
+                 use_edge pv tv
+               else begin
+                 let f = mk Flow.Phi in
+                 pred_edge ts.cur_pred f;
+                 use_edge tv f;
+                 use_edge pv f;
+                 ts.map <- VarMap.add v f ts.map;
+                 ts.shadow_phis <- VarSet.add v ts.shadow_phis
+               end)
   in
   (* --------------------- initBlock (Fig. 14) ------------------------- *)
   let branches = ref [] in
   let init_block (b : block_state) (tgt : Ids.Block.t) (cond : Bl.cond) ~negated
       ~span =
     let ts = fresh_state b.cur_pred (* overwritten below *) in
-    Hashtbl.iter (fun v f -> Hashtbl.replace ts.map v f) b.map;
+    ts.map <- b.map;
     (match cond with
     | Bl.InstanceOf (x, cls) ->
         let f =
@@ -214,7 +212,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         in
         pred_edge b.cur_pred f;
         use_edge (lookup b x) f;
-        Hashtbl.replace ts.map (Ids.Var.to_int x) f;
+        ts.map <- VarMap.add (Ids.Var.to_int x) f ts.map;
         ts.cur_pred <- f
     | Bl.Cmp (op0, l, r) ->
         let check =
@@ -240,8 +238,8 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         pred_edge f_l f_r;
         use_edge rf f_r;
         obs_edge lf f_r;
-        Hashtbl.replace ts.map (Ids.Var.to_int l) f_l;
-        Hashtbl.replace ts.map (Ids.Var.to_int r) f_r;
+        ts.map <- VarMap.add (Ids.Var.to_int l) f_l ts.map;
+        ts.map <- VarMap.add (Ids.Var.to_int r) f_r ts.map;
         ts.cur_pred <- f_r);
     label_state tgt ts;
     ts.cur_pred
@@ -269,7 +267,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
     | Bl.Load { dst; recv; field } ->
         let rf = lookup b recv in
         let f =
-          mk ?span (Flow.Field_load { fa_field = field; fa_recv = rf; fa_linked = [] })
+          mk ?span (Flow.Field_load { fa_field = field; fa_recv = rf; fa_linked = Ids.Field.Set.empty; fa_seen = Typeset.empty })
         in
         pred_edge b.cur_pred f;
         obs_edge rf f;
@@ -277,7 +275,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
     | Bl.Store { recv; field; src } ->
         let rf = lookup b recv in
         let f =
-          mk ?span (Flow.Field_store { fa_field = field; fa_recv = rf; fa_linked = [] })
+          mk ?span (Flow.Field_store { fa_field = field; fa_recv = rf; fa_linked = Ids.Field.Set.empty; fa_seen = Typeset.empty })
         in
         pred_edge b.cur_pred f;
         use_edge (lookup b src) f;
@@ -296,13 +294,13 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         (* an array read is a load of the element pseudo-field: one element
            flow per array type, linked through the receiver's value state *)
         let rf = lookup b arr in
-        let f = mk ?span (Flow.Field_load { fa_field = elem; fa_recv = rf; fa_linked = [] }) in
+        let f = mk ?span (Flow.Field_load { fa_field = elem; fa_recv = rf; fa_linked = Ids.Field.Set.empty; fa_seen = Typeset.empty }) in
         pred_edge b.cur_pred f;
         obs_edge rf f;
         set_def dst f
     | Bl.ArrStore { arr; idx = _; src; elem } ->
         let rf = lookup b arr in
-        let f = mk ?span (Flow.Field_store { fa_field = elem; fa_recv = rf; fa_linked = [] }) in
+        let f = mk ?span (Flow.Field_store { fa_field = elem; fa_recv = rf; fa_linked = Ids.Field.Set.empty; fa_seen = Typeset.empty }) in
         pred_edge b.cur_pred f;
         use_edge (lookup b src) f;
         obs_edge rf f
@@ -334,6 +332,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
                  inv_recv = recv_f;
                  inv_args = args_f;
                  inv_linked = Ids.Meth.Set.empty;
+                 inv_seen = Typeset.empty;
                })
         in
         pred_edge b.cur_pred f;
@@ -386,9 +385,20 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
   List.iter
     (fun (blk : Bl.block) ->
       let b = get_state blk.Bl.b_id in
-      List.iter2
-        (fun i span -> process_insn b ~span i)
-        blk.Bl.b_insns (Bl.insn_spans blk);
+      (* walk instructions and spans together without materializing the
+         padded span list ([Bl.insn_spans]) — this loop runs once per
+         reachable instruction per analysis, so the cons cells add up *)
+      let rec walk insns spans =
+        match insns with
+        | [] -> ()
+        | i :: is ->
+            let span, ss =
+              match spans with s :: ss -> (s, ss) | [] -> (None, [])
+            in
+            process_insn b ~span i;
+            walk is ss
+      in
+      walk blk.Bl.b_insns blk.Bl.b_spans;
       process_term b blk)
     (Bl.reverse_postorder body);
   g.Graph.g_branches <- List.rev !branches;

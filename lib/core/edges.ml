@@ -1,4 +1,4 @@
-(** Edge insertion with propagation tasks.
+(** Edge insertion with propagation scheduling.
 
     Both PVPG construction ({!Build}) and interprocedural linking
     ({!Engine}) add edges to a graph whose fixed-point computation may
@@ -12,27 +12,35 @@
     - an {e observe} edge from a source with a non-empty state notifies the
       new observer.
 
-    Tasks are drained FIFO by the engine; because all transfer functions
+    Scheduling goes through an {!emit} record supplied by the engine, so
+    this module does not allocate task values: the deduplicated engine
+    joins input values into the target's VS_in eagerly and enqueues only a
+    dirty flow id, while its retained reference drain boxes FIFO tasks the
+    way the original implementation did.  Because all transfer functions
     are monotone joins over a finite-height lattice, the fixed point does
-    not depend on the order (a property the test-suite checks by running
+    not depend on drain order (a property the test-suite checks by running
     with randomized orders). *)
 
-type task =
-  | Enable of Flow.t
-  | Input of Flow.t * Vstate.t  (** join the value into the target's VS_in *)
-  | Notify of Flow.t  (** re-run the observer's flow-specific action *)
+type emit = {
+  input : Flow.t -> Vstate.t -> unit;
+      (** join the value into the target's VS_in and schedule it *)
+  enable : Flow.t -> unit;  (** schedule the target to become executable *)
+  notify : Flow.t -> unit;  (** schedule the observer's flow-specific action *)
+}
 
-type emit = task -> unit
+(** An emit that drops everything; placeholder while an engine ties the
+    knot between its record and its emit closures. *)
+let null_emit = { input = (fun _ _ -> ()); enable = ignore; notify = ignore }
 
 let use_edge ~(emit : emit) (s : Flow.t) (t : Flow.t) =
   s.Flow.uses <- t :: s.Flow.uses;
   if s.Flow.enabled && not (Vstate.is_empty s.Flow.state) then
-    emit (Input (t, s.Flow.state))
+    emit.input t s.Flow.state
 
 let pred_edge ~(emit : emit) (s : Flow.t) (t : Flow.t) =
   s.Flow.pred_out <- t :: s.Flow.pred_out;
-  if s.Flow.enabled && not (Vstate.is_empty s.Flow.state) then emit (Enable t)
+  if s.Flow.enabled && not (Vstate.is_empty s.Flow.state) then emit.enable t
 
 let obs_edge ~(emit : emit) (s : Flow.t) (t : Flow.t) =
   s.Flow.observers <- t :: s.Flow.observers;
-  if not (Vstate.is_empty s.Flow.state) then emit (Notify t)
+  if not (Vstate.is_empty s.Flow.state) then emit.notify t

@@ -1,30 +1,58 @@
 (** The fixed-point propagation engine: an operational implementation of
     the inference rules of Figure 15 (Appendix C).
 
-    The engine maintains a FIFO worklist of three task kinds:
+    The engine schedules three kinds of propagation work:
 
-    - [Input (f, v)]: join [v] into [f]'s VS_in (the Propagate / Load /
+    - {e input}: join a value into a flow's VS_in (the Propagate / Load /
       Store / Invoke-linking rules push values this way);
-    - [Enable f]: mark [f] executable (the Predicate rule);
-    - [Notify f]: re-run [f]'s flow-specific action because an observed
+    - {e enable}: mark a flow executable (the Predicate rule);
+    - {e notify}: re-run a flow's flow-specific action because an observed
       flow's state changed (method resolution and linking for invokes,
       field linking for loads/stores, re-filtering for comparison filters).
+
+    In the default {!Dedup} mode the worklist is deduplicated: an input
+    emit performs the value join into [Flow.raw] {e eagerly} and enqueues
+    the flow id only if the join changed something and the flow is not
+    already pending (scheduling bits live on {!Flow.t}); an enable emit on
+    an already-enabled flow and a notify emit on an already-queued
+    observer collapse to no-ops.  The queue itself is {!Worklist}: an
+    int-indexed ring buffer of flow ids, not boxed task values.  The
+    {!Reference} mode retains the original boxed-FIFO drain (one task per
+    emit, joins at processing time) — the fixed points of the two modes
+    are bit-identical (all transfer functions are monotone over the
+    finite-height lattice [𝕃]), which the test-suite certifies flow by
+    flow.
 
     Methods become reachable ([ℝ] in the paper) when their PVPG is built:
     either as analysis roots or when an invoke links them.  Virtual invokes
     resolve every type in the receiver's value state with [Resolve] and link
     actual-argument flows to formal-parameter flows and the callee's return
     flow back to the invoke flow (which represents the returned value in the
-    caller).
-
-    All transfer functions are monotone over the finite-height lattice [𝕃],
-    so the worklist drains to a unique fixed point regardless of task
-    order. *)
+    caller). *)
 
 open Skipflow_ir
 
+(** How the worklist is driven: the production deduplicated dirty-bit
+    engine, or the retained reference drain (boxed FIFO of one task per
+    emit) kept for differential testing and perf baselines. *)
+type mode = Dedup | Reference
+
+(** Reference-mode tasks — the original engine's boxed queue entries. *)
+type rtask =
+  | REnable of Flow.t
+  | RInput of Flow.t * Vstate.t
+  | RNotify of Flow.t
+
 type stats = {
   mutable tasks_processed : int;
+      (** worklist entries drained (deduplicated flow drains in {!Dedup}
+          mode, boxed tasks in {!Reference} mode) *)
+  mutable input_tasks : int;  (** input work items processed *)
+  mutable enable_tasks : int;  (** enable work items processed *)
+  mutable notify_tasks : int;  (** notify work items processed *)
+  mutable dedup_input : int;  (** input emits collapsed into pending work *)
+  mutable dedup_enable : int;  (** enable emits collapsed (already enabled/queued) *)
+  mutable dedup_notify : int;  (** notify emits collapsed (already queued) *)
   mutable use_edges : int;  (** counted at link time only *)
   mutable links : int;
   mutable max_queue : int;
@@ -34,23 +62,38 @@ type stats = {
   mutable first_trip : Budget.trip option;  (** which cap tripped first *)
 }
 
+let dedup_hits s = s.dedup_input + s.dedup_enable + s.dedup_notify
+
 type t = {
   prog : Program.t;
   config : Config.t;
   masks : Masks.t;
-  queue : Edges.task Queue.t;
+  mode : mode;
+  wl : Worklist.t;  (** the deduplicated ring of dirty flow ids *)
+  rqueue : rtask Queue.t;  (** reference-mode boxed FIFO *)
+  mutable emit : Edges.emit;  (** this engine's scheduling hooks (knot-tied in {!create}) *)
   graphs : Graph.method_graph Ids.Meth.Tbl.t;
   mutable reachable_order : Program.meth list;  (** reverse discovery order *)
   mutable roots : Ids.Meth.Set.t;  (** methods registered via {!add_root} *)
   field_flows : Flow.t Ids.Field.Tbl.t;
   all_inst : Flow.t Ids.Class.Tbl.t;
+  all_inst_rev : Flow.t list array;
+      (** reverse subtype index: class id -> the [all_inst] flows whose
+          subtype mask contains it, so {!mark_instantiated} updates exactly
+          the affected flows instead of scanning the whole table *)
   all_inst_any : Flow.t;
       (** all instantiated types, regardless of declared type; feeds
           saturated flows *)
   mutable instantiated : Typeset.t;
   pred_on : Flow.t;
+  mutable sync_depth : int;
+      (** current depth of synchronous (drain-free) processing; beyond
+          {!sync_depth_limit} the work is scheduled instead, keeping the
+          OCaml stack bounded on deep predicate/call chains *)
   stats : stats;
 }
+
+let sync_depth_limit = 200
 
 let always_on kind state =
   let f = Flow.make kind in
@@ -59,35 +102,21 @@ let always_on kind state =
   f.Flow.state <- state;
   f
 
-let create prog config =
-  ignore (Program.freeze prog);
-  {
-    prog;
-    config;
-    masks = Masks.compute prog;
-    queue = Queue.create ();
-    graphs = Ids.Meth.Tbl.create 256;
-    reachable_order = [];
-    roots = Ids.Meth.Set.empty;
-    field_flows = Ids.Field.Tbl.create 64;
-    all_inst = Ids.Class.Tbl.create 32;
-    all_inst_any = always_on (Flow.All_instantiated Program.null_class) Vstate.empty;
-    instantiated = Typeset.empty;
-    pred_on = always_on Flow.Pred_on (Vstate.const 1);
-    stats =
-      {
-        tasks_processed = 0;
-        use_edges = 0;
-        links = 0;
-        max_queue = 0;
-        live_flows = 0;
-        budget_trips = 0;
-        degraded = false;
-        first_trip = None;
-      };
-  }
+(* ---------------------------- scheduling ------------------------------ *)
 
-let emit t task = Queue.add task t.queue
+let track_queue t len = if len > t.stats.max_queue then t.stats.max_queue <- len
+
+(** Set a dirty bit and enqueue the flow unless it is already pending.
+    Returns [false] when the work merged into an existing entry. *)
+let schedule t (f : Flow.t) bit =
+  let w = f.Flow.work in
+  f.Flow.work <- w lor bit lor Flow.wk_pending;
+  if w land Flow.wk_pending = 0 then begin
+    Worklist.push t.wl f;
+    track_queue t (Worklist.length t.wl);
+    true
+  end
+  else false
 
 (* ------------------------- global flows ------------------------------ *)
 
@@ -98,11 +127,15 @@ let all_inst_flow t (c : Ids.Class.t) =
   match Ids.Class.Tbl.find_opt t.all_inst c with
   | Some f -> f
   | None ->
-      let init =
-        Vstate.types (Typeset.inter t.instantiated (Masks.sub t.masks c))
-      in
+      let mask = Masks.sub t.masks c in
+      let init = Vstate.types (Typeset.inter t.instantiated mask) in
       let f = always_on (Flow.All_instantiated c) init in
       Ids.Class.Tbl.replace t.all_inst c f;
+      (* register in the reverse index so later instantiations of any
+         subtype reach this flow directly *)
+      Typeset.iter
+        (fun ci -> t.all_inst_rev.(ci) <- f :: t.all_inst_rev.(ci))
+        mask;
       f
 
 (** Default value of a field before any store is observed: [null] for
@@ -139,42 +172,131 @@ let gen_value t (f : Flow.t) =
       | _ -> Vstate.empty)
   | _ -> Vstate.empty
 
-let saturate_check t (f : Flow.t) (s : Vstate.t) =
+(* The emit functions, state-change propagation, and the reachability /
+   linking rules are one mutually recursive block: the deduplicated
+   engine processes cheap-to-collapse work {e synchronously} instead of
+   scheduling a drain for it —
+
+   - an input emit on a {e disabled} flow folds the filter in place
+     (disabled flows push nothing to uses/preds, so only observers must
+     hear about the growth, and notifying them is itself an emit);
+   - an enable emit runs {!enable} immediately (a flow is enabled at most
+     once, so there is never a second enable to merge with), up to
+     {!sync_depth_limit} — past it, deep predicate/call chains fall back
+     to the worklist so the OCaml stack stays bounded.
+
+   Both are just different schedules of the same chaotic iteration: all
+   transfer functions are monotone joins, so the fixed point is unchanged
+   (the differential tests against {!Reference} mode check this). *)
+
+let rec emit_input t (f : Flow.t) v =
+  match t.mode with
+  | Reference ->
+      Queue.add (RInput (f, v)) t.rqueue;
+      track_queue t (Queue.length t.rqueue)
+  | Dedup ->
+      (* the join happens here, eagerly: a value already below VS_in needs
+         no task at all, and concurrent growth merges into one drain.  The
+         [leq] test first keeps the common already-subsumed case
+         allocation-free (no union is built); when it fails the join is a
+         strict growth, so no equality re-check is needed either. *)
+      if Vstate.leq v f.Flow.raw then
+        t.stats.dedup_input <- t.stats.dedup_input + 1
+      else begin
+        f.Flow.raw <- Vstate.join f.Flow.raw v;
+        if not f.Flow.enabled then begin
+          t.stats.input_tasks <- t.stats.input_tasks + 1;
+          recompute t f
+        end
+        else if not (schedule t f Flow.wk_recompute) then
+          t.stats.dedup_input <- t.stats.dedup_input + 1
+      end
+
+and emit_enable t (f : Flow.t) =
+  match t.mode with
+  | Reference ->
+      Queue.add (REnable f) t.rqueue;
+      track_queue t (Queue.length t.rqueue)
+  | Dedup ->
+      if f.Flow.enabled || f.Flow.work land Flow.wk_enable <> 0 then
+        t.stats.dedup_enable <- t.stats.dedup_enable + 1
+      else if t.sync_depth < sync_depth_limit then begin
+        t.stats.enable_tasks <- t.stats.enable_tasks + 1;
+        t.sync_depth <- t.sync_depth + 1;
+        enable t f;
+        t.sync_depth <- t.sync_depth - 1
+      end
+      else if not (schedule t f Flow.wk_enable) then
+        t.stats.dedup_enable <- t.stats.dedup_enable + 1
+
+and emit_notify t (f : Flow.t) =
+  match t.mode with
+  | Reference ->
+      Queue.add (RNotify f) t.rqueue;
+      track_queue t (Queue.length t.rqueue)
+  | Dedup ->
+      if f.Flow.work land Flow.wk_notify <> 0 then
+        t.stats.dedup_notify <- t.stats.dedup_notify + 1
+      else if not (schedule t f Flow.wk_notify) then
+        t.stats.dedup_notify <- t.stats.dedup_notify + 1
+
+and saturate_check t (f : Flow.t) (s : Vstate.t) =
   match (t.config.Config.saturation, s) with
   | Some cutoff, Vstate.Types ts
     when (not f.Flow.saturated) && Typeset.cardinal ts > cutoff ->
       f.Flow.saturated <- true;
-      Edges.use_edge ~emit:(emit t) t.all_inst_any f
+      Edges.use_edge ~emit:t.emit t.all_inst_any f
   | _ -> ()
 
-let on_state_change t (f : Flow.t) =
+and on_state_change t (f : Flow.t) =
   if f.Flow.enabled then begin
     if not (Vstate.is_empty f.Flow.state) then begin
-      List.iter (fun u -> emit t (Edges.Input (u, f.Flow.state))) f.Flow.uses;
-      List.iter (fun p -> emit t (Edges.Enable p)) f.Flow.pred_out
+      List.iter (fun u -> emit_input t u f.Flow.state) f.Flow.uses;
+      List.iter (fun p -> emit_enable t p) f.Flow.pred_out
     end
   end;
-  List.iter (fun o -> emit t (Edges.Notify o)) f.Flow.observers
+  List.iter (fun o -> emit_notify t o) f.Flow.observers
 
-let recompute t (f : Flow.t) =
-  let s = Flow.apply_filter f f.Flow.raw in
-  (* Joining with the previous state keeps the per-flow state monotone even
-     while an observed operand is still growing. *)
-  let s = Vstate.join f.Flow.state s in
-  if not (Vstate.equal s f.Flow.state) then begin
-    f.Flow.state <- s;
-    saturate_check t f s;
-    on_state_change t f
-  end
+and recompute t (f : Flow.t) =
+  match t.mode with
+  | Reference ->
+      (* The original implementation, retained verbatim so the reference
+         baseline keeps its pre-optimization cost profile: join first,
+         compare after (one transient value-state allocation per call). *)
+      let s' = Vstate.join_unshared f.Flow.state (Flow.apply_filter f f.Flow.raw) in
+      if not (Vstate.equal s' f.Flow.state) then begin
+        f.Flow.state <- s';
+        saturate_check t f s';
+        on_state_change t f
+      end
+  | Dedup ->
+      let s = Flow.apply_filter f f.Flow.raw in
+      (* Joining with the previous state keeps the per-flow state monotone
+         even while an observed operand is still growing; the [leq] test
+         makes the already-covered case allocation-free. *)
+      if not (Vstate.leq s f.Flow.state) then begin
+        let s = Vstate.join f.Flow.state s in
+        f.Flow.state <- s;
+        saturate_check t f s;
+        on_state_change t f
+      end
 
-let input t (f : Flow.t) v =
-  let raw = Vstate.join f.Flow.raw v in
-  if not (Vstate.equal raw f.Flow.raw) then begin
-    f.Flow.raw <- raw;
-    recompute t f
-  end
-
-(* --------------------------- degradation ------------------------------ *)
+(** Synchronous join-and-recompute, used by reference-mode input tasks and
+    by {!mark_instantiated} (which updates global flows directly). *)
+and input t (f : Flow.t) v =
+  match t.mode with
+  | Reference ->
+      (* original join-then-compare form (see {!recompute}) *)
+      let raw' = Vstate.join_unshared f.Flow.raw v in
+      if not (Vstate.equal raw' f.Flow.raw) then begin
+        f.Flow.raw <- raw';
+        recompute t f
+      end
+  | Dedup ->
+      if not (Vstate.leq v f.Flow.raw) then begin
+        f.Flow.raw <- Vstate.join f.Flow.raw v;
+        recompute t f
+      end
 
 (** Degradation mode (budget exhaustion): precision is abandoned, never
     soundness.  Every flow is force-enabled (as in the no-predicates
@@ -184,34 +306,22 @@ let input t (f : Flow.t) v =
     The result, once the worklist re-drains, is a sound but much coarser
     fixed point: the degraded reachable-method set is a superset of the
     precise one (a property the fuzz harness asserts). *)
-let degrade_flow t (f : Flow.t) =
-  emit t (Edges.Enable f);
+and degrade_flow t (f : Flow.t) =
+  emit_enable t f;
   (if not f.Flow.saturated then
      match f.Flow.raw with
      | Vstate.Types _ ->
          f.Flow.saturated <- true;
-         Edges.use_edge ~emit:(emit t) t.all_inst_any f
-     | Vstate.Empty | Vstate.Const _ | Vstate.Any ->
-         emit t (Edges.Input (f, Vstate.any)));
+         Edges.use_edge ~emit:t.emit t.all_inst_any f
+     | Vstate.Empty | Vstate.Const _ | Vstate.Any -> emit_input t f Vstate.any);
   (* re-run the flow-specific action against the widened operand states *)
   match f.Flow.kind with
-  | Flow.Invoke _ | Flow.Field_load _ | Flow.Field_store _ ->
-      emit t (Edges.Notify f)
+  | Flow.Invoke _ | Flow.Field_load _ | Flow.Field_store _ -> emit_notify t f
   | _ -> ()
-
-let degrade t (trip : Budget.trip) =
-  t.stats.budget_trips <- t.stats.budget_trips + 1;
-  if not t.stats.degraded then begin
-    t.stats.degraded <- true;
-    t.stats.first_trip <- Some trip;
-    Ids.Meth.Tbl.iter
-      (fun _ g -> List.iter (degrade_flow t) g.Graph.g_flows)
-      t.graphs
-  end
 
 (* ----------------------- reachability & linking ----------------------- *)
 
-let rec ensure_reachable t (m : Program.meth) =
+and ensure_reachable t (m : Program.meth) =
   match Ids.Meth.Tbl.find_opt t.graphs m.Program.m_id with
   | Some g -> g
   | None ->
@@ -222,7 +332,7 @@ let rec ensure_reachable t (m : Program.meth) =
             config = t.config;
             masks = t.masks;
             pred_on = t.pred_on;
-            emit = emit t;
+            emit = t.emit;
             field_flow = field_flow t;
           }
           m
@@ -236,7 +346,7 @@ let rec ensure_reachable t (m : Program.meth) =
       else if not t.config.Config.predicates then
         (* Baseline configuration: no predicate edges — every flow of a
            reachable method propagates unconditionally. *)
-        List.iter (fun f -> emit t (Edges.Enable f)) g.Graph.g_flows;
+        List.iter (fun f -> emit_enable t f) g.Graph.g_flows;
       g
 
 and link_callee t (inv_flow : Flow.t) (inv : Flow.invoke_site) (callee : Program.meth) =
@@ -258,10 +368,10 @@ and link_callee t (inv_flow : Flow.t) (inv : Flow.invoke_site) (callee : Program
     List.iter2
       (fun a p ->
         t.stats.use_edges <- t.stats.use_edges + 1;
-        Edges.use_edge ~emit:(emit t) a p)
+        Edges.use_edge ~emit:t.emit a p)
       actuals cg.Graph.g_params;
     (* the invoke flow represents the returned value in the caller *)
-    Edges.use_edge ~emit:(emit t) cg.Graph.g_return inv_flow
+    Edges.use_edge ~emit:t.emit cg.Graph.g_return inv_flow
   end
 
 (** The Invoke rule: resolve and link every possible callee.  Virtual
@@ -285,13 +395,25 @@ and try_link t (f : Flow.t) =
               t.instantiated
           | Vstate.Empty | Vstate.Const _ -> Typeset.empty
         in
+        let fresh =
+          match t.mode with
+          | Reference -> tyset (* pre-PR behavior: re-resolve everything *)
+          | Dedup ->
+              (* difference propagation: the receiver state only grows, and
+                 [Resolve] is deterministic, so types resolved on an
+                 earlier notify can be skipped without changing the fixed
+                 point *)
+              let d = Typeset.diff tyset inv.Flow.inv_seen in
+              inv.Flow.inv_seen <- Typeset.union inv.Flow.inv_seen tyset;
+              d
+        in
         Typeset.iter_classes
           (fun c ->
             if not (Program.is_null_class c) then
               match Program.resolve t.prog ~recv_cls:c ~target:inv.Flow.inv_target with
               | Some callee -> link_callee t f inv callee
               | None -> ())
-          tyset
+          fresh
       end
       else
         link_callee t f inv (Program.meth t.prog inv.Flow.inv_target)
@@ -312,17 +434,28 @@ and try_field t (f : Flow.t) =
               t.instantiated
           | s -> Vstate.type_set s
         in
+        let tyset =
+          match t.mode with
+          | Reference -> tyset (* pre-PR behavior: re-look-up everything *)
+          | Dedup ->
+              (* delta processing, as in the Invoke rule: [LookUp] is
+                 deterministic, so seen receiver types can be skipped *)
+              let d = Typeset.diff tyset fa.Flow.fa_seen in
+              fa.Flow.fa_seen <- Typeset.union fa.Flow.fa_seen tyset;
+              d
+        in
         Typeset.iter_classes
           (fun c ->
             if not (Program.is_null_class c) then
               match Program.lookup_field t.prog ~recv_cls:c ~field:fa.Flow.fa_field with
               | Some fld ->
-                  if not (List.mem fld.Program.f_id fa.Flow.fa_linked) then begin
-                    fa.Flow.fa_linked <- fld.Program.f_id :: fa.Flow.fa_linked;
+                  if not (Ids.Field.Set.mem fld.Program.f_id fa.Flow.fa_linked) then begin
+                    fa.Flow.fa_linked <-
+                      Ids.Field.Set.add fld.Program.f_id fa.Flow.fa_linked;
                     let ff = field_flow t fld.Program.f_id in
                     match f.Flow.kind with
-                    | Flow.Field_load _ -> Edges.use_edge ~emit:(emit t) ff f
-                    | _ -> Edges.use_edge ~emit:(emit t) f ff
+                    | Flow.Field_load _ -> Edges.use_edge ~emit:t.emit ff f
+                    | _ -> Edges.use_edge ~emit:t.emit f ff
                   end
               | None -> ())
           tyset
@@ -333,10 +466,9 @@ and mark_instantiated t (c : Ids.Class.t) =
     t.instantiated <- Typeset.class_add c t.instantiated;
     let v = Vstate.of_class c in
     input t t.all_inst_any v;
-    Ids.Class.Tbl.iter
-      (fun cls f ->
-        if Typeset.class_mem c (Masks.sub t.masks cls) then input t f v)
-      t.all_inst
+    (* only the all-inst flows whose subtype mask contains [c], via the
+       reverse index — not the whole table *)
+    List.iter (fun f -> input t f v) t.all_inst_rev.(Ids.Class.to_int c)
   end
 
 and enable t (f : Flow.t) =
@@ -368,6 +500,68 @@ and notify t (f : Flow.t) =
          operand's new state *)
       recompute t f
 
+let degrade t (trip : Budget.trip) =
+  t.stats.budget_trips <- t.stats.budget_trips + 1;
+  if not t.stats.degraded then begin
+    t.stats.degraded <- true;
+    t.stats.first_trip <- Some trip;
+    (* iterate a snapshot of the discovery list, not the table: degrading
+       a flow can link new callees synchronously, growing [t.graphs]
+       mid-walk (methods added during the walk are degraded on arrival by
+       {!ensure_reachable}) *)
+    List.iter
+      (fun (m : Program.meth) ->
+        match Ids.Meth.Tbl.find_opt t.graphs m.Program.m_id with
+        | Some g -> List.iter (degrade_flow t) g.Graph.g_flows
+        | None -> ())
+      t.reachable_order
+  end
+
+let create ?(mode = Dedup) prog config =
+  ignore (Program.freeze prog);
+  let wl = Worklist.create () in
+  let t =
+    {
+      prog;
+      config;
+      masks = Masks.compute prog;
+      mode;
+      wl;
+      rqueue = Queue.create ();
+      emit = Edges.null_emit;
+      graphs = Ids.Meth.Tbl.create 256;
+      reachable_order = [];
+      roots = Ids.Meth.Set.empty;
+      field_flows = Ids.Field.Tbl.create 64;
+      all_inst = Ids.Class.Tbl.create 32;
+      all_inst_rev = Array.make (Program.num_classes prog) [];
+      all_inst_any = always_on (Flow.All_instantiated Program.null_class) Vstate.empty;
+      instantiated = Typeset.empty;
+      pred_on = always_on Flow.Pred_on (Vstate.const 1);
+      sync_depth = 0;
+      stats =
+        {
+          tasks_processed = 0;
+          input_tasks = 0;
+          enable_tasks = 0;
+          notify_tasks = 0;
+          dedup_input = 0;
+          dedup_enable = 0;
+          dedup_notify = 0;
+          use_edges = 0;
+          links = 0;
+          max_queue = 0;
+          live_flows = 0;
+          budget_trips = 0;
+          degraded = false;
+          first_trip = None;
+        };
+    }
+  in
+  t.emit <-
+    { Edges.input = emit_input t; enable = emit_enable t; notify = emit_notify t };
+  t
+
 (* ------------------------------ driver -------------------------------- *)
 
 let add_root ?seed_params t (m : Program.meth) =
@@ -382,19 +576,54 @@ let add_root ?seed_params t (m : Program.meth) =
       (fun v pf ->
         match Bl.var_ty body v with
         | Ty.Obj c ->
-            Edges.use_edge ~emit:(emit t) (all_inst_flow t c) pf;
-            emit t (Edges.Input (pf, Vstate.null))
-        | Ty.Int | Ty.Bool -> emit t (Edges.Input (pf, Vstate.any))
+            Edges.use_edge ~emit:t.emit (all_inst_flow t c) pf;
+            emit_input t pf Vstate.null
+        | Ty.Int | Ty.Bool -> emit_input t pf Vstate.any
         | Ty.Null | Ty.Void -> ())
       body.Bl.params g.Graph.g_params
   end
 
+(** Drain one deduplicated worklist entry: clear the flow's scheduling
+    bits, then run every dirty kind.  Enable first (it folds the pending
+    VS_in into the state and runs the flow action), then recompute (a
+    no-op if enable just covered it), then notify. *)
+let process_flow t (f : Flow.t) =
+  t.stats.tasks_processed <- t.stats.tasks_processed + 1;
+  let w = f.Flow.work in
+  f.Flow.work <- 0;
+  if w land Flow.wk_enable <> 0 then begin
+    t.stats.enable_tasks <- t.stats.enable_tasks + 1;
+    enable t f
+  end;
+  if w land Flow.wk_recompute <> 0 then begin
+    t.stats.input_tasks <- t.stats.input_tasks + 1;
+    recompute t f
+  end;
+  if w land Flow.wk_notify <> 0 then begin
+    t.stats.notify_tasks <- t.stats.notify_tasks + 1;
+    notify t f
+  end
+
+let process_rtask t task =
+  t.stats.tasks_processed <- t.stats.tasks_processed + 1;
+  match task with
+  | REnable f ->
+      t.stats.enable_tasks <- t.stats.enable_tasks + 1;
+      enable t f
+  | RInput (f, v) ->
+      t.stats.input_tasks <- t.stats.input_tasks + 1;
+      input t f v
+  | RNotify f ->
+      t.stats.notify_tasks <- t.stats.notify_tasks + 1;
+      notify t f
+
 (** [run ?random_order t] drains the worklist to the fixed point.
 
-    By default tasks are processed FIFO.  With [random_order:seed] tasks
-    are picked pseudo-randomly instead — the fixed point must not change
-    (all transfer functions are monotone joins over a finite lattice),
-    which the property-test suite verifies by comparing runs.
+    By default pending work is processed FIFO.  With [random_order:seed]
+    pending entries are picked pseudo-randomly instead — the fixed point
+    must not change (all transfer functions are monotone joins over a
+    finite lattice), which the property-test suite verifies by comparing
+    runs.
 
     The run is subject to [t.config.budget]: when a cap trips, the engine
     switches to degradation mode ({!degrade}) and finishes at a sound but
@@ -403,18 +632,9 @@ let run ?random_order t =
   let budget = t.config.Config.budget in
   let start = Unix.gettimeofday () in
   let elapsed_s () = Unix.gettimeofday () -. start in
-  let process task =
-    t.stats.tasks_processed <- t.stats.tasks_processed + 1;
-    let q = Queue.length t.queue in
-    if q > t.stats.max_queue then t.stats.max_queue <- q;
-    match task with
-    | Edges.Enable f -> enable t f
-    | Edges.Input (f, v) -> input t f v
-    | Edges.Notify f -> notify t f
-  in
-  (* Checked after every task while un-degraded; once degraded, the
-     remaining (fast: everything is saturated) drain runs to completion so
-     the final state is a genuine fixed point. *)
+  (* Checked after every drained entry while un-degraded; once degraded,
+     the remaining (fast: everything is saturated) drain runs to
+     completion so the final state is a genuine fixed point. *)
   let step_budget () =
     if (not t.stats.degraded) && not (Budget.is_unlimited budget) then
       match
@@ -425,41 +645,66 @@ let run ?random_order t =
       | None -> ()
   in
   let drain_fifo () =
-    let continue_ = ref true in
-    while !continue_ do
-      match Queue.take_opt t.queue with
-      | None -> continue_ := false
-      | Some task ->
-          process task;
+    match t.mode with
+    | Dedup ->
+        while not (Worklist.is_empty t.wl) do
+          process_flow t (Worklist.pop_exn t.wl);
           step_budget ()
-    done
+        done
+    | Reference ->
+        let continue_ = ref true in
+        while !continue_ do
+          match Queue.take_opt t.rqueue with
+          | None -> continue_ := false
+          | Some task ->
+              process_rtask t task;
+              step_budget ()
+        done
   in
   let drain_random seed =
-    (* array-backed bag with swap-remove; deterministic LCG *)
+    (* array-backed bag with swap-remove; deterministic LCG.  In dedup
+       mode the bag holds pending flows (their [wk_pending] bit stays set
+       while bagged, so emits keep merging into them); in reference mode
+       it holds boxed tasks, as the original implementation did. *)
     let state = ref (seed land 0x3FFFFFFF) in
     let next bound =
       state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
       !state mod bound
     in
-    let bag = ref [||] in
-    let len = ref 0 in
-    let refill () =
-      let l = Queue.length t.queue in
-      if l > 0 then begin
-        bag := Array.init l (fun _ -> Queue.pop t.queue);
-        len := l
-      end
+    let swap_drain : 'a. 'a array ref -> int ref -> (unit -> unit) -> ('a -> unit) -> unit =
+     fun bag len refill process ->
+      refill ();
+      while !len > 0 do
+        let i = next !len in
+        let x = !bag.(i) in
+        !bag.(i) <- !bag.(!len - 1);
+        decr len;
+        process x;
+        step_budget ();
+        if !len = 0 then refill ()
+      done
     in
-    refill ();
-    while !len > 0 do
-      let i = next !len in
-      let task = !bag.(i) in
-      !bag.(i) <- !bag.(!len - 1);
-      decr len;
-      process task;
-      step_budget ();
-      if !len = 0 then refill ()
-    done
+    match t.mode with
+    | Dedup ->
+        let bag = ref [||] and len = ref 0 in
+        let refill () =
+          let a = Worklist.pop_all t.wl in
+          if Array.length a > 0 then begin
+            bag := a;
+            len := Array.length a
+          end
+        in
+        swap_drain bag len refill (process_flow t)
+    | Reference ->
+        let bag = ref [||] and len = ref 0 in
+        let refill () =
+          let l = Queue.length t.rqueue in
+          if l > 0 then begin
+            bag := Array.init l (fun _ -> Queue.pop t.rqueue);
+            len := l
+          end
+        in
+        swap_drain bag len refill (process_rtask t)
   in
   let drain () =
     match random_order with None -> drain_fifo () | Some s -> drain_random s
@@ -481,16 +726,21 @@ let run ?random_order t =
             (fun (f : Flow.t) ->
               match f.Flow.kind with
               | Flow.Field_load fa | Flow.Field_store fa ->
-                  field_links := !field_links + List.length fa.Flow.fa_linked
+                  field_links := !field_links + Ids.Field.Set.cardinal fa.Flow.fa_linked
               | _ -> ())
             g.Graph.g_flows)
         t.graphs;
       (Ids.Meth.Tbl.length t.graphs, t.stats.links, !field_links)
     in
     let rec close prev =
-      Ids.Meth.Tbl.iter
-        (fun _ g -> List.iter (fun f -> notify t f) g.Graph.g_flows)
-        t.graphs;
+      (* snapshot: notifying can link new callees and grow [t.graphs]
+         mid-walk; the next round covers the newcomers *)
+      List.iter
+        (fun (m : Program.meth) ->
+          match Ids.Meth.Tbl.find_opt t.graphs m.Program.m_id with
+          | Some g -> List.iter (fun f -> notify t f) g.Graph.g_flows
+          | None -> ())
+        t.reachable_order;
       drain ();
       let s = signature () in
       if s <> prev then close s
@@ -502,6 +752,7 @@ let run ?random_order t =
 
 let prog_of t = t.prog
 let config_of t = t.config
+let mode_of t = t.mode
 
 let roots t = t.roots
 let is_reachable t (m : Ids.Meth.t) = Ids.Meth.Tbl.mem t.graphs m

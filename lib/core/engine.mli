@@ -1,7 +1,7 @@
 (** The fixed-point propagation engine: an operational implementation of
     the inference rules of Figure 15 (Appendix C).
 
-    The engine drains a worklist of enable / input / notify tasks over the
+    The engine drains a worklist of enable / input / notify work over the
     predicated value propagation graphs built by {!Build}.  Methods become
     reachable ([ℝ]) when their PVPG is built — as roots or when an invoke
     links them; virtual invokes resolve every type in the receiver's value
@@ -9,10 +9,29 @@
     return back to the invoke flow.
 
     All transfer functions are monotone over the finite-height lattice, so
-    the fixed point is unique regardless of task order. *)
+    the fixed point is unique regardless of work order — which is why the
+    default {!Dedup} mode may collapse redundant work items (joins that
+    change nothing, enables of already-enabled flows, notifies of
+    already-queued observers) without changing any result. *)
+
+(** How the worklist is driven.  {!Dedup} (the default) joins input
+    values into VS_in eagerly at emit time and queues at most one entry
+    per flow, with dirty-kind bits stored on the flow itself.
+    {!Reference} retains the original boxed FIFO (one task per emit,
+    joins at processing time) for differential testing and as a perf
+    baseline.  Both modes reach bit-identical fixed points. *)
+type mode = Dedup | Reference
 
 type stats = {
   mutable tasks_processed : int;
+      (** worklist entries drained (deduplicated flow drains in {!Dedup}
+          mode, boxed tasks in {!Reference} mode) *)
+  mutable input_tasks : int;  (** input work items processed *)
+  mutable enable_tasks : int;  (** enable work items processed *)
+  mutable notify_tasks : int;  (** notify work items processed *)
+  mutable dedup_input : int;  (** input emits collapsed into pending work *)
+  mutable dedup_enable : int;  (** enable emits collapsed (already enabled/queued) *)
+  mutable dedup_notify : int;  (** notify emits collapsed (already queued) *)
   mutable use_edges : int;  (** counted at link time only *)
   mutable links : int;
   mutable max_queue : int;
@@ -22,9 +41,15 @@ type stats = {
   mutable first_trip : Budget.trip option;  (** which cap tripped first *)
 }
 
+val dedup_hits : stats -> int
+(** Total emits collapsed into already-pending work
+    ([dedup_input + dedup_enable + dedup_notify]); always 0 in
+    {!Reference} mode. *)
+
 type t
 
-val create : Skipflow_ir.Program.t -> Config.t -> t
+val create : ?mode:mode -> Skipflow_ir.Program.t -> Config.t -> t
+(** [mode] defaults to {!Dedup}. *)
 
 val add_root : ?seed_params:bool -> t -> Skipflow_ir.Program.meth -> unit
 (** Make a method an analysis root (building its PVPG).  [seed_params]
@@ -34,8 +59,8 @@ val add_root : ?seed_params:bool -> t -> Skipflow_ir.Program.meth -> unit
 
 val run : ?random_order:int -> t -> unit
 (** Drain the worklist to the fixed point.  With [random_order:seed],
-    tasks are picked pseudo-randomly instead of FIFO; the fixed point must
-    not change (checked by the property tests).
+    pending work is picked pseudo-randomly instead of FIFO; the fixed
+    point must not change (checked by the property tests).
 
     The run honors the configuration's {!Budget.t}: when a cap trips, the
     engine does not abort — it switches to degradation mode (all flows
@@ -48,6 +73,8 @@ val run : ?random_order:int -> t -> unit
 
 val prog_of : t -> Skipflow_ir.Program.t
 val config_of : t -> Config.t
+
+val mode_of : t -> mode
 
 val roots : t -> Skipflow_ir.Ids.Meth.Set.t
 (** The methods registered via {!add_root} (never reported dead by

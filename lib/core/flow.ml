@@ -40,12 +40,20 @@ and invoke_site = {
   inv_recv : t option;  (** receiver flow in the caller; [None] for static *)
   inv_args : t list;  (** actual-argument flows, receiver excluded *)
   mutable inv_linked : Ids.Meth.Set.t;  (** callees linked so far *)
+  mutable inv_seen : Typeset.t;
+      (** receiver types already resolved; the deduplicated engine
+          re-resolves only the delta on each notify (resolution is
+          deterministic, so skipping seen types cannot change the fixed
+          point) *)
 }
 
 and field_access = {
   fa_field : Ids.Field.t;
   fa_recv : t;  (** the flow of the receiver object [r], observed *)
-  mutable fa_linked : Ids.Field.t list;  (** field-state flows linked so far *)
+  mutable fa_linked : Ids.Field.Set.t;  (** field-state flows linked so far *)
+  mutable fa_seen : Typeset.t;
+      (** receiver types whose field was already looked up (delta
+          processing, as for {!invoke_site.inv_seen}) *)
 }
 
 and kind =
@@ -93,7 +101,25 @@ and t = {
   mutable saturated : bool;
       (** set when the type set grew past the saturation cutoff (optional
           engine feature, after Wimmer et al. 2024) *)
+  mutable work : int;
+      (** the deduplicated engine's scheduling bits ([wk_pending] while
+          the flow sits in the worklist, plus the dirty kinds still to be
+          processed); always 0 outside a drain *)
 }
+
+(** {2 Worklist scheduling bits}
+
+    The deduplicated engine replaces boxed tasks with dirty bits on the
+    flow itself: an emit that finds its bit already set is a no-op (the
+    pending worklist entry will cover it). *)
+
+let wk_pending = 1  (** the flow is in the worklist (or the random-order bag) *)
+
+let wk_recompute = 2  (** VS_in grew; re-apply the filter and re-propagate *)
+
+let wk_enable = 4  (** a predicate edge requested enabling *)
+
+let wk_notify = 8  (** an observed flow changed; re-run the flow action *)
 
 let next_id = ref 0
 
@@ -112,6 +138,7 @@ let make ?meth ?span ?(filter = No_filter) kind =
     pred_out = [];
     observers = [];
     saturated = false;
+    work = 0;
   }
 
 let apply_filter (f : t) (v : Vstate.t) =

@@ -30,6 +30,9 @@ type t = {
       (** the run exhausted its {!Budget.t} and finished at a coarser,
           still-sound fixed point *)
   budget_trips : int;  (** budget-cap trip events recorded by the engine *)
+  tasks : int;  (** worklist entries the engine drained *)
+  dedup_hits : int;
+      (** emits the deduplicated worklist collapsed into pending work *)
 }
 
 let compute (e : Engine.t) : t =
@@ -77,6 +80,8 @@ let compute (e : Engine.t) : t =
     instantiated_types = List.length (Engine.instantiated_types e);
     degraded = (Engine.stats e).Engine.degraded;
     budget_trips = (Engine.stats e).Engine.budget_trips;
+    tasks = (Engine.stats e).Engine.tasks_processed;
+    dedup_hits = Engine.dedup_hits (Engine.stats e);
   }
 
 let pp ppf m =
@@ -84,9 +89,11 @@ let pp ppf m =
     "@[<v>reachable methods: %d@,type checks:      %d@,null checks:      \
      %d@,prim checks:      %d@,poly calls:       %d@,mono calls:       \
      %d@,dead invokes:     %d@,binary size:      %d insns@,flows:            \
-     %d@,instantiated:     %d types@,degraded:         %s@]"
+     %d@,instantiated:     %d types@,tasks:            %d@,dedup hits:       \
+     %d@,degraded:         %s@]"
     m.reachable_methods m.type_checks m.null_checks m.prim_checks m.poly_calls
     m.mono_calls m.dead_invokes m.binary_size m.flows m.instantiated_types
+    m.tasks m.dedup_hits
     (if m.degraded then
        Printf.sprintf "yes (%d budget trip%s)" m.budget_trips
          (if m.budget_trips = 1 then "" else "s")

@@ -18,6 +18,9 @@ type t = {
       (** the run exhausted its {!Budget.t} and finished at a coarser,
           still-sound fixed point *)
   budget_trips : int;  (** budget-cap trip events recorded by the engine *)
+  tasks : int;  (** worklist entries the engine drained *)
+  dedup_hits : int;
+      (** emits the deduplicated worklist collapsed into pending work *)
 }
 
 val compute : Engine.t -> t

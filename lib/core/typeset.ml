@@ -50,33 +50,6 @@ let remove i (s : t) =
     normalize a
   end
 
-let union (a : t) (b : t) =
-  if is_empty a then b
-  else if is_empty b then a
-  else begin
-    let la = Array.length a and lb = Array.length b in
-    let big, small = if la >= lb then (a, b) else (b, a) in
-    let r = Array.copy big in
-    Array.iteri (fun i w -> r.(i) <- r.(i) lor w) small;
-    r
-  end
-
-let inter (a : t) (b : t) =
-  let l = min (Array.length a) (Array.length b) in
-  let r = Array.make l 0 in
-  for i = 0 to l - 1 do
-    r.(i) <- a.(i) land b.(i)
-  done;
-  normalize r
-
-let diff (a : t) (b : t) =
-  let r = Array.copy a in
-  let l = min (Array.length a) (Array.length b) in
-  for i = 0 to l - 1 do
-    r.(i) <- r.(i) land lnot b.(i)
-  done;
-  normalize r
-
 let equal (a : t) (b : t) =
   let la = Array.length a in
   la = Array.length b
@@ -91,29 +64,130 @@ let subset (a : t) (b : t) =
   let rec go i = i >= la || (a.(i) land lnot b.(i) = 0 && go (i + 1)) in
   go 0
 
-let popcount_word w =
+let disjoint (a : t) (b : t) =
+  let l = min (Array.length a) (Array.length b) in
+  let rec go i = i >= l || (a.(i) land b.(i) = 0 && go (i + 1)) in
+  go 0
+
+(* The binary operations return one of their arguments (physically) when
+   it already is the result.  Near the fixed point almost every join and
+   filter is a no-op, so these subset pre-checks turn the inner loop of
+   the engine allocation-free; callers can also use the physical identity
+   to skip re-boxing (see {!Vstate}). *)
+
+let union (a : t) (b : t) =
+  if subset b a then a
+  else if subset a b then b
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let big, small = if la >= lb then (a, b) else (b, a) in
+    let r = Array.copy big in
+    Array.iteri (fun i w -> r.(i) <- r.(i) lor w) small;
+    r
+  end
+
+(* The historical union, kept for the reference engine: it materializes a
+   fresh vector whenever both operands are non-empty, so measurements
+   against [Engine.Reference] reproduce the allocation behavior the solver
+   had before the sharing fast paths above were added. *)
+let union_unshared (a : t) (b : t) =
+  if is_empty a then b
+  else if is_empty b then a
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let big, small = if la >= lb then (a, b) else (b, a) in
+    let r = Array.copy big in
+    Array.iteri (fun i w -> r.(i) <- r.(i) lor w) small;
+    r
+  end
+
+let inter (a : t) (b : t) =
+  if subset a b then a
+  else if subset b a then b
+  else begin
+    let l = min (Array.length a) (Array.length b) in
+    let r = Array.make l 0 in
+    for i = 0 to l - 1 do
+      r.(i) <- a.(i) land b.(i)
+    done;
+    normalize r
+  end
+
+let diff (a : t) (b : t) =
+  if disjoint a b then a
+  else begin
+    let r = Array.copy a in
+    let l = min (Array.length a) (Array.length b) in
+    for i = 0 to l - 1 do
+      r.(i) <- r.(i) land lnot b.(i)
+    done;
+    normalize r
+  end
+
+(* Parallel-bit (SWAR) popcount.  The repeating-mask constants cannot be
+   written as literals on 63-bit OCaml ints (0x5555... overflows
+   [max_int]), so build them by shifting; the resulting bit patterns are
+   exactly the usual masks truncated to [Sys.int_size] bits, which is all
+   the algorithm needs. *)
+let rep16 x = (((((x lsl 16) lor x) lsl 16) lor x) lsl 16) lor x
+let m55 = rep16 0x5555
+let m33 = rep16 0x3333
+let m0f = rep16 0x0f0f
+let h01 = rep16 0x0101
+
+let popcount_naive w =
   let rec go w acc = if w = 0 then acc else go (w lsr 1) (acc + (w land 1)) in
   go w 0
 
+let popcount_word =
+  if bits_per_word = 63 then fun w ->
+    let w = w - ((w lsr 1) land m55) in
+    let w = (w land m33) + ((w lsr 2) land m33) in
+    let w = (w + (w lsr 4)) land m0f in
+    (* the high byte of [w * h01] accumulates all byte sums; bytes 0..6
+       are complete bytes of the 63-bit word, byte 7 is the single top
+       bit, already included by the multiply *)
+    (w * h01) lsr 56
+  else popcount_naive
+
 let cardinal (s : t) = Array.fold_left (fun acc w -> acc + popcount_word w) 0 s
 
+(* Iterate set bits via lowest-set-bit extraction: [w land -w] isolates
+   the lowest bit, whose index is the popcount of the bits below it. *)
 let iter f (s : t) =
-  Array.iteri
-    (fun wi w ->
-      if w <> 0 then
-        for b = 0 to bits_per_word - 1 do
-          if w land (1 lsl b) <> 0 then f ((wi * bits_per_word) + b)
-        done)
-    s
+  for wi = 0 to Array.length s - 1 do
+    let base = wi * bits_per_word in
+    let w = ref s.(wi) in
+    while !w <> 0 do
+      let b = !w land - !w in
+      f (base + popcount_word (b - 1));
+      w := !w lxor b
+    done
+  done
 
 let fold f (s : t) init =
   let acc = ref init in
-  iter (fun i -> acc := f i !acc) s;
+  for wi = 0 to Array.length s - 1 do
+    let base = wi * bits_per_word in
+    let w = ref s.(wi) in
+    while !w <> 0 do
+      let b = !w land - !w in
+      acc := f (base + popcount_word (b - 1)) !acc;
+      w := !w lxor b
+    done
+  done;
   !acc
 
 let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
 let of_list l = List.fold_left (fun s i -> add i s) empty l
-let hash (s : t) = Hashtbl.hash (Array.to_list s)
+
+(* Allocation-free word mixing; normalization makes it equality-compatible. *)
+let hash (s : t) =
+  let h = ref 0 in
+  for i = 0 to Array.length s - 1 do
+    h := (!h * 31) + s.(i)
+  done;
+  !h land max_int
 
 let pp ppf s =
   Format.fprintf ppf "{%a}"

@@ -14,6 +14,13 @@ val mem : int -> t -> bool
 val add : int -> t -> t
 val remove : int -> t -> t
 val union : t -> t -> t
+
+val union_unshared : t -> t -> t
+(** Like {!union} but always materializes a fresh vector when both
+    operands are non-empty — the pre-sharing implementation, used by the
+    reference engine so its cost profile stays faithful to the historical
+    baseline. *)
+
 val inter : t -> t -> t
 
 val diff : t -> t -> t
@@ -25,6 +32,14 @@ val equal : t -> t -> bool
 val subset : t -> t -> bool
 (** [subset a b] iff [a ⊆ b]. *)
 
+val disjoint : t -> t -> bool
+(** [disjoint a b] iff [a ∩ b = ∅].
+
+    The binary operations ({!union}, {!inter}, {!diff}) return one of
+    their arguments physically unchanged whenever it already is the
+    result, so no-op joins and filters — the common case near the fixed
+    point — allocate nothing. *)
+
 val cardinal : t -> int
 val iter : (int -> unit) -> t -> unit
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
@@ -33,8 +48,20 @@ val elements : t -> int list
 (** Members in increasing order. *)
 
 val of_list : int list -> t
+
 val hash : t -> int
+(** Allocation-free; consistent with {!equal} (normalized representation). *)
+
 val pp : Format.formatter -> t -> unit
+
+(** {2 Word-level primitives (exposed for the unit tests)} *)
+
+val popcount_word : int -> int
+(** Number of set bits in one machine word (parallel-bit SWAR counting on
+    63-bit ints, naive shift loop otherwise). *)
+
+val popcount_naive : int -> int
+(** Reference implementation for differential testing. *)
 
 (** {2 Typed wrappers over class ids} *)
 

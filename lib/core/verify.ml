@@ -139,7 +139,7 @@ let check_field_access engine prog violations (f : Flow.t) =
             match Program.lookup_field prog ~recv_cls:c ~field:fa.Flow.fa_field with
             | None -> ()
             | Some fld ->
-                if not (List.mem fld.Program.f_id fa.Flow.fa_linked) then
+                if not (Ids.Field.Set.mem fld.Program.f_id fa.Flow.fa_linked) then
                   bad "field access %s: LookUp target not linked"
                     (Program.qualified_field_name prog fa.Flow.fa_field)
                 else

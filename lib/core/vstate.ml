@@ -41,11 +41,28 @@ let join a b =
   | Empty, x | x, Empty -> x
   | Any, _ | _, Any -> Any
   | Const x, Const y -> if Int.equal x y then a else Any
-  | Types x, Types y -> Types (Typeset.union x y)
+  | Types x, Types y ->
+      (* [Typeset.union] returns an argument physically when it already is
+         the result; reuse the existing box then (the engine joins are
+         mostly no-ops near the fixed point) *)
+      let u = Typeset.union x y in
+      if u == x then a else if u == y then b else Types u
   | Const _, Types _ | Types _, Const _ ->
       (* Mixing primitives and objects cannot happen in a well-typed
          program; the lattice join is the common top. *)
       Any
+
+(* Pre-sharing join, for the reference engine: the [Types] case always
+   re-boxes (and [union_unshared] always copies), reproducing the
+   per-task transient allocation the solver paid before the physical
+   sharing fast paths existed. *)
+let join_unshared a b =
+  match (a, b) with
+  | Empty, x | x, Empty -> x
+  | Any, _ | _, Any -> Any
+  | Const x, Const y -> if Int.equal x y then a else Any
+  | Types x, Types y -> Types (Typeset.union_unshared x y)
+  | Const _, Types _ | Types _, Const _ -> Any
 
 let leq a b =
   match (a, b) with
@@ -87,7 +104,9 @@ let pp_named ~class_name ppf = function
     primitive is ill-typed; passing it through is sound). *)
 let filter_instanceof ~(mask : Typeset.t) ~negated v =
   match v with
-  | Types ts -> types (if negated then Typeset.diff ts mask else Typeset.inter ts mask)
+  | Types ts ->
+      let ts' = if negated then Typeset.diff ts mask else Typeset.inter ts mask in
+      if ts' == ts then v else types ts'
   | Empty -> Empty
   | Const _ | Any -> v
 
@@ -96,7 +115,9 @@ let filter_instanceof ~(mask : Typeset.t) ~negated v =
     flows.  Primitive states pass unchanged. *)
 let filter_declared ~(mask_with_null : Typeset.t) v =
   match v with
-  | Types ts -> types (Typeset.inter ts mask_with_null)
+  | Types ts ->
+      let ts' = Typeset.inter ts mask_with_null in
+      if ts' == ts then v else types ts'
   | Empty -> Empty
   | Const _ | Any -> v
 
@@ -147,7 +168,9 @@ let compare_filter op vl vr =
         match (vl, vr) with
         | Any, v | v, Any -> v
         | Const x, Const y -> if x = y then vl else Empty
-        | Types x, Types y -> types (Typeset.inter x y)
+        | Types x, Types y ->
+            let i = Typeset.inter x y in
+            if i == x then vl else if i == y then vr else types i
         | _ -> vl)
     | Ne -> (
         match (vl, vr) with
@@ -163,7 +186,10 @@ let compare_filter op vl vr =
                (null checks), so we apply the difference exactly then and
                pass the state through otherwise.  The test-suite checks
                this against the concrete interpreter. *)
-            if Typeset.equal y Typeset.null_bit then types (Typeset.diff x y) else vl
+            if Typeset.equal y Typeset.null_bit then
+              let d = Typeset.diff x y in
+              if d == x then vl else types d
+            else vl
         | _ -> vl)
     | Lt | Ge | Gt | Le -> (
         match (vl, vr) with

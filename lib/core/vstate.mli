@@ -30,6 +30,12 @@ val of_class : Skipflow_ir.Ids.Class.t -> t
 val is_empty : t -> bool
 val equal : t -> t -> bool
 val join : t -> t -> t
+
+val join_unshared : t -> t -> t
+(** Like {!join} but without the physical-sharing fast paths: the
+    type-set case always materializes a fresh set.  Used by the
+    reference engine to keep the baseline's historical cost profile. *)
+
 val leq : t -> t -> bool
 
 val type_set : t -> Typeset.t

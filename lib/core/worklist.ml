@@ -1,0 +1,86 @@
+(** The deduplicated worklist backing {!Engine}: an int-indexed ring
+    buffer of flow ids plus a side table mapping ids back to flows.
+
+    The engine stores the dirty kinds (pending / recompute / enable /
+    notify) as bits on {!Flow.t} itself ([Flow.work]); this module only
+    owns the queue order.  Pushing records the flow in the side table the
+    first time it is scheduled, so popping is a pair of array reads — no
+    boxed task values, no hashing.
+
+    Ids are global across engines ({!Flow.next_id} is a process-wide
+    counter), so the side table is indexed by [id - base] where [base] is
+    the first id that can be created after this worklist: every flow an
+    engine schedules is created after its worklist, which keeps the table
+    dense per engine. *)
+
+type t = {
+  mutable ring : int array;  (** flow ids, circular; capacity is a power of 2 *)
+  mutable head : int;  (** index of the next id to pop *)
+  mutable size : int;
+  mutable flows : Flow.t array;  (** side table: [id - base] -> flow *)
+  base : int;
+  dummy : Flow.t;  (** padding value for unregistered side-table slots *)
+}
+
+let initial_capacity = 1024
+
+let create () =
+  let dummy = Flow.make Flow.Pred_on in
+  {
+    ring = Array.make initial_capacity 0;
+    head = 0;
+    size = 0;
+    flows = Array.make initial_capacity dummy;
+    base = !Flow.next_id + 1;
+    dummy;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let register t (f : Flow.t) =
+  let i = f.Flow.id - t.base in
+  if i >= Array.length t.flows then begin
+    let n = ref (Array.length t.flows * 2) in
+    while i >= !n do
+      n := !n * 2
+    done;
+    let a = Array.make !n t.dummy in
+    Array.blit t.flows 0 a 0 (Array.length t.flows);
+    t.flows <- a
+  end;
+  t.flows.(i) <- f
+
+let grow_ring t =
+  let cap = Array.length t.ring in
+  let a = Array.make (cap * 2) 0 in
+  for k = 0 to t.size - 1 do
+    a.(k) <- t.ring.((t.head + k) land (cap - 1))
+  done;
+  t.ring <- a;
+  t.head <- 0
+
+let push t (f : Flow.t) =
+  register t f;
+  if t.size = Array.length t.ring then grow_ring t;
+  t.ring.((t.head + t.size) land (Array.length t.ring - 1)) <- f.Flow.id;
+  t.size <- t.size + 1
+
+(** [pop_exn t] removes and returns the oldest pending flow.  The caller
+    must check {!is_empty} first (keeps the hot loop allocation-free). *)
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Worklist.pop_exn: empty";
+  let id = t.ring.(t.head) in
+  t.head <- (t.head + 1) land (Array.length t.ring - 1);
+  t.size <- t.size - 1;
+  t.flows.(id - t.base)
+
+(** [pop_all t] empties the worklist and returns the pending flows in
+    queue order (the random-order drain's refill). *)
+let pop_all t =
+  let n = t.size in
+  let cap = Array.length t.ring in
+  let a = Array.init n (fun k -> t.flows.(t.ring.((t.head + k) land (cap - 1)) - t.base)) in
+  t.head <- 0;
+  t.size <- 0;
+  a

@@ -45,6 +45,38 @@ let test_null_bit () =
   Alcotest.(check bool) "null bit" true (TS.has_null TS.null_bit);
   Alcotest.(check bool) "empty lacks null" false (TS.has_null TS.empty)
 
+let test_popcount () =
+  List.iter
+    (fun w ->
+      Alcotest.(check int)
+        (Printf.sprintf "popcount %d" w)
+        (TS.popcount_naive w) (TS.popcount_word w))
+    [ 0; 1; 2; 3; 255; 1 lsl 30; max_int; max_int - 1; (1 lsl 62) - 1 ]
+
+let test_hash_consistent () =
+  (* two structurally equal sets built along different paths must hash
+     alike (the hash reads the normalized words directly) *)
+  let a = TS.of_list [ 1; 63; 64; 200 ] in
+  let b = TS.remove 300 (TS.add 300 (TS.of_list [ 200; 64; 63; 1 ])) in
+  Alcotest.(check bool) "equal" true (TS.equal a b);
+  Alcotest.(check int) "hash equal" (TS.hash a) (TS.hash b);
+  Alcotest.(check int) "hash empty stable" (TS.hash TS.empty) (TS.hash (TS.remove 1 (TS.singleton 1)))
+
+let test_sharing_fast_paths () =
+  (* the binary ops must return an argument physically when it already is
+     the result — engine hot paths rely on this to skip re-boxing *)
+  let a = TS.of_list [ 1; 2; 70 ] and sub = TS.of_list [ 1; 70 ] in
+  Alcotest.(check bool) "union superset shares" true (TS.union a sub == a);
+  Alcotest.(check bool) "union subset shares" true (TS.union sub a == a);
+  Alcotest.(check bool) "inter subset shares" true (TS.inter sub a == sub);
+  Alcotest.(check bool) "inter superset shares" true (TS.inter a sub == sub);
+  let other = TS.of_list [ 300; 301 ] in
+  Alcotest.(check bool) "diff disjoint shares" true (TS.diff a other == a);
+  (* union_unshared must agree extensionally while never sharing on
+     non-trivial inputs (the reference engine's historical cost model) *)
+  Alcotest.(check ts) "union_unshared agrees" (TS.union a sub) (TS.union_unshared a sub);
+  Alcotest.(check bool) "union_unshared copies" true (TS.union_unshared a sub != a)
+
 (* ---------------------------- properties ------------------------------ *)
 
 let gen_set =
@@ -80,6 +112,15 @@ let props =
         TS.equal a b = (TS.elements a = TS.elements b));
     prop "fold consistent with elements" arb_set (fun a ->
         List.rev (TS.fold (fun i acc -> i :: acc) a []) = TS.elements a);
+    prop "hash consistent with equal" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        (not (TS.equal a b)) || TS.hash a = TS.hash b);
+    prop "disjoint iff empty inter" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        TS.disjoint a b = TS.is_empty (TS.inter a b));
+    prop "union_unshared = union" (QCheck.pair arb_set arb_set) (fun (a, b) ->
+        TS.equal (TS.union a b) (TS.union_unshared a b));
+    prop "popcount_word = naive" (QCheck.make QCheck.Gen.int) (fun w ->
+        let w = abs w in
+        TS.popcount_word w = TS.popcount_naive w);
   ]
 
 let suite =
@@ -91,5 +132,8 @@ let suite =
       Alcotest.test_case "set operations" `Quick test_ops;
       Alcotest.test_case "inter normalizes" `Quick test_inter_normalizes;
       Alcotest.test_case "null bit" `Quick test_null_bit;
+      Alcotest.test_case "popcount word" `Quick test_popcount;
+      Alcotest.test_case "hash/equality consistency" `Quick test_hash_consistent;
+      Alcotest.test_case "sharing fast paths" `Quick test_sharing_fast_paths;
     ]
     @ props )
