@@ -21,6 +21,7 @@
    ~50% outlier, counters track reachable methods, and analysis time does
    not systematically increase. *)
 
+module Api = Skipflow_api
 module C = Skipflow_core
 module W = Skipflow_workloads
 open Skipflow_ir
@@ -47,16 +48,37 @@ let median l =
   let a = List.sort compare l in
   List.nth a (List.length a / 2)
 
+let analyze ?mode ?trace config prog main =
+  match Api.analyze_program ~config ?mode ?trace prog ~roots:[ main ] with
+  | Ok s -> s
+  | Error e ->
+      prerr_endline ("bench: " ^ Api.error_message e);
+      exit 1
+
+(* Each repetition carries its own timed trace, so the returned summary's
+   phase breakdown belongs to the (last) measured run. *)
 let measure ?mode ~reps config prog main =
   let times = ref [] in
   let result = ref None in
   for _ = 1 to max 1 reps do
+    let trace = C.Trace.create ~timers:true () in
     let t0 = Unix.gettimeofday () in
-    let r = C.Analysis.run ~config ?mode prog ~roots:[ main ] in
+    let s = analyze ?mode ~trace config prog main in
     times := (Unix.gettimeofday () -. t0) :: !times;
-    result := Some r
+    result := Some s
   done;
   (Option.get !result, median !times)
+
+(* per-phase wall milliseconds out of a run's trace *)
+let phase_ms trace name =
+  match
+    List.find_opt (fun p -> String.equal p.C.Trace.ph_name name) (C.Trace.phases trace)
+  with
+  | Some p -> float_of_int p.C.Trace.ph_wall_us /. 1000.
+  | None -> 0.
+
+let build_ms trace =
+  float_of_int (C.Trace.value (C.Trace.counter trace "build.wall_us")) /. 1000.
 
 let run_bench (b : W.Suites.bench) : row * row =
   let params = W.Suites.params_of ~scale b in
@@ -64,8 +86,8 @@ let run_bench (b : W.Suites.bench) : row * row =
   let n = Program.num_meths prog in
   let reps = if n < 2000 then 5 else if n < 10000 then 3 else 1 in
   let mk config name =
-    let r, t = measure ~reps config prog main in
-    let m = r.C.Analysis.metrics in
+    let s, t = measure ~reps config prog main in
+    let m = s.Api.metrics in
     {
       r_bench = b;
       r_config = name;
@@ -193,8 +215,8 @@ let print_ablation () =
       let prog, main = W.Gen.compile (W.Suites.params_of ~scale:(scale /. 2.) b) in
       List.iter
         (fun (cname, config) ->
-          let r = C.Analysis.run ~config prog ~roots:[ main ] in
-          let m = r.C.Analysis.metrics in
+          let s = analyze config prog main in
+          let m = s.Api.metrics in
           Printf.printf "%-22s %-22s %9d %8d %8d %8d %8d\n" name cname
             m.C.Metrics.reachable_methods m.C.Metrics.type_checks
             m.C.Metrics.null_checks m.C.Metrics.prim_checks m.C.Metrics.poly_calls)
@@ -222,13 +244,11 @@ let print_micro () =
       Test.make ~name:"frontend: lex+parse+typecheck+lower"
         (Staged.stage (fun () -> Skipflow_frontend.Frontend.compile src));
       Test.make ~name:"analysis: PTA"
-        (Staged.stage (fun () -> C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ]));
+        (Staged.stage (fun () -> analyze C.Config.pta prog main));
       Test.make ~name:"analysis: SkipFlow"
-        (Staged.stage (fun () ->
-             C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ]));
+        (Staged.stage (fun () -> analyze C.Config.skipflow prog main));
       Test.make ~name:"analysis: SkipFlow preds-only"
-        (Staged.stage (fun () ->
-             C.Analysis.run ~config:C.Config.predicates_only prog ~roots:[ main ]));
+        (Staged.stage (fun () -> analyze C.Config.predicates_only prog main));
       Test.make ~name:"baseline: RTA"
         (Staged.stage (fun () -> Skipflow_baselines.Rta.run prog ~roots:[ main ]));
       Test.make ~name:"baseline: CHA"
@@ -269,6 +289,9 @@ type jrow = {
   j_bench : string;
   j_config : string;
   j_time_ms : float;
+  j_build_ms : float;  (** PVPG construction (inside the solve) *)
+  j_solve_ms : float;  (** worklist drain to the fixed point *)
+  j_metrics_ms : float;  (** Table 1 metric collection *)
   j_tasks : int;
   j_dedup_hits : int;
   j_reachable : int;
@@ -292,16 +315,19 @@ let json_bench (b : W.Suites.bench) : jrow list =
   let reps = if n < 2000 then 9 else 5 in
   List.map
     (fun (cname, config, mode) ->
-      let r, t = measure ~mode ~reps config prog main in
-      let s = C.Engine.stats r.C.Analysis.engine in
+      let sum, t = measure ~mode ~reps config prog main in
+      let s = C.Engine.stats sum.Api.engine in
       {
         j_suite = b.W.Suites.suite;
         j_bench = b.W.Suites.name;
         j_config = cname;
         j_time_ms = t *. 1000.;
+        j_build_ms = build_ms sum.Api.trace;
+        j_solve_ms = phase_ms sum.Api.trace "solve";
+        j_metrics_ms = phase_ms sum.Api.trace "metrics";
         j_tasks = s.C.Engine.tasks_processed;
         j_dedup_hits = C.Engine.dedup_hits s;
-        j_reachable = C.Engine.reachable_count r.C.Analysis.engine;
+        j_reachable = C.Engine.reachable_count sum.Api.engine;
         j_live_flows = s.C.Engine.live_flows;
       })
     json_configs
@@ -340,6 +366,7 @@ let speedup rows config =
 let emit_json ~out rows =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"schema_version\": 1,\n";
   Printf.bprintf b "  \"scale\": %g,\n" scale;
   Buffer.add_string b "  \"rows\": [\n";
   List.iteri
@@ -347,9 +374,10 @@ let emit_json ~out rows =
       if i > 0 then Buffer.add_string b ",\n";
       Printf.bprintf b
         "    {\"suite\": %S, \"bench\": %S, \"config\": %S, \"time_ms\": %.3f, \
+         \"build_ms\": %.3f, \"solve_ms\": %.3f, \"metrics_ms\": %.3f, \
          \"tasks\": %d, \"dedup_hits\": %d, \"reachable\": %d, \"live_flows\": %d}"
-        r.j_suite r.j_bench r.j_config r.j_time_ms r.j_tasks r.j_dedup_hits
-        r.j_reachable r.j_live_flows)
+        r.j_suite r.j_bench r.j_config r.j_time_ms r.j_build_ms r.j_solve_ms
+        r.j_metrics_ms r.j_tasks r.j_dedup_hits r.j_reachable r.j_live_flows)
     rows;
   Buffer.add_string b "\n  ],\n";
   Buffer.add_string b "  \"summary\": {\n";

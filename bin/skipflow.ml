@@ -19,37 +19,31 @@
     but [--allow-degraded] was not given. *)
 
 open Skipflow_ir
+module Api = Skipflow_api
 module C = Skipflow_core
 module F = Skipflow_frontend
 module W = Skipflow_workloads
+module K = Skipflow_checks
 open Cmdliner
 
 let exit_analysis_error = 1
 let exit_input_error = 2
 let exit_degraded = 3
 
-(** Compile [file], rendering accumulated caret diagnostics on stderr and
-    exiting with the input-error code if any are reported. *)
-let load_program file =
-  let src, result = F.Frontend.compile_file_diags file in
-  match result with
-  | Ok prog -> prog
-  | Error ds ->
-      F.Diag.render_all ~file ~src Format.err_formatter ds;
-      exit exit_input_error
+(** Render a facade error and exit with its documented code (the facade
+    owns the error-to-exit-code contract). *)
+let fail_api_error (e : Api.error) : 'a =
+  Api.render_error Format.err_formatter e;
+  exit (Api.exit_code_of_error e)
 
-let roots_of prog = function
-  | [] -> (
-      match F.Frontend.main_of prog with
-      | Some m -> [ m ]
-      | None ->
-          prerr_endline "error: no static main method found and no --root given";
-          exit exit_input_error)
-  | names -> (
-      try C.Analysis.roots_by_name prog names
-      with Not_found | Invalid_argument _ ->
-        prerr_endline "error: a --root was not found (use Class.method)";
-        exit exit_input_error)
+let ok_or_fail = function Ok v -> v | Error e -> fail_api_error e
+
+(** Compile [file] through the facade, rendering caret diagnostics on
+    stderr and exiting with the input-error code on failure. *)
+let load_program ?trace file =
+  fst (ok_or_fail (Api.compile ?trace (`File file)))
+
+let roots_of prog names = ok_or_fail (Api.resolve_roots prog names)
 
 (* ------------------------------- analyze ------------------------------ *)
 
@@ -111,8 +105,8 @@ let budget_of ~max_tasks ~timeout ~max_flows =
   C.Budget.{ max_tasks; max_seconds = timeout; max_flows }
 
 (** Shared tail: report degradation and exit 3 unless it was opted into. *)
-let finish_degradation (r : C.Analysis.result) ~allow_degraded =
-  if r.C.Analysis.metrics.C.Metrics.degraded then
+let finish_degradation_metrics (m : C.Metrics.t) ~allow_degraded =
+  if m.C.Metrics.degraded then
     if allow_degraded then
       Format.eprintf "warning: budget exhausted; results are sound but degraded@."
     else begin
@@ -121,10 +115,99 @@ let finish_degradation (r : C.Analysis.result) ~allow_degraded =
       exit exit_degraded
     end
 
+(* Shared by analyze and profile: serialize the run's phases and counters
+   into the integer-only JSON tree (times are microseconds). *)
+let phases_json trace =
+  K.Json.Arr
+    (List.map
+       (fun (p : C.Trace.phase) ->
+         K.Json.Obj
+           [ ("name", K.Json.Str p.C.Trace.ph_name);
+             ("depth", K.Json.Int p.C.Trace.ph_depth);
+             ("wall_us", K.Json.Int p.C.Trace.ph_wall_us);
+             ("cpu_us", K.Json.Int p.C.Trace.ph_cpu_us);
+             ("count", K.Json.Int p.C.Trace.ph_count);
+           ])
+       (C.Trace.phases trace))
+
+let counters_json trace =
+  K.Json.Obj (List.map (fun (name, v) -> (name, K.Json.Int v)) (C.Trace.counters trace))
+
+let analyze_summary_json ~file ~config ~mode (s : Api.summary) =
+  let m = s.Api.metrics in
+  K.Json.Obj
+    [
+      ("schema_version", K.Json.Int K.Json.current_schema_version);
+      ("file", K.Json.Str (Filename.basename file));
+      ("analysis", K.Json.Str (C.Config.name config));
+      ( "engine",
+        K.Json.Str (match mode with C.Engine.Dedup -> "dedup" | C.Engine.Reference -> "ref") );
+      ("degraded", K.Json.Bool m.C.Metrics.degraded);
+      ( "metrics",
+        K.Json.Obj
+          [ ("reachable_methods", K.Json.Int m.C.Metrics.reachable_methods);
+            ("type_checks", K.Json.Int m.C.Metrics.type_checks);
+            ("null_checks", K.Json.Int m.C.Metrics.null_checks);
+            ("prim_checks", K.Json.Int m.C.Metrics.prim_checks);
+            ("poly_calls", K.Json.Int m.C.Metrics.poly_calls);
+            ("mono_calls", K.Json.Int m.C.Metrics.mono_calls);
+            ("binary_size", K.Json.Int m.C.Metrics.binary_size);
+            ("flows", K.Json.Int m.C.Metrics.flows);
+            ("instantiated_types", K.Json.Int m.C.Metrics.instantiated_types);
+          ] );
+      ("wall_us", K.Json.Int (int_of_float (s.Api.wall_s *. 1e6)));
+      ("cpu_us", K.Json.Int (int_of_float (s.Api.cpu_s *. 1e6)));
+      ("phases", phases_json s.Api.trace);
+      ("counters", counters_json s.Api.trace);
+    ]
+
+let format_arg =
+  let deprecated_json =
+    Arg.(
+      value
+      & flag
+      & info [ "json" ]
+          ~deprecated:"use $(b,--format json) instead"
+          ~doc:"Deprecated alias for $(b,--format json)")
+  in
+  let fmt =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: text (human-readable) or json (schema-versioned summary)")
+  in
+  Term.(
+    const (fun fmt deprecated -> if deprecated then `Json else fmt)
+    $ fmt $ deprecated_json)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT.json"
+        ~doc:"Write a Chrome trace_event file (phases + solver events), loadable in chrome://tracing or Perfetto")
+
+let trace_jsonl_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-jsonl" ] ~docv:"OUT.jsonl"
+        ~doc:"Write the trace as JSON-lines (header, phases, counters, events)")
+
+let timings_arg =
+  Arg.(value & flag & info [ "timings" ] ~doc:"Print the per-phase wall/CPU breakdown and the counter registry")
+
 let analyze_cmd =
   let run file config roots list_reachable dot dump_ir saturation max_tasks timeout
-      max_flows allow_degraded mode =
-    let prog = load_program file in
+      max_flows allow_degraded mode format trace_out trace_jsonl timings =
+    let want_trace = trace_out <> None || trace_jsonl <> None in
+    let trace =
+      C.Trace.create
+        ~timers:(timings || want_trace || format = `Json)
+        ~events:want_trace ()
+    in
+    let prog = load_program ~trace file in
     if dump_ir then Format.printf "%a@." Ir_pp.pp_program prog;
     let config =
       { config with
@@ -132,31 +215,39 @@ let analyze_cmd =
         budget = budget_of ~max_tasks ~timeout ~max_flows }
     in
     let roots = roots_of prog roots in
-    let t0 = Unix.gettimeofday () in
-    let r = C.Analysis.run ~config ~mode prog ~roots in
-    let dt = Unix.gettimeofday () -. t0 in
-    Format.printf "analysis: %s@." (C.Config.name config);
-    Format.printf "%a@." C.Metrics.pp r.C.Analysis.metrics;
-    Format.printf "%a@." pp_engine_stats (C.Engine.stats r.C.Analysis.engine);
-    Format.printf "wall time:        %.3f s@." dt;
-    if list_reachable then
-      List.iter
-        (fun (m : Program.meth) ->
-          Format.printf "  %s@." (Program.qualified_name prog m.Program.m_id))
-        (C.Engine.reachable_methods r.C.Analysis.engine);
-    (match dot with
-    | Some path ->
-        C.Dot.write_file prog ~path (C.Engine.graphs r.C.Analysis.engine);
-        Format.printf "PVPG written to %s@." path
+    let s = ok_or_fail (Api.analyze_program ~config ~mode ~trace prog ~roots) in
+    let meth_name id = Program.qualified_name prog (Ids.Meth.of_int id) in
+    (match trace_out with
+    | Some path -> C.Trace.write_chrome ~meth_name trace path
     | None -> ());
-    finish_degradation r ~allow_degraded
+    (match trace_jsonl with
+    | Some path -> C.Trace.write_jsonl ~meth_name trace path
+    | None -> ());
+    (match format with
+    | `Json ->
+        print_string (K.Json.to_string (analyze_summary_json ~file ~config ~mode s))
+    | `Text ->
+        Format.printf "analysis: %s@." (C.Config.name config);
+        Format.printf "%a@." C.Metrics.pp s.Api.metrics;
+        Format.printf "%a@." pp_engine_stats (C.Engine.stats s.Api.engine);
+        Format.printf "wall time:        %.3f s@." s.Api.wall_s;
+        if timings then
+          Format.printf "@.%a@.%a@." C.Trace.pp_phases trace C.Trace.pp_counters trace;
+        if list_reachable then
+          List.iter (fun name -> Format.printf "  %s@." name) s.Api.reachable;
+        (match dot with
+        | Some path ->
+            C.Dot.write_file prog ~path (C.Engine.graphs s.Api.engine);
+            Format.printf "PVPG written to %s@." path
+        | None -> ()));
+    finish_degradation_metrics s.Api.metrics ~allow_degraded
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Analyze a MiniJava program")
     Term.(
       const run $ file_arg $ analysis_arg $ roots_arg $ list_arg $ dot_arg $ ir_arg
       $ sat_arg $ max_tasks_arg $ timeout_arg $ max_flows_arg $ allow_degraded_arg
-      $ engine_arg)
+      $ engine_arg $ format_arg $ trace_arg $ trace_jsonl_arg $ timings_arg)
 
 (* ------------------------------- compare ------------------------------ *)
 
@@ -169,18 +260,24 @@ let compare_cmd =
       let r = f () in
       (r, Unix.gettimeofday () -. t0)
     in
-    let pta, t_pta = time (fun () -> C.Analysis.run ~config:C.Config.pta prog ~roots) in
-    let sf, t_sf = time (fun () -> C.Analysis.run ~config:C.Config.skipflow prog ~roots) in
+    let pta, t_pta =
+      time (fun () ->
+          ok_or_fail (Api.analyze_program ~config:C.Config.pta prog ~roots))
+    in
+    let sf, t_sf =
+      time (fun () ->
+          ok_or_fail (Api.analyze_program ~config:C.Config.skipflow prog ~roots))
+    in
     let rta, t_rta = time (fun () -> Skipflow_baselines.Rta.run prog ~roots) in
     let cha, t_cha = time (fun () -> Skipflow_baselines.Cha.run prog ~roots) in
     Format.printf "%-10s %10s %10s@." "analysis" "reachable" "time[ms]";
     let row name n t = Format.printf "%-10s %10d %10.1f@." name n (t *. 1000.) in
     row "CHA" (Ids.Meth.Set.cardinal cha.Skipflow_baselines.Cha.reachable) t_cha;
     row "RTA" (Ids.Meth.Set.cardinal rta.Skipflow_baselines.Rta.reachable) t_rta;
-    row "PTA" pta.C.Analysis.metrics.C.Metrics.reachable_methods t_pta;
-    row "SkipFlow" sf.C.Analysis.metrics.C.Metrics.reachable_methods t_sf;
-    let p = pta.C.Analysis.metrics.C.Metrics.reachable_methods in
-    let s = sf.C.Analysis.metrics.C.Metrics.reachable_methods in
+    row "PTA" pta.Api.metrics.C.Metrics.reachable_methods t_pta;
+    row "SkipFlow" sf.Api.metrics.C.Metrics.reachable_methods t_sf;
+    let p = pta.Api.metrics.C.Metrics.reachable_methods in
+    let s = sf.Api.metrics.C.Metrics.reachable_methods in
     if p > 0 then
       Format.printf "@.SkipFlow reduction over PTA: %.1f%%@."
         (100. *. float_of_int (p - s) /. float_of_int p)
@@ -195,14 +292,14 @@ let deadcode_cmd =
   let run file roots verify =
     let prog = load_program file in
     let roots = roots_of prog roots in
-    let pta = C.Analysis.run ~config:C.Config.pta prog ~roots in
-    let sf = C.Analysis.run ~config:C.Config.skipflow prog ~roots in
+    let pta = ok_or_fail (Api.analyze_program ~config:C.Config.pta prog ~roots) in
+    let sf = ok_or_fail (Api.analyze_program ~config:C.Config.skipflow prog ~roots) in
     let report =
-      C.Report.compare_runs ~baseline:pta.C.Analysis.engine ~precise:sf.C.Analysis.engine
+      C.Report.compare_runs ~baseline:pta.Api.engine ~precise:sf.Api.engine
     in
     Format.printf "%a@." C.Report.pp report;
     if verify then begin
-      match C.Verify.run sf.C.Analysis.engine with
+      match C.Verify.run sf.Api.engine with
       | [] -> Format.printf "fixed point certified: all Figure 15 rules hold@."
       | vs ->
           Format.printf "FIXED POINT VIOLATIONS:@.";
@@ -218,22 +315,13 @@ let deadcode_cmd =
 
 (* -------------------------------- lint -------------------------------- *)
 
-module K = Skipflow_checks
-
 let lint_cmd =
   let list_checks () =
     String.concat ", " (List.map (fun c -> c.K.Checks.id) K.Checks.all)
   in
   let run file config roots checks format fail_on max_tasks timeout max_flows
       allow_degraded =
-    let src, compiled = F.Frontend.compile_file_diags file in
-    let prog =
-      match compiled with
-      | Ok prog -> prog
-      | Error ds ->
-          F.Diag.render_all ~file ~src Format.err_formatter ds;
-          exit exit_input_error
-    in
+    let prog, src = ok_or_fail (Api.compile (`File file)) in
     let only =
       match checks with
       | None -> None
@@ -256,8 +344,8 @@ let lint_cmd =
         C.Config.budget = budget_of ~max_tasks ~timeout ~max_flows }
     in
     let roots = roots_of prog roots in
-    let r = C.Analysis.run ~config prog ~roots in
-    let ctx = K.Checks.make_ctx ~engine:r.C.Analysis.engine ~roots in
+    let s = ok_or_fail (Api.analyze_program ~config prog ~roots) in
+    let ctx = K.Checks.make_ctx ~engine:s.Api.engine ~roots in
     let findings = K.Checks.run ?only ctx in
     let count sev =
       List.length (List.filter (fun f -> f.K.Finding.severity = sev) findings)
@@ -272,12 +360,9 @@ let lint_cmd =
     | `Json ->
         print_string
           (K.Json.to_string
-             (K.Json.Obj
-                [ ("file", K.Json.Str (Filename.basename file));
-                  ("analysis", K.Json.Str (C.Config.name config));
-                  ("findings", K.Finding.list_to_json findings);
-                ])));
-    finish_degradation r ~allow_degraded;
+             (K.Finding.document_to_json ~file:(Filename.basename file)
+                ~analysis:(C.Config.name config) findings)));
+    finish_degradation_metrics s.Api.metrics ~allow_degraded;
     let fails =
       match fail_on with
       | `Never -> false
@@ -417,6 +502,112 @@ let gen_cmd =
     (Cmd.info "gen" ~doc:"Emit a synthetic benchmark program as MiniJava source")
     Term.(const run $ bench $ seed $ out)
 
+(* ------------------------------- profile ------------------------------ *)
+
+(** Validate a trace document previously written by [--trace] /
+    [--trace-jsonl]: parses it with the integer-only JSON reader and
+    checks the schema version.  Returns a short description, or an error
+    message. *)
+let validate_trace_file path =
+  let contents = F.Frontend.read_file path in
+  let check_doc j =
+    match K.Json.check_schema_version j with
+    | Error msg -> Error msg
+    | Ok v -> Ok v
+  in
+  (* Chrome form: one object with a traceEvents array.  JSONL form: one
+     document per line, schema version on the header line. *)
+  match K.Json.of_string contents with
+  | j -> (
+      match check_doc j with
+      | Error msg -> Error msg
+      | Ok v -> (
+          match K.Json.member "traceEvents" j with
+          | Some (K.Json.Arr evs) ->
+              Ok (Printf.sprintf "chrome trace (schema %d): %d trace events" v (List.length evs))
+          | _ -> Error "chrome trace: missing traceEvents array"))
+  | exception K.Json.Parse_error _ -> (
+      (* not a single document — try JSON-lines *)
+      let lines =
+        List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' contents)
+      in
+      match lines with
+      | [] -> Error "empty trace file"
+      | header :: rest -> (
+          match K.Json.of_string header with
+          | exception K.Json.Parse_error msg -> Error ("bad header line: " ^ msg)
+          | h -> (
+              match check_doc h with
+              | Error msg -> Error msg
+              | Ok v -> (
+                  try
+                    List.iter (fun l -> ignore (K.Json.of_string l)) rest;
+                    Ok
+                      (Printf.sprintf "jsonl trace (schema %d): %d lines" v
+                         (1 + List.length rest))
+                  with K.Json.Parse_error msg -> Error ("bad trace line: " ^ msg)))))
+
+let profile_cmd =
+  let run file config roots top mode from_trace =
+    match from_trace with
+    | Some path -> (
+        match validate_trace_file path with
+        | Ok desc -> Format.printf "%s: valid %s@." path desc
+        | Error msg ->
+            Format.eprintf "error: %s: %s@." path msg;
+            exit exit_input_error)
+    | None -> (
+        match file with
+        | None ->
+            prerr_endline "error: profile needs FILE.mj (or --from-trace)";
+            exit exit_input_error
+        | Some file ->
+            let trace = C.Trace.create ~timers:true ~events:true () in
+            let prog = load_program ~trace file in
+            let roots = roots_of prog roots in
+            let s = ok_or_fail (Api.analyze_program ~config ~mode ~trace prog ~roots) in
+            let name_of id = Program.qualified_name prog (Ids.Meth.of_int id) in
+            Format.printf "analysis: %s (%d reachable methods)@.@."
+              (C.Config.name config)
+              s.Api.metrics.C.Metrics.reachable_methods;
+            Format.printf "%a@.%a@." C.Trace.pp_phases trace C.Trace.pp_counters trace;
+            let take n l = List.filteri (fun i _ -> i < n) l in
+            Format.printf "@.event kinds:@.";
+            List.iter
+              (fun (kind, n) -> Format.printf "  %-12s %8d@." kind n)
+              (C.Trace.by_kind trace);
+            Format.printf "@.hot methods (top %d by solver events):@." top;
+            List.iter
+              (fun (id, n) -> Format.printf "  %-40s %8d@." (name_of id) n)
+              (take top (C.Trace.by_meth trace));
+            Format.printf "@.hot flows (top %d by solver events):@." top;
+            List.iter
+              (fun (id, n) -> Format.printf "  flow %-8d %8d@." id n)
+              (take top (C.Trace.by_flow trace));
+            if C.Trace.dropped_events trace > 0 then
+              Format.printf "@.(%d events dropped past the buffer cap)@."
+                (C.Trace.dropped_events trace))
+  in
+  let file_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.mj" ~doc:"MiniJava source file (omit with --from-trace)")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"How many hot methods/flows to list")
+  in
+  let from_trace_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "from-trace" ] ~docv:"TRACE"
+          ~doc:"Validate and summarize a previously written trace file (Chrome or JSONL) instead of running an analysis")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run a fully traced analysis and print phase timings, counters, and top-N hot methods/flows")
+    Term.(
+      const run $ file_opt $ analysis_arg $ roots_arg $ top_arg $ engine_arg
+      $ from_trace_arg)
+
 let bench_list_cmd =
   let run () =
     List.iter
@@ -432,5 +623,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; compare_cmd; deadcode_cmd; lint_cmd; run_cmd; fuzz_cmd;
-            gen_cmd; bench_list_cmd ]))
+          [ analyze_cmd; compare_cmd; deadcode_cmd; lint_cmd; profile_cmd; run_cmd;
+            fuzz_cmd; gen_cmd; bench_list_cmd ]))

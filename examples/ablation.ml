@@ -11,6 +11,7 @@
    Run with:  dune exec examples/ablation.exe
 *)
 
+module Api = Skipflow_api
 module C = Skipflow_core
 module W = Skipflow_workloads
 
@@ -23,8 +24,8 @@ let () =
     "prim" "poly";
   List.iter
     (fun (name, config) ->
-      let r = C.Analysis.run ~config prog ~roots:[ main ] in
-      let m = r.C.Analysis.metrics in
+      let r = Result.get_ok (Api.analyze_program ~config prog ~roots:[ main ]) in
+      let m = r.Api.metrics in
       Printf.printf "%-22s %10d %8d %8d %8d %8d\n" name m.C.Metrics.reachable_methods
         m.C.Metrics.type_checks m.C.Metrics.null_checks m.C.Metrics.prim_checks
         m.C.Metrics.poly_calls)

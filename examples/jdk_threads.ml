@@ -14,6 +14,7 @@
 *)
 
 open Skipflow_ir
+module Api = Skipflow_api
 module C = Skipflow_core
 module F = Skipflow_frontend
 
@@ -69,14 +70,14 @@ let run ~with_virtual =
     (if with_virtual then "WITH" else "WITHOUT");
   let prog = F.Frontend.compile (source ~with_virtual) in
   let main = Option.get (F.Frontend.main_of prog) in
-  let r = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
-  dump prog r.C.Analysis.engine "SharedThreadContainer.onExit";
-  dump prog r.C.Analysis.engine "Thread.isVirtual";
+  let r = Result.get_ok (Api.analyze_program ~config:C.Config.skipflow prog ~roots:[ main ]) in
+  dump prog r.Api.engine "SharedThreadContainer.onExit";
+  dump prog r.Api.engine "Thread.isVirtual";
   let remove_reachable =
     List.exists
       (fun (m : Program.meth) ->
         String.equal (Program.qualified_name prog m.Program.m_id) "ThreadSet.remove")
-      (C.Engine.reachable_methods r.C.Analysis.engine)
+      (C.Engine.reachable_methods r.Api.engine)
   in
   Printf.printf "ThreadSet.remove: %s\n\n"
     (if remove_reachable then "REACHABLE" else "proven unreachable");
@@ -91,7 +92,7 @@ let () =
         List.mem
           (Program.qualified_name prog g.C.Graph.g_meth.Program.m_id)
           [ "SharedThreadContainer.onExit"; "Thread.isVirtual" ])
-      (C.Engine.graphs r.C.Analysis.engine)
+      (C.Engine.graphs r.Api.engine)
   in
   C.Dot.write_file prog ~path:"jdk_threads_pvpg.dot" graphs;
   print_endline "wrote jdk_threads_pvpg.dot (the Figure 7/8 graph)"

@@ -11,6 +11,7 @@
 *)
 
 open Skipflow_ir
+module Api = Skipflow_api
 module C = Skipflow_core
 module W = Skipflow_workloads
 module B = Skipflow_baselines
@@ -28,10 +29,10 @@ let () =
   in
   let cha, t_cha = time (fun () -> B.Cha.run prog ~roots:[ main ]) in
   let rta, t_rta = time (fun () -> B.Rta.run prog ~roots:[ main ]) in
-  let pta, t_pta = time (fun () -> C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ]) in
-  let sf, t_sf = time (fun () -> C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ]) in
+  let pta, t_pta = time (fun () -> Result.get_ok (Api.analyze_program ~config:C.Config.pta prog ~roots:[ main ])) in
+  let sf, t_sf = time (fun () -> Result.get_ok (Api.analyze_program ~config:C.Config.skipflow prog ~roots:[ main ])) in
   Printf.printf "%-10s %10s %12s %10s\n" "analysis" "reachable" "vs PTA" "time[ms]";
-  let p = float_of_int pta.C.Analysis.metrics.C.Metrics.reachable_methods in
+  let p = float_of_int pta.Api.metrics.C.Metrics.reachable_methods in
   let row name n t =
     Printf.printf "%-10s %10d %11.1f%% %10.1f\n" name n
       (100. *. (float_of_int n -. p) /. p)
@@ -39,10 +40,10 @@ let () =
   in
   row "CHA" (Ids.Meth.Set.cardinal cha.B.Cha.reachable) t_cha;
   row "RTA" (Ids.Meth.Set.cardinal rta.B.Rta.reachable) t_rta;
-  row "PTA" pta.C.Analysis.metrics.C.Metrics.reachable_methods t_pta;
-  row "SkipFlow" sf.C.Analysis.metrics.C.Metrics.reachable_methods t_sf;
+  row "PTA" pta.Api.metrics.C.Metrics.reachable_methods t_pta;
+  row "SkipFlow" sf.Api.metrics.C.Metrics.reachable_methods t_sf;
   Printf.printf "\ncounter metrics (PTA -> SkipFlow):\n";
-  let mp = pta.C.Analysis.metrics and ms = sf.C.Analysis.metrics in
+  let mp = pta.Api.metrics and ms = sf.Api.metrics in
   let c name f = Printf.printf "  %-12s %6d -> %6d\n" name (f mp) (f ms) in
   c "type checks" (fun m -> m.C.Metrics.type_checks);
   c "null checks" (fun m -> m.C.Metrics.null_checks);

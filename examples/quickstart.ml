@@ -4,6 +4,7 @@
 *)
 
 open Skipflow_ir
+module Api = Skipflow_api
 module C = Skipflow_core
 module F = Skipflow_frontend
 
@@ -40,21 +41,21 @@ let () =
 
   (* 2. run the analysis (Config.skipflow = predicates + primitives;
         Config.pta = the baseline the paper compares against) *)
-  let result = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
+  let result = Result.get_ok (Api.analyze_program ~config:C.Config.skipflow prog ~roots:[ main ]) in
 
   (* 3. inspect reachable methods *)
   print_endline "Reachable methods under SkipFlow:";
   List.iter
     (fun (m : Program.meth) ->
       Printf.printf "  %s\n" (Program.qualified_name prog m.Program.m_id))
-    (C.Engine.reachable_methods result.C.Analysis.engine);
+    (C.Engine.reachable_methods result.Api.engine);
 
   (* 'enabled' always returns false, so SkipFlow proves that FancyGreeter
      is never created: FancyGreeter.greet and expensiveSetup are absent
      above, and the g.greet() call devirtualizes to Greeter.greet. *)
-  Format.printf "@.%a@." C.Metrics.pp result.C.Analysis.metrics;
+  Format.printf "@.%a@." C.Metrics.pp result.Api.metrics;
 
-  let baseline = C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ] in
+  let baseline = Result.get_ok (Api.analyze_program ~config:C.Config.pta prog ~roots:[ main ]) in
   Printf.printf "\nBaseline PTA reaches %d methods; SkipFlow reaches %d.\n"
-    baseline.C.Analysis.metrics.C.Metrics.reachable_methods
-    result.C.Analysis.metrics.C.Metrics.reachable_methods
+    baseline.Api.metrics.C.Metrics.reachable_methods
+    result.Api.metrics.C.Metrics.reachable_methods

@@ -12,6 +12,7 @@
 *)
 
 open Skipflow_ir
+module Api = Skipflow_api
 module C = Skipflow_core
 module F = Skipflow_frontend
 
@@ -59,13 +60,13 @@ class Main {
 let reachable prog r q =
   List.exists
     (fun (m : Program.meth) -> String.equal (Program.qualified_name prog m.Program.m_id) q)
-    (C.Engine.reachable_methods r.C.Analysis.engine)
+    (C.Engine.reachable_methods r.Api.engine)
 
 let () =
   let prog = F.Frontend.compile source in
   let main = Option.get (F.Frontend.main_of prog) in
-  let sf = C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ] in
-  let pta = C.Analysis.run ~config:C.Config.pta prog ~roots:[ main ] in
+  let sf = Result.get_ok (Api.analyze_program ~config:C.Config.skipflow prog ~roots:[ main ]) in
+  let pta = Result.get_ok (Api.analyze_program ~config:C.Config.pta prog ~roots:[ main ]) in
   let gui = [ "FrameDisplay.imageBegin"; "FrameDisplay.initToolkit"; "Awt.init"; "Awt.loadFonts"; "Swing.init" ] in
   Printf.printf "%-28s %-10s %-10s\n" "method" "PTA" "SkipFlow";
   List.iter
@@ -75,8 +76,8 @@ let () =
         (if reachable prog sf q then "reachable" else "dead"))
     ([ "Scene.render"; "BucketRenderer.render"; "FileDisplay.imageBegin" ] @ gui);
   Printf.printf "\nreachable methods: PTA=%d SkipFlow=%d\n"
-    pta.C.Analysis.metrics.C.Metrics.reachable_methods
-    sf.C.Analysis.metrics.C.Metrics.reachable_methods;
+    pta.Api.metrics.C.Metrics.reachable_methods
+    sf.Api.metrics.C.Metrics.reachable_methods;
   (* dump the PVPG of Scene.render at the fixed point *)
   let scene_render =
     List.filter
@@ -84,7 +85,7 @@ let () =
         String.equal
           (Program.qualified_name prog g.C.Graph.g_meth.Program.m_id)
           "Scene.render")
-      (C.Engine.graphs sf.C.Analysis.engine)
+      (C.Engine.graphs sf.Api.engine)
   in
   C.Dot.write_file prog ~path:"sunflow_pvpg.dot" scene_render;
   print_endline "\nwrote sunflow_pvpg.dot (render with: dot -Tsvg sunflow_pvpg.dot)"

@@ -122,3 +122,32 @@ let of_json (j : Json.t) : t =
 
 let list_to_json fs = Json.Arr (List.map to_json fs)
 let list_of_json j = List.map of_json (Json.to_list_exn j)
+
+(* The full interchange document (what [skipflow lint --format json]
+   prints and the golden files pin down): version stamp first, then the
+   input name, the analysis configuration, and the findings. *)
+
+let document_to_json ~file ~analysis fs =
+  Json.Obj
+    [
+      ("schema_version", Json.Int Json.current_schema_version);
+      ("file", Json.Str file);
+      ("analysis", Json.Str analysis);
+      ("findings", list_to_json fs);
+    ]
+
+let document_of_json (j : Json.t) =
+  (match Json.check_schema_version j with
+  | Ok _ -> ()
+  | Error msg -> raise (Malformed msg));
+  let str key =
+    match Json.member key j with
+    | Some v -> Json.to_str_exn v
+    | None -> raise (Malformed ("missing field " ^ key))
+  in
+  let findings =
+    match Json.member "findings" j with
+    | Some v -> list_of_json v
+    | None -> raise (Malformed "missing field findings")
+  in
+  (str "file", str "analysis", findings)

@@ -254,3 +254,27 @@ let to_str_exn = function
 let to_list_exn = function
   | Arr l -> l
   | _ -> raise (Parse_error "expected array")
+
+(* -------------------------- schema versioning ------------------------- *)
+
+(** The major version stamped as a top-level ["schema_version"] on every
+    JSON document the tools emit (findings, bench rows, traces, analyze
+    summaries).  Bump on any incompatible shape change. *)
+let current_schema_version = 1
+
+let schema_version v =
+  match member "schema_version" v with Some (Int n) -> Some n | _ -> None
+
+(** [check_schema_version v] validates a document's version stamp against
+    [expected] (default {!current_schema_version}): missing or unknown
+    versions are [Error] with a message naming the mismatch, so parsers
+    reject documents from an incompatible writer instead of misreading
+    them. *)
+let check_schema_version ?(expected = current_schema_version) v =
+  match schema_version v with
+  | None -> Stdlib.Error "missing schema_version"
+  | Some n when n = expected -> Ok n
+  | Some n ->
+      Stdlib.Error
+        (Printf.sprintf "unsupported schema_version %d (this tool reads version %d)"
+           n expected)

@@ -8,6 +8,9 @@ type result = {
   config : Config.t;
   engine : Engine.t;
   metrics : Metrics.t;
+  trace : Trace.t;
+      (** the run's counters, and — when requested at creation — its
+          phase timings and solver event stream *)
   cpu_time_s : float;
       (** CPU time of graph construction + solving ([Sys.time]-based; the
           benchmark harness measures wall-clock time around [run]
@@ -17,30 +20,38 @@ type result = {
 (** [run ~config prog ~roots] analyzes [prog] starting from the given root
     methods.  Root-method parameters are seeded according to
     [config.seed_root_params] (Section 5's reflection/JNI policy). *)
-let run ?(config = Config.skipflow) ?random_order ?mode (prog : Program.t)
-    ~(roots : Program.meth list) =
+let run ?(config = Config.skipflow) ?random_order ?mode ?trace
+    (prog : Program.t) ~(roots : Program.meth list) =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   let t0 = Sys.time () in
-  let engine = Engine.create ?mode prog config in
-  List.iter (fun m -> Engine.add_root engine m) roots;
-  Engine.run ?random_order engine;
+  let engine = Engine.create ?mode ~trace prog config in
+  Trace.with_phase trace "roots" (fun () ->
+      List.iter (fun m -> Engine.add_root engine m) roots);
+  Trace.with_phase trace "solve" (fun () -> Engine.run ?random_order engine);
+  let metrics = Trace.with_phase trace "metrics" (fun () -> Metrics.compute engine) in
   let cpu_time_s = Sys.time () -. t0 in
-  { config; engine; metrics = Metrics.compute engine; cpu_time_s }
+  { config; engine; metrics; trace; cpu_time_s }
 
-(** Convenience: resolve root methods by ["Class.method"] qualified names.
-    @raise Not_found if a name does not exist. *)
+(** Convenience: resolve root methods by ["Class.method"] qualified names. *)
 let roots_by_name (prog : Program.t) names =
-  List.map
-    (fun qname ->
-      match String.split_on_char '.' qname with
-      | [ cname; mname ] -> (
-          match Program.find_class prog cname with
-          | Some c -> (
-              match Program.find_meth prog c mname with
-              | Some m -> m
-              | None -> raise Not_found)
-          | None -> raise Not_found)
-      | _ -> invalid_arg "roots_by_name: expected Class.method")
-    names
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | qname :: rest -> (
+        match String.split_on_char '.' qname with
+        | [ cname; mname ] -> (
+            match Program.find_class prog cname with
+            | Some c -> (
+                match Program.find_meth prog c mname with
+                | Some m -> go (m :: acc) rest
+                | None ->
+                    Error
+                      (Printf.sprintf "unknown method %s in class %s" mname cname))
+            | None -> Error (Printf.sprintf "unknown class %s" cname))
+        | _ ->
+            Error
+              (Printf.sprintf "malformed root %S: expected Class.method" qname))
+  in
+  go [] names
 
 let reachable_names (r : result) =
   List.map

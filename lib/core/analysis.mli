@@ -7,6 +7,9 @@ type result = {
   engine : Engine.t;
       (** the solved engine: reachable methods, per-flow value states *)
   metrics : Metrics.t;
+  trace : Trace.t;
+      (** the run's counters, and — when requested at creation — its
+          phase timings and solver event stream *)
   cpu_time_s : float;
       (** CPU time of graph construction + solving ([Sys.time]-based) *)
 }
@@ -15,6 +18,7 @@ val run :
   ?config:Config.t ->
   ?random_order:int ->
   ?mode:Engine.mode ->
+  ?trace:Trace.t ->
   Skipflow_ir.Program.t ->
   roots:Skipflow_ir.Program.meth list ->
   result
@@ -23,11 +27,18 @@ val run :
     worklist in a seeded pseudo-random order instead of FIFO — the fixed
     point must not change; used by determinism tests.  [mode] selects the
     worklist engine ({!Engine.Dedup} by default; {!Engine.Reference} keeps
-    the original boxed FIFO for differential testing). *)
+    the original boxed FIFO for differential testing).  [trace] (default a
+    fresh quiet {!Trace.t}) receives the run's counters; when created with
+    timers the driver records ["roots"] / ["solve"] / ["metrics"] phases
+    into it, and with events the engine streams solver activity. *)
 
-val roots_by_name : Skipflow_ir.Program.t -> string list -> Skipflow_ir.Program.meth list
-(** Resolve roots from ["Class.method"] names.
-    @raise Not_found if a name does not exist. *)
+val roots_by_name :
+  Skipflow_ir.Program.t ->
+  string list ->
+  (Skipflow_ir.Program.meth list, string) Stdlib.result
+(** Resolve roots from ["Class.method"] names.  [Error msg] names the
+    first root that does not resolve (unknown class, unknown method, or a
+    name not of the form [Class.method]); no exception escapes. *)
 
 val reachable_names : result -> string list
 (** Qualified names of the reachable methods, in discovery order. *)

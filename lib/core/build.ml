@@ -35,6 +35,9 @@ type ctx = {
   field_flow : Ids.Field.t -> Flow.t;
       (** the engine's global per-field flow; used to link static field
           accesses at construction time (no receiver to observe) *)
+  trace : Trace.t;
+      (** the run's counter registry; construction volume is accounted
+          under the ["build."] counters *)
 }
 
 module VarMap = Map.Make (Int)
@@ -61,10 +64,14 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         invalid_arg
           (Printf.sprintf "Build.run: method %s has no body" meth.Program.m_name)
   in
+  let c_methods = Trace.counter ctx.trace "build.methods"
+  and c_flows = Trace.counter ctx.trace "build.flows"
+  and c_edges = Trace.counter ctx.trace "build.edges" in
+  Trace.incr c_methods;
   let emit = ctx.emit in
-  let use_edge = Edges.use_edge ~emit in
-  let pred_edge = Edges.pred_edge ~emit in
-  let obs_edge = Edges.obs_edge ~emit in
+  let use_edge s t = Trace.incr c_edges; Edges.use_edge ~emit s t in
+  let pred_edge s t = Trace.incr c_edges; Edges.pred_edge ~emit s t in
+  let obs_edge s t = Trace.incr c_edges; Edges.obs_edge ~emit s t in
   let return_flow =
     Flow.make ~meth:meth.Program.m_id ?span:meth.Program.m_span Flow.Return
   in
@@ -81,6 +88,7 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
     }
   in
   let register f =
+    Trace.incr c_flows;
     g.g_flows <- f :: g.g_flows;
     (match f.Flow.kind with Flow.Invoke _ -> g.g_invokes <- f :: g.g_invokes | _ -> ());
     f

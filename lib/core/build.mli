@@ -1,0 +1,32 @@
+(** PVPG construction: one method body (validated SSA) to its predicated
+    value propagation graph (paper Section 4, Figures 7–8).
+
+    {!run} is called by the engine each time a method becomes reachable —
+    as a root, or when an invoke links it.  The context carries the
+    engine-owned pieces construction needs: the global always-on
+    predicate, the per-field global flows, the emit callback that
+    schedules work for every edge drawn, and the run's {!Trace.t}, into
+    which construction volume is accounted under the ["build."]
+    counters ([build.methods], [build.flows], [build.edges]). *)
+
+open Skipflow_ir
+
+type ctx = {
+  prog : Program.t;
+  config : Config.t;
+  masks : Masks.t;
+  pred_on : Flow.t;
+      (** the engine's always-enabled global predicate flow *)
+  emit : Edges.emit;
+  field_flow : Ids.Field.t -> Flow.t;
+      (** the engine's global per-field flow; used to link static field
+          accesses at construction time (no receiver to observe) *)
+  trace : Trace.t;
+      (** the run's counter registry; construction volume is accounted
+          under the ["build."] counters *)
+}
+
+val run : ctx -> Program.meth -> Graph.method_graph
+(** Build the PVPG for one method.
+    @raise Invalid_argument if the method has no body (abstract methods
+    never become reachable). *)

@@ -43,32 +43,76 @@ type rtask =
   | RInput of Flow.t * Vstate.t
   | RNotify of Flow.t
 
+(** Work and graph-growth accounting, snapshotted from the engine's
+    {!Trace} counter registry by {!stats}.  The record is immutable: the
+    live, always-updating values are the registry counters themselves
+    (names under ["engine."], readable through {!trace_of}). *)
 type stats = {
-  mutable tasks_processed : int;
+  tasks_processed : int;
       (** worklist entries drained (deduplicated flow drains in {!Dedup}
           mode, boxed tasks in {!Reference} mode) *)
-  mutable input_tasks : int;  (** input work items processed *)
-  mutable enable_tasks : int;  (** enable work items processed *)
-  mutable notify_tasks : int;  (** notify work items processed *)
-  mutable dedup_input : int;  (** input emits collapsed into pending work *)
-  mutable dedup_enable : int;  (** enable emits collapsed (already enabled/queued) *)
-  mutable dedup_notify : int;  (** notify emits collapsed (already queued) *)
-  mutable use_edges : int;  (** counted at link time only *)
-  mutable links : int;
-  mutable max_queue : int;
-  mutable live_flows : int;  (** flows created across all reachable PVPGs *)
-  mutable budget_trips : int;  (** budget-cap trip events (0 or 1 per run) *)
-  mutable degraded : bool;  (** a budget trip switched the run to degradation mode *)
-  mutable first_trip : Budget.trip option;  (** which cap tripped first *)
+  input_tasks : int;  (** input work items processed *)
+  enable_tasks : int;  (** enable work items processed *)
+  notify_tasks : int;  (** notify work items processed *)
+  dedup_input : int;  (** input emits collapsed into pending work *)
+  dedup_enable : int;  (** enable emits collapsed (already enabled/queued) *)
+  dedup_notify : int;  (** notify emits collapsed (already queued) *)
+  use_edges : int;  (** counted at link time only *)
+  links : int;
+  max_queue : int;
+  live_flows : int;  (** flows created across all reachable PVPGs *)
+  budget_trips : int;  (** budget-cap trip events (0 or 1 per run) *)
+  degraded : bool;  (** a budget trip switched the run to degradation mode *)
+  first_trip : Budget.trip option;  (** which cap tripped first *)
 }
 
 let dedup_hits s = s.dedup_input + s.dedup_enable + s.dedup_notify
+
+(** The engine's registered counters — monotonic boxes in the run's
+    {!Trace} registry; incrementing one is a single store, exactly what
+    the old mutable stats fields cost. *)
+type counters = {
+  c_tasks : Trace.counter;
+  c_input : Trace.counter;
+  c_enable : Trace.counter;
+  c_notify : Trace.counter;
+  c_dedup_input : Trace.counter;
+  c_dedup_enable : Trace.counter;
+  c_dedup_notify : Trace.counter;
+  c_use_edges : Trace.counter;
+  c_links : Trace.counter;
+  c_max_queue : Trace.counter;
+  c_live_flows : Trace.counter;
+  c_budget_trips : Trace.counter;
+  c_build_us : Trace.counter;
+      (** wall time spent constructing PVPGs, accumulated across every
+          {!Build.run} call (only ticks when the trace has timers on) *)
+}
+
+let register_counters tr =
+  {
+    c_tasks = Trace.counter tr "engine.tasks_processed";
+    c_input = Trace.counter tr "engine.input_tasks";
+    c_enable = Trace.counter tr "engine.enable_tasks";
+    c_notify = Trace.counter tr "engine.notify_tasks";
+    c_dedup_input = Trace.counter tr "engine.dedup_input";
+    c_dedup_enable = Trace.counter tr "engine.dedup_enable";
+    c_dedup_notify = Trace.counter tr "engine.dedup_notify";
+    c_use_edges = Trace.counter tr "engine.use_edges";
+    c_links = Trace.counter tr "engine.links";
+    c_max_queue = Trace.counter tr "engine.max_queue";
+    c_live_flows = Trace.counter tr "engine.live_flows";
+    c_budget_trips = Trace.counter tr "engine.budget_trips";
+    c_build_us = Trace.counter tr "build.wall_us";
+  }
 
 type t = {
   prog : Program.t;
   config : Config.t;
   masks : Masks.t;
   mode : mode;
+  trace : Trace.t;  (** counter registry + optional timers / event buffer *)
+  c : counters;
   wl : Worklist.t;  (** the deduplicated ring of dirty flow ids *)
   rqueue : rtask Queue.t;  (** reference-mode boxed FIFO *)
   mutable emit : Edges.emit;  (** this engine's scheduling hooks (knot-tied in {!create}) *)
@@ -90,8 +134,12 @@ type t = {
       (** current depth of synchronous (drain-free) processing; beyond
           {!sync_depth_limit} the work is scheduled instead, keeping the
           OCaml stack bounded on deep predicate/call chains *)
-  stats : stats;
+  mutable degraded : bool;  (** a budget trip switched the run to degradation mode *)
+  mutable first_trip : Budget.trip option;  (** which cap tripped first *)
 }
+
+let flow_meth_id (f : Flow.t) =
+  match f.Flow.meth with Some m -> Ids.Meth.to_int m | None -> -1
 
 let sync_depth_limit = 200
 
@@ -104,7 +152,7 @@ let always_on kind state =
 
 (* ---------------------------- scheduling ------------------------------ *)
 
-let track_queue t len = if len > t.stats.max_queue then t.stats.max_queue <- len
+let track_queue t len = Trace.record_max t.c.c_max_queue len
 
 (** Set a dirty bit and enqueue the flow unless it is already pending.
     Returns [false] when the work merged into an existing entry. *)
@@ -200,16 +248,15 @@ let rec emit_input t (f : Flow.t) v =
          [leq] test first keeps the common already-subsumed case
          allocation-free (no union is built); when it fails the join is a
          strict growth, so no equality re-check is needed either. *)
-      if Vstate.leq v f.Flow.raw then
-        t.stats.dedup_input <- t.stats.dedup_input + 1
+      if Vstate.leq v f.Flow.raw then Trace.incr t.c.c_dedup_input
       else begin
         f.Flow.raw <- Vstate.join f.Flow.raw v;
         if not f.Flow.enabled then begin
-          t.stats.input_tasks <- t.stats.input_tasks + 1;
+          Trace.incr t.c.c_input;
           recompute t f
         end
         else if not (schedule t f Flow.wk_recompute) then
-          t.stats.dedup_input <- t.stats.dedup_input + 1
+          Trace.incr t.c.c_dedup_input
       end
 
 and emit_enable t (f : Flow.t) =
@@ -219,15 +266,15 @@ and emit_enable t (f : Flow.t) =
       track_queue t (Queue.length t.rqueue)
   | Dedup ->
       if f.Flow.enabled || f.Flow.work land Flow.wk_enable <> 0 then
-        t.stats.dedup_enable <- t.stats.dedup_enable + 1
+        Trace.incr t.c.c_dedup_enable
       else if t.sync_depth < sync_depth_limit then begin
-        t.stats.enable_tasks <- t.stats.enable_tasks + 1;
+        Trace.incr t.c.c_enable;
         t.sync_depth <- t.sync_depth + 1;
         enable t f;
         t.sync_depth <- t.sync_depth - 1
       end
       else if not (schedule t f Flow.wk_enable) then
-        t.stats.dedup_enable <- t.stats.dedup_enable + 1
+        Trace.incr t.c.c_dedup_enable
 
 and emit_notify t (f : Flow.t) =
   match t.mode with
@@ -236,15 +283,18 @@ and emit_notify t (f : Flow.t) =
       track_queue t (Queue.length t.rqueue)
   | Dedup ->
       if f.Flow.work land Flow.wk_notify <> 0 then
-        t.stats.dedup_notify <- t.stats.dedup_notify + 1
+        Trace.incr t.c.c_dedup_notify
       else if not (schedule t f Flow.wk_notify) then
-        t.stats.dedup_notify <- t.stats.dedup_notify + 1
+        Trace.incr t.c.c_dedup_notify
 
 and saturate_check t (f : Flow.t) (s : Vstate.t) =
   match (t.config.Config.saturation, s) with
   | Some cutoff, Vstate.Types ts
     when (not f.Flow.saturated) && Typeset.cardinal ts > cutoff ->
       f.Flow.saturated <- true;
+      if Trace.events_on t.trace then
+        Trace.event t.trace ~kind:"saturate" ~flow:f.Flow.id
+          ~meth:(flow_meth_id f) ~arg:(Typeset.cardinal ts) ();
       Edges.use_edge ~emit:t.emit t.all_inst_any f
   | _ -> ()
 
@@ -266,6 +316,8 @@ and recompute t (f : Flow.t) =
       let s' = Vstate.join_unshared f.Flow.state (Flow.apply_filter f f.Flow.raw) in
       if not (Vstate.equal s' f.Flow.state) then begin
         f.Flow.state <- s';
+        if Trace.events_on t.trace then
+          Trace.event t.trace ~kind:"join" ~flow:f.Flow.id ~meth:(flow_meth_id f) ();
         saturate_check t f s';
         on_state_change t f
       end
@@ -277,6 +329,8 @@ and recompute t (f : Flow.t) =
       if not (Vstate.leq s f.Flow.state) then begin
         let s = Vstate.join f.Flow.state s in
         f.Flow.state <- s;
+        if Trace.events_on t.trace then
+          Trace.event t.trace ~kind:"join" ~flow:f.Flow.id ~meth:(flow_meth_id f) ();
         saturate_check t f s;
         on_state_change t f
       end
@@ -326,23 +380,28 @@ and ensure_reachable t (m : Program.meth) =
   | Some g -> g
   | None ->
       let g =
-        Build.run
-          {
-            Build.prog = t.prog;
-            config = t.config;
-            masks = t.masks;
-            pred_on = t.pred_on;
-            emit = t.emit;
-            field_flow = field_flow t;
-          }
-          m
+        Trace.timed t.trace t.c.c_build_us (fun () ->
+            Build.run
+              {
+                Build.prog = t.prog;
+                config = t.config;
+                masks = t.masks;
+                pred_on = t.pred_on;
+                emit = t.emit;
+                field_flow = field_flow t;
+                trace = t.trace;
+              }
+              m)
       in
       Ids.Meth.Tbl.replace t.graphs m.Program.m_id g;
       t.reachable_order <- m :: t.reachable_order;
-      t.stats.live_flows <- t.stats.live_flows + Graph.flow_count g;
+      Trace.add t.c.c_live_flows (Graph.flow_count g);
+      if Trace.events_on t.trace then
+        Trace.event t.trace ~kind:"reachable" ~meth:(Ids.Meth.to_int m.Program.m_id)
+          ~arg:(Graph.flow_count g) ();
       (* Degradation mode: methods discovered after the budget tripped are
          coarsened on arrival, like everything built before the trip. *)
-      if t.stats.degraded then List.iter (degrade_flow t) g.Graph.g_flows
+      if t.degraded then List.iter (degrade_flow t) g.Graph.g_flows
       else if not t.config.Config.predicates then
         (* Baseline configuration: no predicate edges — every flow of a
            reachable method propagates unconditionally. *)
@@ -352,7 +411,11 @@ and ensure_reachable t (m : Program.meth) =
 and link_callee t (inv_flow : Flow.t) (inv : Flow.invoke_site) (callee : Program.meth) =
   if not (Ids.Meth.Set.mem callee.Program.m_id inv.Flow.inv_linked) then begin
     inv.Flow.inv_linked <- Ids.Meth.Set.add callee.Program.m_id inv.Flow.inv_linked;
-    t.stats.links <- t.stats.links + 1;
+    Trace.incr t.c.c_links;
+    if Trace.events_on t.trace then
+      Trace.event t.trace ~kind:"link" ~flow:inv_flow.Flow.id
+        ~meth:(flow_meth_id inv_flow)
+        ~arg:(Ids.Meth.to_int callee.Program.m_id) ();
     let cg = ensure_reachable t callee in
     let actuals =
       match inv.Flow.inv_recv with
@@ -367,7 +430,7 @@ and link_callee t (inv_flow : Flow.t) (inv : Flow.invoke_site) (callee : Program
             (List.length cg.Graph.g_params)));
     List.iter2
       (fun a p ->
-        t.stats.use_edges <- t.stats.use_edges + 1;
+        Trace.incr t.c.c_use_edges;
         Edges.use_edge ~emit:t.emit a p)
       actuals cg.Graph.g_params;
     (* the invoke flow represents the returned value in the caller *)
@@ -407,6 +470,9 @@ and try_link t (f : Flow.t) =
               inv.Flow.inv_seen <- Typeset.union inv.Flow.inv_seen tyset;
               d
         in
+        if Trace.events_on t.trace && not (Typeset.is_empty fresh) then
+          Trace.event t.trace ~kind:"resolve" ~flow:f.Flow.id
+            ~meth:(flow_meth_id f) ~arg:(Typeset.cardinal fresh) ();
         Typeset.iter_classes
           (fun c ->
             if not (Program.is_null_class c) then
@@ -474,6 +540,8 @@ and mark_instantiated t (c : Ids.Class.t) =
 and enable t (f : Flow.t) =
   if not f.Flow.enabled then begin
     f.Flow.enabled <- true;
+    if Trace.events_on t.trace then
+      Trace.event t.trace ~kind:"enable" ~flow:f.Flow.id ~meth:(flow_meth_id f) ();
     (match f.Flow.kind with Flow.Alloc c -> mark_instantiated t c | _ -> ());
     let gv = gen_value t f in
     if not (Vstate.is_empty gv) then f.Flow.raw <- Vstate.join f.Flow.raw gv;
@@ -501,10 +569,14 @@ and notify t (f : Flow.t) =
       recompute t f
 
 let degrade t (trip : Budget.trip) =
-  t.stats.budget_trips <- t.stats.budget_trips + 1;
-  if not t.stats.degraded then begin
-    t.stats.degraded <- true;
-    t.stats.first_trip <- Some trip;
+  Trace.incr t.c.c_budget_trips;
+  if Trace.events_on t.trace then
+    Trace.event t.trace ~kind:"degrade"
+      ~arg:(match trip with Budget.Tasks -> 0 | Budget.Seconds -> 1 | Budget.Flows -> 2)
+      ();
+  if not t.degraded then begin
+    t.degraded <- true;
+    t.first_trip <- Some trip;
     (* iterate a snapshot of the discovery list, not the table: degrading
        a flow can link new callees synchronously, growing [t.graphs]
        mid-walk (methods added during the walk are degraded on arrival by
@@ -517,15 +589,18 @@ let degrade t (trip : Budget.trip) =
       t.reachable_order
   end
 
-let create ?(mode = Dedup) prog config =
+let create ?(mode = Dedup) ?trace prog config =
   ignore (Program.freeze prog);
   let wl = Worklist.create () in
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
   let t =
     {
       prog;
       config;
       masks = Masks.compute prog;
       mode;
+      trace;
+      c = register_counters trace;
       wl;
       rqueue = Queue.create ();
       emit = Edges.null_emit;
@@ -539,23 +614,8 @@ let create ?(mode = Dedup) prog config =
       instantiated = Typeset.empty;
       pred_on = always_on Flow.Pred_on (Vstate.const 1);
       sync_depth = 0;
-      stats =
-        {
-          tasks_processed = 0;
-          input_tasks = 0;
-          enable_tasks = 0;
-          notify_tasks = 0;
-          dedup_input = 0;
-          dedup_enable = 0;
-          dedup_notify = 0;
-          use_edges = 0;
-          links = 0;
-          max_queue = 0;
-          live_flows = 0;
-          budget_trips = 0;
-          degraded = false;
-          first_trip = None;
-        };
+      degraded = false;
+      first_trip = None;
     }
   in
   t.emit <-
@@ -588,33 +648,33 @@ let add_root ?seed_params t (m : Program.meth) =
     VS_in into the state and runs the flow action), then recompute (a
     no-op if enable just covered it), then notify. *)
 let process_flow t (f : Flow.t) =
-  t.stats.tasks_processed <- t.stats.tasks_processed + 1;
+  Trace.incr t.c.c_tasks;
   let w = f.Flow.work in
   f.Flow.work <- 0;
   if w land Flow.wk_enable <> 0 then begin
-    t.stats.enable_tasks <- t.stats.enable_tasks + 1;
+    Trace.incr t.c.c_enable;
     enable t f
   end;
   if w land Flow.wk_recompute <> 0 then begin
-    t.stats.input_tasks <- t.stats.input_tasks + 1;
+    Trace.incr t.c.c_input;
     recompute t f
   end;
   if w land Flow.wk_notify <> 0 then begin
-    t.stats.notify_tasks <- t.stats.notify_tasks + 1;
+    Trace.incr t.c.c_notify;
     notify t f
   end
 
 let process_rtask t task =
-  t.stats.tasks_processed <- t.stats.tasks_processed + 1;
+  Trace.incr t.c.c_tasks;
   match task with
   | REnable f ->
-      t.stats.enable_tasks <- t.stats.enable_tasks + 1;
+      Trace.incr t.c.c_enable;
       enable t f
   | RInput (f, v) ->
-      t.stats.input_tasks <- t.stats.input_tasks + 1;
+      Trace.incr t.c.c_input;
       input t f v
   | RNotify f ->
-      t.stats.notify_tasks <- t.stats.notify_tasks + 1;
+      Trace.incr t.c.c_notify;
       notify t f
 
 (** [run ?random_order t] drains the worklist to the fixed point.
@@ -636,10 +696,10 @@ let run ?random_order t =
      the remaining (fast: everything is saturated) drain runs to
      completion so the final state is a genuine fixed point. *)
   let step_budget () =
-    if (not t.stats.degraded) && not (Budget.is_unlimited budget) then
+    if (not t.degraded) && not (Budget.is_unlimited budget) then
       match
-        Budget.check budget ~tasks:t.stats.tasks_processed
-          ~flows:t.stats.live_flows ~elapsed_s
+        Budget.check budget ~tasks:(Trace.value t.c.c_tasks)
+          ~flows:(Trace.value t.c.c_live_flows) ~elapsed_s
       with
       | Some trip -> degrade t trip
       | None -> ()
@@ -710,7 +770,7 @@ let run ?random_order t =
     match random_order with None -> drain_fifo () | Some s -> drain_random s
   in
   drain ();
-  if t.stats.degraded then begin
+  if t.degraded then begin
     (* Degradation introduces [Any] object states.  An invoke (or field
        access) observing an [Any] receiver no longer sees incremental
        notifications when further types are instantiated (its receiver
@@ -730,7 +790,7 @@ let run ?random_order t =
               | _ -> ())
             g.Graph.g_flows)
         t.graphs;
-      (Ids.Meth.Tbl.length t.graphs, t.stats.links, !field_links)
+      (Ids.Meth.Tbl.length t.graphs, Trace.value t.c.c_links, !field_links)
     in
     let rec close prev =
       (* snapshot: notifying can link new callees and grow [t.graphs]
@@ -772,6 +832,24 @@ let instantiated_types t = Typeset.classes t.instantiated
 
 let instantiated t = t.instantiated
 
-let is_degraded t = t.stats.degraded
+let is_degraded t = t.degraded
 
-let stats t = t.stats
+let trace_of t = t.trace
+
+let stats t =
+  {
+    tasks_processed = Trace.value t.c.c_tasks;
+    input_tasks = Trace.value t.c.c_input;
+    enable_tasks = Trace.value t.c.c_enable;
+    notify_tasks = Trace.value t.c.c_notify;
+    dedup_input = Trace.value t.c.c_dedup_input;
+    dedup_enable = Trace.value t.c.c_dedup_enable;
+    dedup_notify = Trace.value t.c.c_dedup_notify;
+    use_edges = Trace.value t.c.c_use_edges;
+    links = Trace.value t.c.c_links;
+    max_queue = Trace.value t.c.c_max_queue;
+    live_flows = Trace.value t.c.c_live_flows;
+    budget_trips = Trace.value t.c.c_budget_trips;
+    degraded = t.degraded;
+    first_trip = t.first_trip;
+  }

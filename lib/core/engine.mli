@@ -22,23 +22,26 @@
     baseline.  Both modes reach bit-identical fixed points. *)
 type mode = Dedup | Reference
 
+(** An immutable snapshot of the run's counters (see {!Trace}); the
+    engine's live accounting is a set of registered {!Trace.counter}s in
+    the trace passed to {!create}, under the ["engine."] name prefix. *)
 type stats = {
-  mutable tasks_processed : int;
+  tasks_processed : int;
       (** worklist entries drained (deduplicated flow drains in {!Dedup}
           mode, boxed tasks in {!Reference} mode) *)
-  mutable input_tasks : int;  (** input work items processed *)
-  mutable enable_tasks : int;  (** enable work items processed *)
-  mutable notify_tasks : int;  (** notify work items processed *)
-  mutable dedup_input : int;  (** input emits collapsed into pending work *)
-  mutable dedup_enable : int;  (** enable emits collapsed (already enabled/queued) *)
-  mutable dedup_notify : int;  (** notify emits collapsed (already queued) *)
-  mutable use_edges : int;  (** counted at link time only *)
-  mutable links : int;
-  mutable max_queue : int;
-  mutable live_flows : int;  (** flows created across all reachable PVPGs *)
-  mutable budget_trips : int;  (** budget-cap trip events (0 or 1 per run) *)
-  mutable degraded : bool;  (** a budget trip switched the run to degradation mode *)
-  mutable first_trip : Budget.trip option;  (** which cap tripped first *)
+  input_tasks : int;  (** input work items processed *)
+  enable_tasks : int;  (** enable work items processed *)
+  notify_tasks : int;  (** notify work items processed *)
+  dedup_input : int;  (** input emits collapsed into pending work *)
+  dedup_enable : int;  (** enable emits collapsed (already enabled/queued) *)
+  dedup_notify : int;  (** notify emits collapsed (already queued) *)
+  use_edges : int;  (** counted at link time only *)
+  links : int;
+  max_queue : int;
+  live_flows : int;  (** flows created across all reachable PVPGs *)
+  budget_trips : int;  (** budget-cap trip events (0 or 1 per run) *)
+  degraded : bool;  (** a budget trip switched the run to degradation mode *)
+  first_trip : Budget.trip option;  (** which cap tripped first *)
 }
 
 val dedup_hits : stats -> int
@@ -48,8 +51,11 @@ val dedup_hits : stats -> int
 
 type t
 
-val create : ?mode:mode -> Skipflow_ir.Program.t -> Config.t -> t
-(** [mode] defaults to {!Dedup}. *)
+val create : ?mode:mode -> ?trace:Trace.t -> Skipflow_ir.Program.t -> Config.t -> t
+(** [mode] defaults to {!Dedup}.  [trace] (default a fresh quiet
+    {!Trace.t}) receives the engine's counters and — when its events are
+    enabled — the solver event stream (joins, enables, links, invoke
+    resolutions, saturation trips, budget degradations). *)
 
 val add_root : ?seed_params:bool -> t -> Skipflow_ir.Program.meth -> unit
 (** Make a method an analysis root (building its PVPG).  [seed_params]
@@ -102,6 +108,10 @@ val is_degraded : t -> bool
 (** Whether a budget trip switched this run to degradation mode. *)
 
 val stats : t -> stats
+(** A snapshot of the engine counters at the moment of the call. *)
+
+val trace_of : t -> Trace.t
+(** The trace this engine accounts into (the one given to {!create}). *)
 
 (** {2 Internals exposed for {!Build} and white-box tests} *)
 

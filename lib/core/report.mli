@@ -1,0 +1,35 @@
+(** Dead-code and optimization-opportunity reports — the compiler-client
+    view of Section 6 ("Impact on Compiler Optimizations"): which methods a
+    more precise analysis removes, which branches fold to one side, which
+    virtual calls devirtualize, and which parameters are interprocedural
+    constants. *)
+
+type branch_verdict =
+  | Both_live
+  | Then_only  (** else branch removable *)
+  | Else_only  (** then branch removable *)
+  | Neither  (** the whole check is in dead code *)
+
+type t = {
+  removed_methods : string list;
+      (** reachable under the baseline, dead under the precise analysis *)
+  folded_branches : (string * Flow.check_kind * branch_verdict) list;
+      (** per reachable method: branch sites with a one-sided verdict *)
+  devirtualized : (string * string) list;
+      (** (caller, unique target) for virtual sites with exactly one target *)
+  constant_returns : (string * int) list;
+      (** methods whose fixed-point return state is a single constant *)
+}
+
+val branch_verdict : Graph.branch_site -> branch_verdict
+(** The fixed-point verdict for one branch site (liveness of its two
+    filter flows). *)
+
+val compare_runs : baseline:Engine.t -> precise:Engine.t -> t
+(** What the precise analysis proves beyond the baseline, plus the precise
+    run's own folding / devirtualization facts. *)
+
+val kind_name : Flow.check_kind -> string
+val verdict_name : branch_verdict -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,130 @@
+(** The stable library facade (see the interface).  Everything here is a
+    thin, exception-catching composition of {!Frontend},
+    {!Skipflow_core.Analysis} and {!Skipflow_core.Trace}. *)
+
+module Config = Skipflow_core.Config
+module Trace = Skipflow_core.Trace
+module Engine = Skipflow_core.Engine
+module Metrics = Skipflow_core.Metrics
+module Analysis = Skipflow_core.Analysis
+module Budget = Skipflow_core.Budget
+module Report = Skipflow_core.Report
+module Frontend = Skipflow_frontend.Frontend
+module Diag = Skipflow_frontend.Diag
+
+type source = [ `File of string | `Text of string ]
+
+type error =
+  | Io_error of { path : string; message : string }
+  | Compile_error of {
+      file : string option;
+      src : string;
+      diags : Diag.t list;
+    }
+  | Unknown_root of string
+  | No_main
+  | Internal_error of string
+
+let error_message = function
+  | Io_error { path; message } -> Printf.sprintf "cannot read %s: %s" path message
+  | Compile_error { file; diags; _ } ->
+      Printf.sprintf "%d error%s in %s"
+        (List.length diags)
+        (if List.length diags = 1 then "" else "s")
+        (Option.value ~default:"<text>" file)
+  | Unknown_root msg -> msg
+  | No_main -> "no static main method found and no root given"
+  | Internal_error msg -> "internal error: " ^ msg
+
+let render_error ppf = function
+  | Compile_error { file; src; diags } ->
+      Diag.render_all ?file ~src ppf diags
+  | e -> Format.fprintf ppf "error: %s@." (error_message e)
+
+let exit_code_of_error = function
+  | Io_error _ | Compile_error _ | Unknown_root _ | No_main -> 2
+  | Internal_error _ -> 1
+
+type summary = {
+  config : Config.t;
+  engine : Engine.t;
+  metrics : Metrics.t;
+  trace : Trace.t;
+  reachable : string list;
+  wall_s : float;
+  cpu_s : float;
+}
+
+(* Catch-all boundary: nothing below may let an exception escape. *)
+let guard f =
+  try f () with
+  | (Stack_overflow | Out_of_memory) as e -> raise e
+  | e -> Error (Internal_error (Printexc.to_string e))
+
+let spanner_of trace =
+  { Frontend.span = (fun name f -> Trace.with_phase trace name f) }
+
+let read_source = function
+  | `Text src -> Ok (None, src)
+  | `File path -> (
+      try Ok (Some path, Frontend.read_file path)
+      with Sys_error message -> Error (Io_error { path; message }))
+
+let compile ?trace source =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  guard (fun () ->
+      match read_source source with
+      | Error e -> Error e
+      | Ok (file, src) -> (
+          match Frontend.compile_diags ~spanner:(spanner_of trace) src with
+          | Ok prog -> Ok (prog, src)
+          | Error diags -> Error (Compile_error { file; src; diags })))
+
+let resolve_roots prog = function
+  | [] -> (
+      match Frontend.main_of prog with
+      | Some m -> Ok [ m ]
+      | None -> Error No_main)
+  | names -> (
+      match Analysis.roots_by_name prog names with
+      | Ok ms -> Ok ms
+      | Error msg -> Error (Unknown_root msg))
+
+let analyze_program ?config ?mode ?random_order ?trace prog ~roots =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  guard (fun () ->
+      let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+      let r = Analysis.run ?config ?mode ?random_order ~trace prog ~roots in
+      Ok
+        {
+          config = r.Analysis.config;
+          engine = r.Analysis.engine;
+          metrics = r.Analysis.metrics;
+          trace;
+          reachable = Analysis.reachable_names r;
+          wall_s = Unix.gettimeofday () -. w0;
+          cpu_s = Sys.time () -. c0;
+        })
+
+let analyze ?config ?mode ?random_order ?trace ~source ~roots () =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  guard (fun () ->
+      let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+      match compile ~trace source with
+      | Error e -> Error e
+      | Ok (prog, _src) -> (
+          match resolve_roots prog roots with
+          | Error e -> Error e
+          | Ok root_meths -> (
+              match
+                analyze_program ?config ?mode ?random_order ~trace prog
+                  ~roots:root_meths
+              with
+              | Error e -> Error e
+              | Ok s ->
+                  Ok
+                    {
+                      s with
+                      wall_s = Unix.gettimeofday () -. w0;
+                      cpu_s = Sys.time () -. c0;
+                    })))

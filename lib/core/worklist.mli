@@ -1,0 +1,32 @@
+(** The deduplicated worklist backing {!Engine}: an int-indexed ring
+    buffer of flow ids plus a side table mapping ids back to flows.
+
+    The engine stores the dirty kinds (pending / recompute / enable /
+    notify) as bits on {!Flow.t} itself ([Flow.work]); this module only
+    owns the queue order.  Pushing records the flow in the side table the
+    first time it is scheduled, so popping is a pair of array reads — no
+    boxed task values, no hashing.
+
+    Every flow pushed here must have been created {e after} the worklist
+    (ids are global, and the side table is indexed by [id - base] where
+    [base] snapshots the id counter at creation). *)
+
+type t
+
+val create : unit -> t
+
+val length : t -> int
+val is_empty : t -> bool
+
+val push : t -> Flow.t -> unit
+(** Schedule a flow.  The caller is responsible for not double-queuing
+    (the engine's dirty bits make pushes idempotent at its layer). *)
+
+val pop_exn : t -> Flow.t
+(** Remove and return the oldest pending flow.  The caller must check
+    {!is_empty} first (keeps the hot loop allocation-free).
+    @raise Invalid_argument when empty. *)
+
+val pop_all : t -> Flow.t array
+(** Empty the worklist and return the pending flows in queue order (the
+    random-order drain's refill). *)

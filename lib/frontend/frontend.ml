@@ -13,6 +13,13 @@ let () =
     | Error msg -> Some ("Frontend.Error: " ^ msg)
     | _ -> None)
 
+(** Phase hook: callers that time compilation (the CLI, the library
+    facade) pass a polymorphic span wrapper; the frontend stays free of
+    any dependency on the core observability types. *)
+type spanner = { span : 'a. string -> (unit -> 'a) -> 'a }
+
+let null_spanner = { span = (fun _ f -> f ()) }
+
 let wrap_errors f =
   try f () with
   | Lexer.Error (msg, pos) ->
@@ -52,19 +59,21 @@ let compile_file (path : string) : Program.t = compile (read_file path)
     would cascade spurious errors); a clean parse proceeds to the
     recovering type checker.  [Ok] results are fully lowered and
     validated, exactly like {!compile}. *)
-let compile_diags (src : string) : (Program.t, Diag.t list) result =
-  match Parser.parse_program_diags src with
+let compile_diags ?(spanner = null_spanner) (src : string) :
+    (Program.t, Diag.t list) result =
+  match spanner.span "parse" (fun () -> Parser.parse_program_diags src) with
   | _, (_ :: _ as ds) -> Stdlib.Error ds
   | ast, [] -> (
-      match Typecheck.check_diags ast with
+      match spanner.span "typecheck" (fun () -> Typecheck.check_diags ast) with
       | Stdlib.Error ds -> Stdlib.Error ds
-      | Ok tp -> Ok (Lower.lower_program tp))
+      | Ok tp -> Ok (spanner.span "lower" (fun () -> Lower.lower_program tp)))
 
 (** [compile_file_diags path] is {!compile_diags} over a file's contents;
     also returns the source text so callers can render carets. *)
-let compile_file_diags (path : string) : string * (Program.t, Diag.t list) result =
+let compile_file_diags ?spanner (path : string) :
+    string * (Program.t, Diag.t list) result =
   let src = read_file path in
-  (src, compile_diags src)
+  (src, compile_diags ?spanner src)
 
 (** [main_of prog] finds the conventional entry point: a static method
     named [main], preferring one declared in a class named [Main]. *)

@@ -15,12 +15,28 @@ val compile_ast : Ast.program -> Skipflow_ir.Program.t
 val compile_file : string -> Skipflow_ir.Program.t
 (** Read and compile a [.mj] file. *)
 
-val compile_diags : string -> (Skipflow_ir.Program.t, Diag.t list) result
+val read_file : string -> string
+(** Read a file's entire contents.  @raise Sys_error on I/O failure. *)
+
+type spanner = { span : 'a. string -> (unit -> 'a) -> 'a }
+(** Phase hook: a polymorphic span wrapper the recovering pipeline calls
+    around each phase ([parse], [typecheck], [lower]).  Callers that time
+    compilation pass one built from their observability layer; the
+    frontend itself stays free of that dependency. *)
+
+val null_spanner : spanner
+(** The identity spanner (no timing). *)
+
+val compile_diags :
+  ?spanner:spanner -> string -> (Skipflow_ir.Program.t, Diag.t list) result
 (** Compile with error recovery: accumulate every independent syntax /
     type error instead of stopping at the first.  [Ok] results are fully
     lowered and validated, exactly like {!compile}. *)
 
-val compile_file_diags : string -> string * (Skipflow_ir.Program.t, Diag.t list) result
+val compile_file_diags :
+  ?spanner:spanner ->
+  string ->
+  string * (Skipflow_ir.Program.t, Diag.t list) result
 (** {!compile_diags} over a file's contents; also returns the source text
     so callers can render caret diagnostics. *)
 

@@ -35,12 +35,8 @@ let lint_file path =
 let check_golden ~example_file ~golden_file () =
   let findings = lint_file (example example_file) in
   let json =
-    K.Json.Obj
-      [
-        ("file", K.Json.Str example_file);
-        ("analysis", K.Json.Str (C.Config.name C.Config.skipflow));
-        ("findings", K.Finding.list_to_json findings);
-      ]
+    K.Finding.document_to_json ~file:example_file
+      ~analysis:(C.Config.name C.Config.skipflow) findings
   in
   Alcotest.(check string)
     (example_file ^ " lint output matches golden")

@@ -1,0 +1,242 @@
+(* The observability layer and the library facade:
+
+   - counters are monotone (negative deltas rejected) and agree across
+     the dedup and reference engines wherever the semantics demand it
+     (links, use edges, live flows are fixed-point facts; the dedup_*
+     counters are identically zero in reference mode);
+   - phase spans nest, accumulate on re-entry, and children sum to no
+     more than the enclosing span's wall time;
+   - the JSONL trace round-trips through the integer-only JSON parser
+     and the Chrome trace is one valid schema-versioned document;
+   - Skipflow_api.analyze returns typed errors — missing file, parse
+     error, bad root — with no exception crossing the boundary. *)
+
+module Api = Skipflow_api
+module C = Skipflow_core
+module K = Skipflow_checks
+module W = Skipflow_workloads
+
+let workload () =
+  W.Gen.compile { W.Gen.default_params with live_units = 10; dead_units = 2 }
+
+let run_with_trace ~mode prog main =
+  let trace = C.Trace.create ~timers:true ~events:true () in
+  match Api.analyze_program ~mode ~trace prog ~roots:[ main ] with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "analyze_program failed: %s" (Api.error_message e)
+
+let counter_value trace name =
+  C.Trace.value (C.Trace.counter trace name)
+
+(* ----- counters ----- *)
+
+let test_counter_monotone () =
+  let tr = C.Trace.create () in
+  let c = C.Trace.counter tr "x" in
+  C.Trace.incr c;
+  C.Trace.add c 4;
+  C.Trace.record_max c 3 (* below current: no-op *);
+  Alcotest.(check int) "incr + add accumulate" 5 (C.Trace.value c);
+  C.Trace.record_max c 9;
+  Alcotest.(check int) "record_max raises" 9 (C.Trace.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Trace.add: counters are monotonic (negative delta)")
+    (fun () -> C.Trace.add c (-1));
+  Alcotest.(check bool) "find-or-create returns the same box" true
+    (C.Trace.counter tr "x" == c)
+
+let test_counters_across_engines () =
+  let prog, main = workload () in
+  let d = run_with_trace ~mode:C.Engine.Dedup prog main in
+  let r = run_with_trace ~mode:C.Engine.Reference prog main in
+  let same name =
+    Alcotest.(check int)
+      (name ^ " equal across dedup/ref")
+      (counter_value r.Api.trace name)
+      (counter_value d.Api.trace name)
+  in
+  (* fixed-point facts: identical by the dedup==ref equivalence *)
+  List.iter same
+    [ "engine.links"; "engine.use_edges"; "engine.live_flows"; "build.methods";
+      "build.flows"; "build.edges"; "engine.budget_trips" ];
+  (* dedup accounting exists only in dedup mode *)
+  List.iter
+    (fun name ->
+      Alcotest.(check int) (name ^ " is 0 in ref mode") 0
+        (counter_value r.Api.trace name))
+    [ "engine.dedup_input"; "engine.dedup_enable"; "engine.dedup_notify" ];
+  Alcotest.(check bool) "dedup drains fewer tasks" true
+    (counter_value d.Api.trace "engine.tasks_processed"
+    < counter_value r.Api.trace "engine.tasks_processed");
+  (* the stats snapshot is the counters *)
+  let s = C.Engine.stats d.Api.engine in
+  Alcotest.(check int) "stats snapshot mirrors counters"
+    (counter_value d.Api.trace "engine.tasks_processed")
+    s.C.Engine.tasks_processed
+
+(* ----- phases ----- *)
+
+let test_phase_nesting () =
+  let tr = C.Trace.create ~timers:true () in
+  let busy () = ignore (Sys.opaque_identity (Array.init 2000 (fun i -> i * i))) in
+  C.Trace.with_phase tr "outer" (fun () ->
+      C.Trace.with_phase tr "child_a" busy;
+      C.Trace.with_phase tr "child_b" busy;
+      C.Trace.with_phase tr "child_a" busy);
+  let phases = C.Trace.phases tr in
+  let find name =
+    match List.find_opt (fun p -> p.C.Trace.ph_name = name) phases with
+    | Some p -> p
+    | None -> Alcotest.failf "phase %s not recorded" name
+  in
+  let outer = find "outer" and a = find "child_a" and b = find "child_b" in
+  Alcotest.(check int) "outer at depth 0" 0 outer.C.Trace.ph_depth;
+  Alcotest.(check int) "children at depth 1" 1 a.C.Trace.ph_depth;
+  Alcotest.(check int) "re-entry accumulates into one record" 2 a.C.Trace.ph_count;
+  Alcotest.(check bool) "children sum <= outer wall" true
+    (a.C.Trace.ph_wall_us + b.C.Trace.ph_wall_us <= outer.C.Trace.ph_wall_us)
+
+let test_phases_timed_off () =
+  let tr = C.Trace.create () in
+  C.Trace.with_phase tr "p" (fun () -> ());
+  Alcotest.(check (list reject)) "no phases recorded when timers off" []
+    (List.map (fun _ -> ()) (C.Trace.phases tr))
+
+let test_analysis_phases () =
+  let prog, main = workload () in
+  let s = run_with_trace ~mode:C.Engine.Dedup prog main in
+  let names = List.map (fun p -> p.C.Trace.ph_name) (C.Trace.phases s.Api.trace) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " phase recorded") true (List.mem n names))
+    [ "roots"; "solve"; "metrics" ]
+
+(* ----- events ----- *)
+
+let test_event_cap () =
+  let tr = C.Trace.create ~events:true ~max_events:3 () in
+  for i = 1 to 5 do
+    C.Trace.event tr ~kind:"k" ~arg:i ()
+  done;
+  Alcotest.(check int) "buffer capped" 3 (C.Trace.event_count tr);
+  Alcotest.(check int) "overflow counted" 2 (C.Trace.dropped_events tr);
+  Alcotest.(check int) "by_kind sees the buffered ones" 3
+    (List.assoc "k" (C.Trace.by_kind tr))
+
+(* ----- serialization ----- *)
+
+let test_jsonl_roundtrip () =
+  let prog, main = workload () in
+  let s = run_with_trace ~mode:C.Engine.Dedup prog main in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (C.Trace.jsonl_string s.Api.trace))
+  in
+  Alcotest.(check bool) "has header + content" true (List.length lines > 3);
+  let docs = List.map K.Json.of_string lines in
+  (match docs with
+  | header :: _ ->
+      (match K.Json.check_schema_version header with
+      | Ok v -> Alcotest.(check int) "header schema version" C.Trace.schema_version v
+      | Error msg -> Alcotest.fail msg)
+  | [] -> Alcotest.fail "empty trace");
+  (* every event line's counters survive the parse *)
+  let n_parsed_events =
+    List.length
+      (List.filter
+         (fun d ->
+           match K.Json.member "kind" d with
+           | Some (K.Json.Str "event") -> true
+           | _ -> false)
+         docs)
+  in
+  Alcotest.(check int) "all events round-trip"
+    (C.Trace.event_count s.Api.trace)
+    n_parsed_events
+
+let test_chrome_valid () =
+  let prog, main = workload () in
+  let s = run_with_trace ~mode:C.Engine.Dedup prog main in
+  let doc = K.Json.of_string (C.Trace.chrome_string s.Api.trace) in
+  (match K.Json.check_schema_version doc with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  match K.Json.member "traceEvents" doc with
+  | Some (K.Json.Arr evs) ->
+      Alcotest.(check bool) "has trace events" true (evs <> []);
+      List.iter
+        (fun ev ->
+          match K.Json.member "ph" ev with
+          | Some (K.Json.Str ("X" | "i")) -> ()
+          | _ -> Alcotest.fail "trace event is not a complete span or instant")
+        evs
+  | _ -> Alcotest.fail "missing traceEvents array"
+
+let test_schema_rejection () =
+  let bad = K.Json.Obj [ ("schema_version", K.Json.Int 99) ] in
+  (match K.Json.check_schema_version bad with
+  | Ok _ -> Alcotest.fail "version 99 must be rejected"
+  | Error _ -> ());
+  match K.Json.check_schema_version (K.Json.Obj []) with
+  | Ok _ -> Alcotest.fail "missing version must be rejected"
+  | Error _ -> ()
+
+(* ----- the facade's error contract ----- *)
+
+let test_api_errors () =
+  let input_error r =
+    match r with
+    | Ok _ -> Alcotest.fail "expected an error"
+    | Error e ->
+        Alcotest.(check int) "maps to input-error exit code" 2
+          (Api.exit_code_of_error e);
+        e
+  in
+  (match
+     input_error (Api.analyze ~source:(`File "/nonexistent/x.mj") ~roots:[] ())
+   with
+  | Api.Io_error _ -> ()
+  | e -> Alcotest.failf "expected Io_error, got: %s" (Api.error_message e));
+  (match
+     input_error (Api.analyze ~source:(`Text "class A { int f( }") ~roots:[] ())
+   with
+  | Api.Compile_error { diags; _ } ->
+      Alcotest.(check bool) "diagnostics accumulated" true (diags <> [])
+  | e -> Alcotest.failf "expected Compile_error, got: %s" (Api.error_message e));
+  let ok_src = "class Main { static void main() { } }" in
+  (match
+     input_error (Api.analyze ~source:(`Text ok_src) ~roots:[ "Nope.main" ] ())
+   with
+  | Api.Unknown_root _ -> ()
+  | e -> Alcotest.failf "expected Unknown_root, got: %s" (Api.error_message e));
+  (match
+     input_error
+       (Api.analyze ~source:(`Text "class A { void f() { } }") ~roots:[] ())
+   with
+  | Api.No_main -> ()
+  | e -> Alcotest.failf "expected No_main, got: %s" (Api.error_message e));
+  match Api.analyze ~source:(`Text ok_src) ~roots:[] () with
+  | Ok s ->
+      Alcotest.(check int) "trivial program reaches main" 1
+        (List.length s.Api.reachable)
+  | Error e -> Alcotest.failf "valid program failed: %s" (Api.error_message e)
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "counters monotone" `Quick test_counter_monotone;
+      Alcotest.test_case "counters agree across dedup/ref" `Quick
+        test_counters_across_engines;
+      Alcotest.test_case "phase spans nest and accumulate" `Quick test_phase_nesting;
+      Alcotest.test_case "timers off records nothing" `Quick test_phases_timed_off;
+      Alcotest.test_case "analysis records its phases" `Quick test_analysis_phases;
+      Alcotest.test_case "event buffer cap" `Quick test_event_cap;
+      Alcotest.test_case "JSONL round-trips through the parser" `Quick
+        test_jsonl_roundtrip;
+      Alcotest.test_case "chrome trace is valid and versioned" `Quick
+        test_chrome_valid;
+      Alcotest.test_case "unknown schema versions rejected" `Quick
+        test_schema_rejection;
+      Alcotest.test_case "facade returns typed errors" `Quick test_api_errors;
+    ] )
