@@ -36,6 +36,47 @@ let fail_api_error (e : Api.error) : 'a =
   Api.render_error Format.err_formatter e;
   exit (Api.exit_code_of_error e)
 
+(** The machine-readable failure object: every {!Api.error} variant maps
+    to a stable [kind] (see {!Api.error_kind}) plus its documented exit
+    code; compile errors carry their positioned diagnostics. *)
+let error_json (e : Api.error) =
+  let diags =
+    match e with
+    | Api.Compile_error { diags; _ } ->
+        [ ( "diags",
+            K.Json.Arr
+              (List.map
+                 (fun (d : F.Diag.t) ->
+                   K.Json.Obj
+                     [ ("line", K.Json.Int d.F.Diag.pos.F.Lexer.line);
+                       ("col", K.Json.Int d.F.Diag.pos.F.Lexer.col);
+                       ("message", K.Json.Str d.F.Diag.message);
+                     ])
+                 diags) );
+        ]
+    | _ -> []
+  in
+  K.Json.Obj
+    [ ("schema_version", K.Json.Int K.Json.current_schema_version);
+      ( "error",
+        K.Json.Obj
+          ([ ("kind", K.Json.Str (Api.error_kind e));
+             ("message", K.Json.Str (Api.error_message e));
+             ("exit_code", K.Json.Int (Api.exit_code_of_error e));
+           ]
+          @ diags) );
+    ]
+
+(** Format-aware failure: under [--format json] the error object goes to
+    stdout (machine-consumable, stderr left clean); under text, carets go
+    to stderr as always.  Either way the exit code is the facade's. *)
+let fail_error ~format (e : Api.error) : 'a =
+  match format with
+  | `Text -> fail_api_error e
+  | `Json ->
+      print_string (K.Json.to_string (error_json e));
+      exit (Api.exit_code_of_error e)
+
 let ok_or_fail = function Ok v -> v | Error e -> fail_api_error e
 
 (** Compile [file] through the facade, rendering caret diagnostics on
@@ -143,6 +184,11 @@ let analyze_summary_json ~file ~config ~mode (s : Api.summary) =
       ( "engine",
         K.Json.Str (match mode with C.Engine.Dedup -> "dedup" | C.Engine.Reference -> "ref") );
       ("degraded", K.Json.Bool m.C.Metrics.degraded);
+      ( "outcome",
+        K.Json.Str
+          (match s.Api.outcome with
+          | C.Engine.Completed -> "completed"
+          | C.Engine.Paused _ -> "paused") );
       ( "metrics",
         K.Json.Obj
           [ ("reachable_methods", K.Json.Int m.C.Metrics.reachable_methods);
@@ -198,24 +244,90 @@ let trace_jsonl_arg =
 let timings_arg =
   Arg.(value & flag & info [ "timings" ] ~doc:"Print the per-phase wall/CPU breakdown and the counter registry")
 
+let snapshot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot" ] ~docv:"OUT.snap"
+        ~doc:
+          "When a budget cap trips, pause at a task boundary instead of \
+           degrading and write the complete solver state to $(docv) \
+           (exit 3); resume with $(b,--resume-from)")
+
+let resume_from_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume-from" ] ~docv:"SNAP"
+        ~doc:
+          "Continue a paused solve from a snapshot file; the resumed run \
+           uses the budget flags given here (default: unlimited) and \
+           reaches the same fixed point an uninterrupted run would.  A \
+           corrupt, truncated, or stale snapshot falls back to a full \
+           solve with a warning")
+
 let analyze_cmd =
   let run file config roots list_reachable dot dump_ir saturation max_tasks timeout
-      max_flows allow_degraded mode format trace_out trace_jsonl timings =
+      max_flows allow_degraded mode format trace_out trace_jsonl timings snapshot
+      resume_from =
     let want_trace = trace_out <> None || trace_jsonl <> None in
     let trace =
       C.Trace.create
         ~timers:(timings || want_trace || format = `Json)
         ~events:want_trace ()
     in
-    let prog = load_program ~trace file in
-    if dump_ir then Format.printf "%a@." Ir_pp.pp_program prog;
+    let fail e = fail_error ~format e in
     let config =
       { config with
         C.Config.saturation;
         budget = budget_of ~max_tasks ~timeout ~max_flows }
     in
-    let roots = roots_of prog roots in
-    let s = ok_or_fail (Api.analyze_program ~config ~mode ~trace prog ~roots) in
+    let on_budget = if snapshot <> None then `Pause else `Degrade in
+    let resumed =
+      match resume_from with
+      | None -> None
+      | Some path -> (
+          match
+            C.Snapshot.read ~path ~kind:C.Engine.snapshot_kind
+              ~version:C.Engine.snapshot_version
+          with
+          | Error e ->
+              Format.eprintf "warning: %s; falling back to a full solve@."
+                (C.Snapshot.error_message e);
+              None
+          | Ok bytes -> (
+              match
+                Api.resume_snapshot ~budget:config.C.Config.budget ~on_budget
+                  ~trace bytes
+              with
+              | Error e ->
+                  Format.eprintf "warning: %s; falling back to a full solve@."
+                    (Api.error_message e);
+                  None
+              | Ok s -> Some s))
+    in
+    let s =
+      match resumed with
+      | Some s -> s
+      | None ->
+          let prog =
+            match Api.compile ~trace (`File file) with
+            | Ok (p, _) -> p
+            | Error e -> fail e
+          in
+          let roots =
+            match Api.resolve_roots prog roots with
+            | Ok r -> r
+            | Error e -> fail e
+          in
+          (match
+             Api.analyze_program ~config ~mode ~on_budget ~trace prog ~roots
+           with
+          | Ok s -> s
+          | Error e -> fail e)
+    in
+    let prog = C.Engine.prog_of s.Api.engine in
+    if dump_ir then Format.printf "%a@." Ir_pp.pp_program prog;
     let meth_name id = Program.qualified_name prog (Ids.Meth.of_int id) in
     (match trace_out with
     | Some path -> C.Trace.write_chrome ~meth_name trace path
@@ -240,6 +352,22 @@ let analyze_cmd =
             C.Dot.write_file prog ~path (C.Engine.graphs s.Api.engine);
             Format.printf "PVPG written to %s@." path
         | None -> ()));
+    (match (s.Api.outcome, snapshot) with
+    | C.Engine.Paused _, Some path -> (
+        (* the engine behind a [Paused] outcome is at a task boundary;
+           persist it in the checksummed container *)
+        match C.Engine.save_snapshot s.Api.engine ~path with
+        | Ok () ->
+            Format.eprintf
+              "budget tripped: solver paused; state written to %s (resume \
+               with --resume-from %s)@."
+              path path;
+            exit exit_degraded
+        | Error e ->
+            Format.eprintf "error: cannot write snapshot: %s@."
+              (C.Snapshot.error_message e);
+            exit exit_analysis_error)
+    | _ -> ());
     finish_degradation_metrics s.Api.metrics ~allow_degraded
   in
   Cmd.v
@@ -247,7 +375,8 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ analysis_arg $ roots_arg $ list_arg $ dot_arg $ ir_arg
       $ sat_arg $ max_tasks_arg $ timeout_arg $ max_flows_arg $ allow_degraded_arg
-      $ engine_arg $ format_arg $ trace_arg $ trace_jsonl_arg $ timings_arg)
+      $ engine_arg $ format_arg $ trace_arg $ trace_jsonl_arg $ timings_arg
+      $ snapshot_arg $ resume_from_arg)
 
 (* ------------------------------- compare ------------------------------ *)
 
@@ -455,22 +584,560 @@ let run_cmd =
 (* -------------------------------- fuzz -------------------------------- *)
 
 let fuzz_cmd =
-  let run seeds quiet =
+  let run seeds quiet crash =
     let progress =
       if quiet then fun _ -> ()
       else fun s ->
         if (s + 1) mod 25 = 0 then Format.eprintf "fuzz: %d/%d seeds@." (s + 1) seeds
     in
-    let report = Skipflow_fuzz.Fuzz.run ~progress ~seeds () in
+    let report = Skipflow_fuzz.Fuzz.run ~progress ~crash ~seeds () in
     Format.printf "%a@." Skipflow_fuzz.Fuzz.pp_report report;
     if report.Skipflow_fuzz.Fuzz.r_failures <> [] then exit exit_analysis_error
   in
   let seeds = Arg.(value & opt int 100 & info [ "seeds" ] ~docv:"N" ~doc:"Number of random programs to generate and check") in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress output") in
+  let crash =
+    Arg.(
+      value
+      & flag
+      & info [ "crash" ]
+          ~doc:
+            "Also run the crash-injection matrix: truncate and bit-flip \
+             persisted snapshots and cache entries, and check every damaged \
+             file is detected, quarantined, and recoverable")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Fuzz the pipeline: generated programs, every configuration, random worklist orders, tiny budgets; certify every fixed point against the interpreter")
-    Term.(const run $ seeds $ quiet)
+    Term.(const run $ seeds $ quiet $ crash)
+
+(* -------------------------------- batch ------------------------------- *)
+
+(* The batch driver: [analyze] over a manifest of jobs with fault
+   isolation.  Each job runs in a forked child by default, so a crash (or
+   the per-job watchdog's SIGKILL) is contained to a per-job error record
+   instead of taking the batch down; transient I/O errors retry with
+   exponential backoff; successful results can be cached by content hash;
+   every completed job is journaled so an interrupted batch re-run with
+   [--resume] skips finished work and produces the same summary. *)
+
+let batch_schema_version = 1
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(** What one job produced, as exchanged between the forked worker and the
+    driver (a single JSON object on a temp file). *)
+type job_result = {
+  b_status : string;  (** ["ok" | "degraded" | "failed" | "quarantined"] *)
+  b_exit : int;  (** the job's own exit-code contract: 0, 1, or 2 *)
+  b_error_kind : string option;
+      (** {!Api.error_kind}, or the driver's ["crash"] / ["timeout"] *)
+  b_detail : string option;
+  b_reachable : int option;
+  b_wall_us : int;
+}
+
+let job_result_json r =
+  K.Json.Obj
+    ([ ("status", K.Json.Str r.b_status);
+       ("exit_code", K.Json.Int r.b_exit);
+       ("wall_us", K.Json.Int r.b_wall_us);
+     ]
+    @ (match r.b_reachable with
+      | Some n -> [ ("reachable_methods", K.Json.Int n) ]
+      | None -> [])
+    @ (match r.b_error_kind with
+      | Some k -> [ ("error_kind", K.Json.Str k) ]
+      | None -> [])
+    @ match r.b_detail with Some d -> [ ("detail", K.Json.Str d) ] | None -> [])
+
+let job_result_of_json j =
+  let str name =
+    match K.Json.member name j with Some (K.Json.Str s) -> Some s | _ -> None
+  in
+  let int name =
+    match K.Json.member name j with Some (K.Json.Int n) -> Some n | _ -> None
+  in
+  match (str "status", int "exit_code") with
+  | Some b_status, Some b_exit ->
+      Some
+        {
+          b_status;
+          b_exit;
+          b_error_kind = str "error_kind";
+          b_detail = str "detail";
+          b_reachable = int "reachable_methods";
+          b_wall_us = Option.value ~default:0 (int "wall_us");
+        }
+  | _ -> None
+
+(** A journaled record: the job result plus its identity in the batch. *)
+type job_record = {
+  r_index : int;
+  r_path : string;
+  r_result : job_result;
+  r_attempts : int;  (** executions, 0 for a cache hit *)
+  r_cache : string;  (** ["hit" | "miss" | "off"] *)
+}
+
+let record_json ~timings r =
+  let res =
+    if timings then r.r_result else { r.r_result with b_wall_us = 0 }
+  in
+  match job_result_json res with
+  | K.Json.Obj fields ->
+      K.Json.Obj
+        ([ ("job", K.Json.Int r.r_index);
+           ("path", K.Json.Str r.r_path);
+           ("attempts", K.Json.Int r.r_attempts);
+           ("cache", K.Json.Str r.r_cache);
+         ]
+        @ fields)
+  | _ -> assert false
+
+let record_of_json rj =
+  match
+    (K.Json.member "job" rj, K.Json.member "path" rj, job_result_of_json rj)
+  with
+  | Some (K.Json.Int r_index), Some (K.Json.Str r_path), Some r_result ->
+      let r_attempts =
+        match K.Json.member "attempts" rj with
+        | Some (K.Json.Int n) -> n
+        | _ -> 1
+      in
+      let r_cache =
+        match K.Json.member "cache" rj with
+        | Some (K.Json.Str s) -> s
+        | _ -> "off"
+      in
+      Some { r_index; r_path; r_result; r_attempts; r_cache }
+  | _ -> None
+
+(** Parse a journal, skipping unparseable lines (a SIGKILL mid-append
+    leaves a torn last line; skipping it merely re-runs that job — replay
+    is idempotent). *)
+let read_journal path =
+  match F.Frontend.read_file path with
+  | exception Sys_error _ -> []
+  | contents ->
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            match K.Json.of_string line with
+            | exception K.Json.Parse_error _ -> None
+            | j -> (
+                match
+                  (K.Json.member "schema_version" j, K.Json.member "record" j)
+                with
+                | Some (K.Json.Int v), Some rj when v = batch_schema_version ->
+                    record_of_json rj
+                | _ -> None))
+        (String.split_on_char '\n' contents)
+
+(** One in-process job execution.  The facade's guard means every failure
+    — unreadable file, compile error, bad root, internal exception —
+    comes back as a typed error, never an escape. *)
+let execute_job ~config ~mode ~roots path =
+  let t0 = Unix.gettimeofday () in
+  let wall_us () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  match Api.analyze ~config ~mode ~source:(`File path) ~roots () with
+  | Ok s ->
+      let degraded = s.Api.metrics.C.Metrics.degraded in
+      {
+        b_status = (if degraded then "degraded" else "ok");
+        b_exit = 0;
+        b_error_kind = None;
+        b_detail = None;
+        b_reachable = Some s.Api.metrics.C.Metrics.reachable_methods;
+        b_wall_us = wall_us ();
+      }
+  | Error e ->
+      {
+        b_status = "failed";
+        b_exit = Api.exit_code_of_error e;
+        b_error_kind = Some (Api.error_kind e);
+        b_detail = Some (Api.error_message e);
+        b_reachable = None;
+        b_wall_us = wall_us ();
+      }
+
+(** Run one job in a forked child under a wall-clock watchdog.  The
+    child's only channel back is the result file; a worker that dies (or
+    is killed by the watchdog) yields a synthesized failure record. *)
+let execute_isolated ~timeout_per_job run =
+  let result_file = Filename.temp_file "skipflow-job" ".json" in
+  let t0 = Unix.gettimeofday () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (try
+         let r = run () in
+         let oc = open_out result_file in
+         output_string oc (K.Json.to_compact_string (job_result_json r));
+         close_out oc
+       with _ -> ());
+      exit 0
+  | pid ->
+      let deadline =
+        Option.map (fun s -> Unix.gettimeofday () +. s) timeout_per_job
+      in
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> (
+            match deadline with
+            | Some d when Unix.gettimeofday () > d ->
+                Unix.kill pid Sys.sigkill;
+                ignore (Unix.waitpid [] pid);
+                `Timeout
+            | _ ->
+                Unix.sleepf 0.002;
+                wait ())
+        | _, Unix.WEXITED 0 -> `Exited
+        | _, (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _) -> `Crashed
+      in
+      let verdict = wait () in
+      let wall_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+      let failure kind detail =
+        {
+          b_status = "failed";
+          b_exit = exit_analysis_error;
+          b_error_kind = Some kind;
+          b_detail = Some detail;
+          b_reachable = None;
+          b_wall_us = wall_us;
+        }
+      in
+      let r =
+        match verdict with
+        | `Timeout ->
+            failure "timeout"
+              "job exceeded --timeout-per-job and was killed"
+        | `Exited | `Crashed -> (
+            match F.Frontend.read_file result_file with
+            | exception Sys_error _ ->
+                failure "crash" "worker died without reporting a result"
+            | "" -> failure "crash" "worker died without reporting a result"
+            | contents -> (
+                match K.Json.of_string contents with
+                | exception K.Json.Parse_error _ ->
+                    failure "crash" "worker wrote a torn result"
+                | j -> (
+                    match job_result_of_json j with
+                    | Some r -> r
+                    | None -> failure "crash" "worker wrote a malformed result")))
+      in
+      (try Sys.remove result_file with Sys_error _ -> ());
+      r
+
+(** A manifest is a directory (all [*.mj] inside, sorted) or a file of
+    paths — one per line, [#] comments, resolved relative to the
+    manifest's directory. *)
+let load_manifest path =
+  if Sys.is_directory path then begin
+    let names = Sys.readdir path in
+    Array.sort compare names;
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".mj")
+    |> List.map (Filename.concat path)
+  end
+  else
+    F.Frontend.read_file path
+    |> String.split_on_char '\n'
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.map (fun l ->
+           if Filename.is_relative l then
+             Filename.concat (Filename.dirname path) l
+           else l)
+
+let batch_cmd =
+  let run manifest config roots mode max_tasks timeout max_flows allow_degraded
+      timeout_per_job retries cache_dir journal resume quarantine no_isolate
+      no_timings out =
+    let timings = not no_timings in
+    let config =
+      { config with C.Config.budget = budget_of ~max_tasks ~timeout ~max_flows }
+    in
+    if resume && journal = None then begin
+      Format.eprintf "error: --resume needs --journal@.";
+      exit exit_input_error
+    end;
+    let jobs =
+      try load_manifest manifest
+      with Sys_error message ->
+        Format.eprintf "error: cannot read manifest %s: %s@." manifest message;
+        exit exit_input_error
+    in
+    let completed = Hashtbl.create 16 in
+    if resume then
+      Option.iter
+        (fun jp ->
+          List.iter
+            (fun r -> Hashtbl.replace completed (r.r_index, r.r_path) r)
+            (read_journal jp))
+        journal;
+    let journal_oc =
+      Option.map
+        (fun jp ->
+          mkdir_p (Filename.dirname jp);
+          open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 jp)
+        journal
+    in
+    let trace = C.Trace.create () in
+    let cache = Option.map (fun d -> C.Cache.create ~trace d) cache_dir in
+    let cache_lookup path =
+      match cache with
+      | None -> (None, None)
+      | Some c -> (
+          match F.Frontend.read_file path with
+          | exception Sys_error _ -> (None, None)
+          | source ->
+              let k = C.Cache.key ~config ~source in
+              (Some k, C.Cache.find c k))
+    in
+    let run_fresh i path =
+      let cache_key, cached = cache_lookup path in
+      let cached_result =
+        match cached with
+        | None -> None
+        | Some v -> (
+            match K.Json.of_string v with
+            | exception K.Json.Parse_error _ -> None
+            | j -> job_result_of_json j)
+      in
+      match cached_result with
+      | Some res ->
+          {
+            r_index = i;
+            r_path = path;
+            (* a hit costs a lookup, not a solve; don't report the
+               original compute time as this run's *)
+            r_result = { res with b_wall_us = 0 };
+            r_attempts = 0;
+            r_cache = "hit";
+          }
+      | None ->
+          let run_once () =
+            if no_isolate then execute_job ~config ~mode ~roots path
+            else
+              execute_isolated ~timeout_per_job (fun () ->
+                  execute_job ~config ~mode ~roots path)
+          in
+          let rec attempt n =
+            let res = run_once () in
+            if res.b_error_kind = Some "io_error" && n < retries then begin
+              (* transient I/O: back off exponentially, then retry *)
+              Unix.sleepf (0.05 *. (2. ** float_of_int n));
+              attempt (n + 1)
+            end
+            else (res, n + 1)
+          in
+          let res, attempts = attempt 0 in
+          (match (cache, cache_key, res.b_status) with
+          | Some c, Some k, ("ok" | "degraded") ->
+              (* best-effort: a failed store must not fail the job *)
+              ignore
+                (C.Cache.store c k
+                   (K.Json.to_compact_string (job_result_json res)))
+          | _ -> ());
+          let res =
+            match (quarantine, res.b_error_kind) with
+            | Some qdir, Some ("crash" | "timeout" | "internal_error" | "io_error")
+              -> (
+                mkdir_p qdir;
+                let dst =
+                  Filename.concat qdir
+                    (Printf.sprintf "%d-%s" i (Filename.basename path))
+                in
+                match F.Frontend.read_file path with
+                | exception Sys_error _ -> res
+                | contents -> (
+                    try
+                      let oc = open_out_bin dst in
+                      output_string oc contents;
+                      close_out oc;
+                      { res with b_status = "quarantined" }
+                    with Sys_error _ -> res))
+            | _ -> res
+          in
+          {
+            r_index = i;
+            r_path = path;
+            r_result = res;
+            r_attempts = attempts;
+            r_cache = (if cache = None then "off" else "miss");
+          }
+    in
+    let records =
+      List.mapi
+        (fun i path ->
+          match Hashtbl.find_opt completed (i, path) with
+          | Some r -> r (* journaled by the interrupted run; don't redo *)
+          | None ->
+              let r = run_fresh i path in
+              (* journal before moving on: a crash between jobs loses at
+                 most the in-flight one *)
+              Option.iter
+                (fun oc ->
+                  output_string oc
+                    (K.Json.to_compact_string
+                       (K.Json.Obj
+                          [ ("schema_version", K.Json.Int batch_schema_version);
+                            ("record", record_json ~timings r);
+                          ]));
+                  output_char oc '\n';
+                  flush oc)
+                journal_oc;
+              r)
+        jobs
+    in
+    Option.iter close_out journal_oc;
+    let count st =
+      List.length
+        (List.filter (fun r -> r.r_result.b_status = st) records)
+    in
+    let cache_hits =
+      List.length (List.filter (fun r -> r.r_cache = "hit") records)
+    in
+    let summary =
+      K.Json.Obj
+        [ ("schema_version", K.Json.Int batch_schema_version);
+          ("manifest", K.Json.Str (Filename.basename manifest));
+          ("jobs", K.Json.Int (List.length records));
+          ("ok", K.Json.Int (count "ok"));
+          ("degraded", K.Json.Int (count "degraded"));
+          ("failed", K.Json.Int (count "failed"));
+          ("quarantined", K.Json.Int (count "quarantined"));
+          ("cache_hits", K.Json.Int cache_hits);
+          ("records", K.Json.Arr (List.map (record_json ~timings) records));
+        ]
+    in
+    (match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (K.Json.to_string summary);
+        close_out oc
+    | None -> print_string (K.Json.to_string summary));
+    Format.eprintf
+      "batch: %d job(s) — %d ok, %d degraded, %d failed, %d quarantined, %d \
+       cache hit(s)@."
+      (List.length records) (count "ok") (count "degraded") (count "failed")
+      (count "quarantined") cache_hits;
+    let has code =
+      List.exists (fun r -> r.r_result.b_exit = code) records
+    in
+    if has exit_analysis_error then exit exit_analysis_error
+    else if has exit_input_error then exit exit_input_error
+    else if count "degraded" > 0 && not allow_degraded then exit exit_degraded
+  in
+  let manifest_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:
+            "A manifest file (one .mj path per line, # comments, paths \
+             relative to the manifest) or a directory of .mj files")
+  in
+  let timeout_per_job_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-per-job" ] ~docv:"SECONDS"
+          ~doc:
+            "Wall-clock watchdog per job; a job past it is SIGKILLed and \
+             recorded as failed (isolated mode only)")
+  in
+  let retries_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a job whose failure is a transient I/O error up to N \
+             times, with exponential backoff")
+  in
+  let cache_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:
+            "Cache successful job results in $(docv), keyed by a content \
+             hash of source + configuration; corrupt entries are \
+             quarantined and recomputed")
+  in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"OUT.jsonl"
+          ~doc:
+            "Append one JSON record per completed job to $(docv) \
+             (crash-tolerant; consumed by --resume)")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Skip jobs already recorded in the journal (from an \
+             interrupted run) and re-use their records")
+  in
+  let quarantine_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "quarantine" ] ~docv:"DIR"
+          ~doc:
+            "Copy the input of every crashed, timed-out, or \
+             internally-failing job into $(docv) for later triage")
+  in
+  let no_isolate_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-isolate" ]
+          ~doc:
+            "Run jobs in-process instead of forked workers (faster; no \
+             crash containment or per-job watchdog)")
+  in
+  let no_timings_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-timings" ]
+          ~doc:
+            "Zero all wall_us fields, making summaries byte-comparable \
+             across runs")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "summary" ] ~docv:"OUT.json"
+          ~doc:"Write the batch summary to $(docv) instead of stdout")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze a manifest of MiniJava programs with per-job fault \
+          isolation, watchdogs, retries, result caching, and a \
+          resumable journal")
+    Term.(
+      const run $ manifest_arg $ analysis_arg $ roots_arg $ engine_arg
+      $ max_tasks_arg $ timeout_arg $ max_flows_arg $ allow_degraded_arg
+      $ timeout_per_job_arg $ retries_arg $ cache_arg $ journal_arg
+      $ resume_arg $ quarantine_arg $ no_isolate_arg $ no_timings_arg
+      $ out_arg)
 
 (* --------------------------------- gen -------------------------------- *)
 
@@ -623,5 +1290,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; compare_cmd; deadcode_cmd; lint_cmd; profile_cmd; run_cmd;
-            fuzz_cmd; gen_cmd; bench_list_cmd ]))
+          [ analyze_cmd; batch_cmd; compare_cmd; deadcode_cmd; lint_cmd;
+            profile_cmd; run_cmd; fuzz_cmd; gen_cmd; bench_list_cmd ]))

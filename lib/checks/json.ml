@@ -78,6 +78,39 @@ let to_string (v : t) : string =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(** One line, no whitespace — for JSONL streams (the batch journal),
+    where a document must not contain raw newlines. *)
+let to_compact_string (v : t) : string =
+  let b = Buffer.create 256 in
+  let rec go v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Str s -> escape_string b s
+    | Arr items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            go item)
+          items;
+        Buffer.add_char b ']'
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char b ',';
+            escape_string b k;
+            Buffer.add_char b ':';
+            go item)
+          fields;
+        Buffer.add_char b '}'
+  in
+  go v;
+  Buffer.contents b
+
 (* ------------------------------- parse ------------------------------- *)
 
 exception Parse_error of string

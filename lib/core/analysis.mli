@@ -6,6 +6,10 @@ type result = {
   config : Config.t;
   engine : Engine.t;
       (** the solved engine: reachable methods, per-flow value states *)
+  outcome : Engine.outcome;
+      (** {!Engine.Paused} only under [on_budget:`Pause] when a budget
+          cap tripped; pass the payload to {!resume} (optionally after a
+          {!Snapshot.write} round trip) to finish the solve *)
   metrics : Metrics.t;
   trace : Trace.t;
       (** the run's counters, and — when requested at creation — its
@@ -17,6 +21,7 @@ type result = {
 val run :
   ?config:Config.t ->
   ?random_order:int ->
+  ?on_budget:[ `Degrade | `Pause ] ->
   ?mode:Engine.mode ->
   ?trace:Trace.t ->
   Skipflow_ir.Program.t ->
@@ -30,7 +35,24 @@ val run :
     the original boxed FIFO for differential testing).  [trace] (default a
     fresh quiet {!Trace.t}) receives the run's counters; when created with
     timers the driver records ["roots"] / ["solve"] / ["metrics"] phases
-    into it, and with events the engine streams solver activity. *)
+    into it, and with events the engine streams solver activity.
+    [on_budget] selects the budget-trip reaction (see {!Engine.run}):
+    [`Degrade] (default) finishes at a sound coarser fixed point;
+    [`Pause] returns with [result.outcome = Paused snapshot] instead. *)
+
+val resume :
+  ?random_order:int ->
+  ?on_budget:[ `Degrade | `Pause ] ->
+  ?budget:Budget.t ->
+  ?trace:Trace.t ->
+  string ->
+  (result, string) Stdlib.result
+(** Continue a paused solve from a {!Engine.Paused} payload (or
+    {!Engine.snapshot_bytes} output).  [budget] — commonly
+    {!Budget.unlimited} — replaces the snapshotted budget so the resumed
+    run can finish; metrics are recomputed on the resumed engine, whose
+    fixed point is identical, flow by flow, to an uninterrupted run's.
+    [Error msg] when the payload cannot be decoded. *)
 
 val roots_by_name :
   Skipflow_ir.Program.t ->

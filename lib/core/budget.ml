@@ -32,6 +32,14 @@ let check b ~tasks ~flows ~elapsed_s =
     | Some cap when elapsed_s () >= cap -> Some Seconds
     | _ -> None
 
+(** Work-unit accounting for the engine's in-task probe: a single drained
+    task can resolve an unbounded number of callees/fields, so between
+    task boundaries the interprocedural links made so far count toward the
+    task cap.  This bounds the overshoot of [max_tasks] by the work of one
+    link, not one task. *)
+let check_work b ~tasks ~links ~flows ~elapsed_s =
+  check b ~tasks:(tasks + links) ~flows ~elapsed_s
+
 let trip_name = function
   | Tasks -> "task budget"
   | Seconds -> "time budget"

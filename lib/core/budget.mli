@@ -39,6 +39,17 @@ val check : t -> tasks:int -> flows:int -> elapsed_s:(unit -> float) -> trip opt
     any.  [elapsed_s] is a thunk so the clock is only read when a
     wall-clock cap is actually configured. *)
 
+val check_work :
+  t -> tasks:int -> links:int -> flows:int -> elapsed_s:(unit -> float) -> trip option
+(** [check_work] is {!check} with work-unit accounting for checks made
+    {e inside} a task: a single drained invoke/field task can resolve an
+    unbounded number of callees (a "mega-flow"), during which the task
+    counter is frozen — so the interprocedural links made so far are
+    counted toward [max_tasks] too.  {!Engine.run} calls this from the
+    re-resolution loops, bounding the [max_tasks] overshoot by one link's
+    worth of work instead of one task's (a property the budget regression
+    test pins down). *)
+
 val trip_name : trip -> string
 val pp_trip : Format.formatter -> trip -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+(** Crash-safe on-disk result cache (see the interface for the
+    contract).  An entry is one {!Snapshot} blob per key, so atomicity,
+    versioning and corruption detection all come from the container; this
+    module adds the content-hash key discipline, the quarantine policy,
+    and LRU eviction. *)
+
+let schema_version = 1
+let entry_kind = "cache-entry"
+let entry_suffix = ".entry"
+
+type t = {
+  dir : string;
+  max_entries : int;
+  c_hit : Trace.counter;
+  c_miss : Trace.counter;
+  c_evict : Trace.counter;
+  c_corrupt : Trace.counter;
+}
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let dir t = t.dir
+let quarantine_dir t = Filename.concat t.dir "quarantine"
+
+let create ?trace ?(max_entries = 512) dir =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  let t =
+    {
+      dir;
+      max_entries = max max_entries 1;
+      c_hit = Trace.counter trace "cache.hit";
+      c_miss = Trace.counter trace "cache.miss";
+      c_evict = Trace.counter trace "cache.evict";
+      c_corrupt = Trace.counter trace "cache.corrupt";
+    }
+  in
+  mkdir_p dir;
+  mkdir_p (quarantine_dir t);
+  t
+
+(** Every configuration field goes into the fingerprint — including the
+    budget: a degraded (budget-tripped) result must never be served to a
+    run with a larger budget. *)
+let fingerprint (config : Config.t) =
+  Format.asprintf
+    "cache-v%d;predicates=%b;primitives=%b;saturation=%s;seed_root_params=%b;budget=%a"
+    schema_version config.Config.predicates config.Config.primitives
+    (match config.Config.saturation with
+    | None -> "none"
+    | Some n -> string_of_int n)
+    config.Config.seed_root_params Budget.pp config.Config.budget
+
+let key ~config ~source =
+  Digest.to_hex (Digest.string (fingerprint config ^ "\x00" ^ source))
+
+let entry_path t k = Filename.concat t.dir (k ^ entry_suffix)
+
+(** Move a corrupt entry aside (never delete evidence); if even the
+    rename fails, fall back to removing it so it cannot poison later
+    lookups. *)
+let quarantine t path =
+  let dst = Filename.concat (quarantine_dir t) (Filename.basename path) in
+  try Sys.rename path dst
+  with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let find t k =
+  let path = entry_path t k in
+  if not (Sys.file_exists path) then begin
+    Trace.incr t.c_miss;
+    None
+  end
+  else
+    match
+      Snapshot.read ~path ~kind:entry_kind ~version:schema_version
+    with
+    | Ok payload -> (
+        match String.index_opt payload '\n' with
+        | Some i when String.sub payload 0 i = k ->
+            Trace.incr t.c_hit;
+            (* refresh the LRU clock; best-effort *)
+            (try Unix.utimes path 0.0 0.0 with Unix.Unix_error _ -> ());
+            Some (String.sub payload (i + 1) (String.length payload - i - 1))
+        | _ ->
+            (* intact container holding another key: a hash collision or
+               a renamed file — treat as corrupt, do not serve it *)
+            Trace.incr t.c_corrupt;
+            quarantine t path;
+            None)
+    | Error (Snapshot.Io _) ->
+        (* raced away or unreadable: indistinguishable from absent *)
+        Trace.incr t.c_miss;
+        None
+    | Error _ ->
+        Trace.incr t.c_corrupt;
+        quarantine t path;
+        None
+
+let evict t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let entries =
+        Array.of_seq
+          (Seq.filter
+             (fun n -> Filename.check_suffix n entry_suffix)
+             (Array.to_seq names))
+      in
+      let excess = Array.length entries - t.max_entries in
+      if excess > 0 then begin
+        let stamped =
+          Array.map
+            (fun name ->
+              let p = Filename.concat t.dir name in
+              let mtime =
+                try (Unix.stat p).Unix.st_mtime
+                with Unix.Unix_error _ -> 0.0
+              in
+              (mtime, p))
+            entries
+        in
+        Array.sort compare stamped;
+        for i = 0 to excess - 1 do
+          let _, p = stamped.(i) in
+          (try Sys.remove p with Sys_error _ -> ());
+          Trace.incr t.c_evict
+        done
+      end
+
+let store t k v =
+  let r =
+    Snapshot.write ~path:(entry_path t k) ~kind:entry_kind
+      ~version:schema_version (k ^ "\n" ^ v)
+  in
+  (match r with Ok () -> evict t | Error _ -> ());
+  r

@@ -1,0 +1,50 @@
+(** A crash-safe on-disk result cache for analysis summaries.
+
+    Entries are keyed by a content hash of (source bytes, configuration,
+    schema version) — see {!key} — so a cache hit can only serve a result
+    computed from byte-identical inputs under an identical configuration
+    by a compatible build.  The stored value is opaque to this module
+    (the CLI stores its analysis-summary JSON).
+
+    Robustness contract, exercised by the crash-injection fuzz matrix:
+
+    - writes are atomic ({!Snapshot.write}: tmp file + rename), so a
+      crash mid-store leaves at worst a stray [.tmp.*] file, never a
+      half-written entry;
+    - a corrupt entry (truncated, bit-flipped, foreign, or of a stale
+      schema version) is detected by the {!Snapshot} container checks,
+      {e quarantined} (moved aside into [quarantine/]) and reported as a
+      miss — never an exception, never a wrong hit;
+    - lookups and stores count into the owning {!Trace.t} as
+      [cache.hit] / [cache.miss] / [cache.evict] / [cache.corrupt]. *)
+
+type t
+
+val create : ?trace:Trace.t -> ?max_entries:int -> string -> t
+(** [create dir] opens (creating directories as needed) a cache rooted at
+    [dir].  [max_entries] (default 512) caps the number of entries;
+    {!store} evicts the least-recently-used entries beyond it.  [trace]
+    receives the [cache.*] counters. *)
+
+val dir : t -> string
+
+val quarantine_dir : t -> string
+(** Where corrupt entries are moved ([<dir>/quarantine]). *)
+
+val key : config:Config.t -> source:string -> string
+(** The content hash (hex): digest of the source bytes, every
+    configuration field (including the budget — a degraded result must
+    not be served to an unlimited run), and the cache schema version. *)
+
+val entry_path : t -> string -> string
+(** The file a key is stored at (exposed so tests can corrupt it). *)
+
+val find : t -> string -> string option
+(** [find t k] returns the stored value, or [None] on a miss.  Corrupt
+    entries are quarantined and reported as misses.  A hit refreshes the
+    entry's LRU clock. *)
+
+val store : t -> string -> string -> (unit, Snapshot.error) result
+(** [store t k v] atomically persists [v] under [k], then evicts
+    least-recently-used entries past [max_entries].  Errors are reported
+    (and counted) but leave the cache consistent. *)

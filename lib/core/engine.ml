@@ -43,6 +43,11 @@ type rtask =
   | RInput of Flow.t * Vstate.t
   | RNotify of Flow.t
 
+(** How {!run} ended: at the fixed point, or — in pause-on-budget mode —
+    suspended at a task boundary with the whole solver state serialized
+    ({!of_snapshot_bytes} continues to the {e identical} fixed point). *)
+type outcome = Completed | Paused of string
+
 (** Work and graph-growth accounting, snapshotted from the engine's
     {!Trace} counter registry by {!stats}.  The record is immutable: the
     live, always-updating values are the registry counters themselves
@@ -62,6 +67,8 @@ type stats = {
   max_queue : int;
   live_flows : int;  (** flows created across all reachable PVPGs *)
   budget_trips : int;  (** budget-cap trip events (0 or 1 per run) *)
+  trip_tasks : int;  (** tasks drained when the first cap tripped (0: no trip) *)
+  trip_flows : int;  (** live flows when the first cap tripped (0: no trip) *)
   degraded : bool;  (** a budget trip switched the run to degradation mode *)
   first_trip : Budget.trip option;  (** which cap tripped first *)
 }
@@ -84,6 +91,8 @@ type counters = {
   c_max_queue : Trace.counter;
   c_live_flows : Trace.counter;
   c_budget_trips : Trace.counter;
+  c_trip_tasks : Trace.counter;
+  c_trip_flows : Trace.counter;
   c_build_us : Trace.counter;
       (** wall time spent constructing PVPGs, accumulated across every
           {!Build.run} call (only ticks when the trace has timers on) *)
@@ -103,6 +112,8 @@ let register_counters tr =
     c_max_queue = Trace.counter tr "engine.max_queue";
     c_live_flows = Trace.counter tr "engine.live_flows";
     c_budget_trips = Trace.counter tr "engine.budget_trips";
+    c_trip_tasks = Trace.counter tr "engine.trip_tasks";
+    c_trip_flows = Trace.counter tr "engine.trip_flows";
     c_build_us = Trace.counter tr "build.wall_us";
   }
 
@@ -136,6 +147,14 @@ type t = {
           OCaml stack bounded on deep predicate/call chains *)
   mutable degraded : bool;  (** a budget trip switched the run to degradation mode *)
   mutable first_trip : Budget.trip option;  (** which cap tripped first *)
+  mutable probe : unit -> unit;
+      (** in-flight budget probe, installed by {!run} for the duration of
+          the drain and called inside the invoke/field re-resolution loops
+          so a single mega-flow cannot overshoot the budget by more than
+          one link's worth of work; a no-op outside a run *)
+  mutable pause_pending : bool;
+      (** pause-on-budget mode: a cap tripped; stop at the next task
+          boundary and snapshot instead of degrading *)
 }
 
 let flow_meth_id (f : Flow.t) =
@@ -477,7 +496,11 @@ and try_link t (f : Flow.t) =
           (fun c ->
             if not (Program.is_null_class c) then
               match Program.resolve t.prog ~recv_cls:c ~target:inv.Flow.inv_target with
-              | Some callee -> link_callee t f inv callee
+              | Some callee ->
+                  link_callee t f inv callee;
+                  (* a single invoke task can resolve arbitrarily many
+                     callees; let the budget see each one *)
+                  t.probe ()
               | None -> ())
           fresh
       end
@@ -519,9 +542,10 @@ and try_field t (f : Flow.t) =
                     fa.Flow.fa_linked <-
                       Ids.Field.Set.add fld.Program.f_id fa.Flow.fa_linked;
                     let ff = field_flow t fld.Program.f_id in
-                    match f.Flow.kind with
+                    (match f.Flow.kind with
                     | Flow.Field_load _ -> Edges.use_edge ~emit:t.emit ff f
-                    | _ -> Edges.use_edge ~emit:t.emit f ff
+                    | _ -> Edges.use_edge ~emit:t.emit f ff);
+                    t.probe ()
                   end
               | None -> ())
           tyset
@@ -577,6 +601,8 @@ let degrade t (trip : Budget.trip) =
   if not t.degraded then begin
     t.degraded <- true;
     t.first_trip <- Some trip;
+    Trace.record_max t.c.c_trip_tasks (Trace.value t.c.c_tasks);
+    Trace.record_max t.c.c_trip_flows (Trace.value t.c.c_live_flows);
     (* iterate a snapshot of the discovery list, not the table: degrading
        a flow can link new callees synchronously, growing [t.graphs]
        mid-walk (methods added during the walk are degraded on arrival by
@@ -616,11 +642,143 @@ let create ?(mode = Dedup) ?trace prog config =
       sync_depth = 0;
       degraded = false;
       first_trip = None;
+      probe = (fun () -> ());
+      pause_pending = false;
     }
   in
   t.emit <-
     { Edges.input = emit_input t; enable = emit_enable t; notify = emit_notify t };
   t
+
+(* --------------------------- checkpointing ---------------------------- *)
+
+(** The marshalable image of a paused engine: every piece of [t] except
+    the trace registry (counters travel as a name/value list), the
+    worklist/queue containers (pending work travels as the flows / boxed
+    tasks themselves, dirty bits intact), and the [emit] closures
+    (re-tied by {!restore}, like {!create} does).  Flow ids are
+    process-global, so the image also records the id counter and the
+    worklist base; {!restore} bumps {!Flow.next_id} so ids minted after a
+    resume never collide with snapshotted ones. *)
+type frozen = {
+  fz_prog : Program.t;
+  fz_config : Config.t;
+  fz_mode : mode;
+  fz_graphs : Graph.method_graph Ids.Meth.Tbl.t;
+  fz_reachable_order : Program.meth list;
+  fz_roots : Ids.Meth.Set.t;
+  fz_field_flows : Flow.t Ids.Field.Tbl.t;
+  fz_all_inst : Flow.t Ids.Class.Tbl.t;
+  fz_all_inst_rev : Flow.t list array;
+  fz_all_inst_any : Flow.t;
+  fz_instantiated : Typeset.t;
+  fz_pred_on : Flow.t;
+  fz_pending : Flow.t array;  (** worklist contents, queue order *)
+  fz_rpending : rtask list;  (** reference-mode queue contents *)
+  fz_counters : (string * int) list;
+  fz_wl_base : int;
+  fz_next_flow_id : int;
+  fz_degraded : bool;
+  fz_first_trip : Budget.trip option;
+}
+
+let capture t =
+  {
+    fz_prog = t.prog;
+    fz_config = t.config;
+    fz_mode = t.mode;
+    fz_graphs = t.graphs;
+    fz_reachable_order = t.reachable_order;
+    fz_roots = t.roots;
+    fz_field_flows = t.field_flows;
+    fz_all_inst = t.all_inst;
+    fz_all_inst_rev = t.all_inst_rev;
+    fz_all_inst_any = t.all_inst_any;
+    fz_instantiated = t.instantiated;
+    fz_pred_on = t.pred_on;
+    fz_pending = Worklist.pending t.wl;
+    fz_rpending = List.of_seq (Queue.to_seq t.rqueue);
+    fz_counters = Trace.counters t.trace;
+    fz_wl_base = Worklist.base t.wl;
+    fz_next_flow_id = !Flow.next_id;
+    fz_degraded = t.degraded;
+    fz_first_trip = t.first_trip;
+  }
+
+(** Every shared structure — flows appearing both in graphs and in edge
+    lists, global tables, the pending queue — is one object graph,
+    marshaled in a single call, so sharing and cycles survive the round
+    trip.  [frozen] holds no closures (the Marshal invariant). *)
+let snapshot_bytes t = Marshal.to_string (capture t) []
+
+let restore ?trace ?budget fz =
+  (* ids minted after the resume must not collide with restored flows:
+     the worklist side table is indexed by [id - base] *)
+  if !Flow.next_id < fz.fz_next_flow_id then Flow.next_id := fz.fz_next_flow_id;
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  let config =
+    match budget with
+    | None -> fz.fz_config
+    | Some b -> { fz.fz_config with Config.budget = b }
+  in
+  ignore (Program.freeze fz.fz_prog);
+  let t =
+    {
+      prog = fz.fz_prog;
+      config;
+      masks = Masks.compute fz.fz_prog;
+      mode = fz.fz_mode;
+      trace;
+      c = register_counters trace;
+      wl = Worklist.create ~base:fz.fz_wl_base ();
+      rqueue = Queue.create ();
+      emit = Edges.null_emit;
+      graphs = fz.fz_graphs;
+      reachable_order = fz.fz_reachable_order;
+      roots = fz.fz_roots;
+      field_flows = fz.fz_field_flows;
+      all_inst = fz.fz_all_inst;
+      all_inst_rev = fz.fz_all_inst_rev;
+      all_inst_any = fz.fz_all_inst_any;
+      instantiated = fz.fz_instantiated;
+      pred_on = fz.fz_pred_on;
+      sync_depth = 0;
+      degraded = fz.fz_degraded;
+      first_trip = fz.fz_first_trip;
+      probe = (fun () -> ());
+      pause_pending = false;
+    }
+  in
+  t.emit <-
+    { Edges.input = emit_input t; enable = emit_enable t; notify = emit_notify t };
+  (* the resumed run's counters continue from the snapshotted values *)
+  List.iter
+    (fun (name, v) -> if v <> 0 then Trace.add (Trace.counter trace name) v)
+    fz.fz_counters;
+  (* pending flows still carry their dirty bits; re-ring them in order *)
+  Array.iter (fun f -> Worklist.push t.wl f) fz.fz_pending;
+  List.iter (fun task -> Queue.add task t.rqueue) fz.fz_rpending;
+  t
+
+let snapshot_kind = "engine-state"
+let snapshot_version = 1
+
+let of_snapshot_bytes ?trace ?budget s =
+  match (Marshal.from_string s 0 : frozen) with
+  | exception _ -> Error "cannot decode engine snapshot payload"
+  | fz -> Ok (restore ?trace ?budget fz)
+
+let save_snapshot t ~path =
+  Snapshot.write ~path ~kind:snapshot_kind ~version:snapshot_version
+    (snapshot_bytes t)
+
+let load_snapshot ?trace ?budget path =
+  match Snapshot.read ~path ~kind:snapshot_kind ~version:snapshot_version with
+  | Error e -> Error e
+  | Ok payload -> (
+      match of_snapshot_bytes ?trace ?budget payload with
+      | Ok t -> Ok t
+      | Error message -> Error (Snapshot.Bad_payload { path; message }))
 
 (* ------------------------------ driver -------------------------------- *)
 
@@ -677,7 +835,8 @@ let process_rtask t task =
       Trace.incr t.c.c_notify;
       notify t f
 
-(** [run ?random_order t] drains the worklist to the fixed point.
+(** [run ?random_order ?on_budget t] drains the worklist to the fixed
+    point.
 
     By default pending work is processed FIFO.  With [random_order:seed]
     pending entries are picked pseudo-randomly instead — the fixed point
@@ -685,35 +844,80 @@ let process_rtask t task =
     finite lattice), which the property-test suite verifies by comparing
     runs.
 
-    The run is subject to [t.config.budget]: when a cap trips, the engine
-    switches to degradation mode ({!degrade}) and finishes at a sound but
-    coarser fixed point instead of aborting. *)
-let run ?random_order t =
+    The run is subject to [t.config.budget].  When a cap trips, the
+    reaction is [on_budget]:
+
+    - [`Degrade] (default): switch to degradation mode ({!degrade}) and
+      finish at a sound but coarser fixed point instead of aborting;
+    - [`Pause]: stop at the next task boundary and return
+      [Paused (snapshot)] — no state is widened, and resuming the
+      snapshot ({!of_snapshot_bytes} + [run]) continues to the
+      {e identical} fixed point, because a fixed point of a monotone
+      chaotic iteration does not depend on where the drain was cut.
+
+    Budget checks run after every drained entry and, through the in-task
+    probe, after every interprocedural link, so even a single task that
+    resolves many callees cannot overshoot a cap by more than one link's
+    worth of work.  Once degraded (or once a pause is pending), checks
+    stop and the remaining drain runs to its boundary so the final state
+    is consistent. *)
+let run ?random_order ?(on_budget = `Degrade) t =
   let budget = t.config.Config.budget in
   let start = Unix.gettimeofday () in
   let elapsed_s () = Unix.gettimeofday () -. start in
-  (* Checked after every drained entry while un-degraded; once degraded,
-     the remaining (fast: everything is saturated) drain runs to
-     completion so the final state is a genuine fixed point. *)
+  let trip_reaction trip =
+    match on_budget with
+    | `Degrade -> degrade t trip
+    | `Pause ->
+        if not t.pause_pending then begin
+          t.pause_pending <- true;
+          Trace.incr t.c.c_budget_trips;
+          if t.first_trip = None then t.first_trip <- Some trip;
+          Trace.record_max t.c.c_trip_tasks (Trace.value t.c.c_tasks);
+          Trace.record_max t.c.c_trip_flows (Trace.value t.c.c_live_flows);
+          if Trace.events_on t.trace then
+            Trace.event t.trace ~kind:"pause"
+              ~arg:
+                (match trip with
+                | Budget.Tasks -> 0
+                | Budget.Seconds -> 1
+                | Budget.Flows -> 2)
+              ()
+        end
+  in
+  let live () = (not t.degraded) && not t.pause_pending in
   let step_budget () =
-    if (not t.degraded) && not (Budget.is_unlimited budget) then
+    if live () && not (Budget.is_unlimited budget) then
       match
         Budget.check budget ~tasks:(Trace.value t.c.c_tasks)
           ~flows:(Trace.value t.c.c_live_flows) ~elapsed_s
       with
-      | Some trip -> degrade t trip
+      | Some trip -> trip_reaction trip
       | None -> ()
   in
+  (* installed on [t] for the duration of the run; called from the
+     invoke/field re-resolution loops (see {!Budget.check_work}) *)
+  let probe () =
+    if live () && not (Budget.is_unlimited budget) then
+      match
+        Budget.check_work budget ~tasks:(Trace.value t.c.c_tasks)
+          ~links:(Trace.value t.c.c_links)
+          ~flows:(Trace.value t.c.c_live_flows) ~elapsed_s
+      with
+      | Some trip -> trip_reaction trip
+      | None -> ()
+  in
+  t.probe <- probe;
   let drain_fifo () =
     match t.mode with
     | Dedup ->
-        while not (Worklist.is_empty t.wl) do
+        while (not t.pause_pending) && not (Worklist.is_empty t.wl) do
           process_flow t (Worklist.pop_exn t.wl);
           step_budget ()
         done
     | Reference ->
         let continue_ = ref true in
-        while !continue_ do
+        while !continue_ && not t.pause_pending do
           match Queue.take_opt t.rqueue with
           | None -> continue_ := false
           | Some task ->
@@ -731,8 +935,10 @@ let run ?random_order t =
       state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
       !state mod bound
     in
-    let swap_drain : 'a. 'a array ref -> int ref -> (unit -> unit) -> ('a -> unit) -> unit =
-     fun bag len refill process ->
+    let swap_drain :
+        'a. 'a array ref -> int ref -> (unit -> unit) -> ('a -> unit) ->
+        ('a -> unit) -> unit =
+     fun bag len refill process reschedule ->
       refill ();
       while !len > 0 do
         let i = next !len in
@@ -741,7 +947,15 @@ let run ?random_order t =
         decr len;
         process x;
         step_budget ();
-        if !len = 0 then refill ()
+        if t.pause_pending then begin
+          (* hand the still-bagged entries back to the queue so the
+             snapshot sees them as pending work *)
+          for k = 0 to !len - 1 do
+            reschedule !bag.(k)
+          done;
+          len := 0
+        end
+        else if !len = 0 then refill ()
       done
     in
     match t.mode with
@@ -754,7 +968,7 @@ let run ?random_order t =
             len := Array.length a
           end
         in
-        swap_drain bag len refill (process_flow t)
+        swap_drain bag len refill (process_flow t) (Worklist.push t.wl)
     | Reference ->
         let bag = ref [||] and len = ref 0 in
         let refill () =
@@ -764,13 +978,19 @@ let run ?random_order t =
             len := l
           end
         in
-        swap_drain bag len refill (process_rtask t)
+        swap_drain bag len refill (process_rtask t) (fun task ->
+            Queue.add task t.rqueue)
   in
   let drain () =
     match random_order with None -> drain_fifo () | Some s -> drain_random s
   in
   drain ();
-  if t.degraded then begin
+  if t.pause_pending then begin
+    t.pause_pending <- false;
+    t.probe <- (fun () -> ());
+    Paused (snapshot_bytes t)
+  end
+  else if t.degraded then begin
     (* Degradation introduces [Any] object states.  An invoke (or field
        access) observing an [Any] receiver no longer sees incremental
        notifications when further types are instantiated (its receiver
@@ -805,7 +1025,13 @@ let run ?random_order t =
       let s = signature () in
       if s <> prev then close s
     in
-    close (signature ())
+    close (signature ());
+    t.probe <- (fun () -> ());
+    Completed
+  end
+  else begin
+    t.probe <- (fun () -> ());
+    Completed
   end
 
 (* ------------------------------ results ------------------------------- *)
@@ -850,6 +1076,8 @@ let stats t =
     max_queue = Trace.value t.c.c_max_queue;
     live_flows = Trace.value t.c.c_live_flows;
     budget_trips = Trace.value t.c.c_budget_trips;
+    trip_tasks = Trace.value t.c.c_trip_tasks;
+    trip_flows = Trace.value t.c.c_trip_flows;
     degraded = t.degraded;
     first_trip = t.first_trip;
   }

@@ -22,6 +22,14 @@
     baseline.  Both modes reach bit-identical fixed points. *)
 type mode = Dedup | Reference
 
+(** How {!run} ended.  [Paused payload] is returned only in
+    pause-on-budget mode: the engine stopped at a task boundary and
+    [payload] is its complete serialized state — feed it to
+    {!of_snapshot_bytes} (or persist it with {!Snapshot.write} /
+    {!save_snapshot}) and [run] the restored engine to continue to the
+    {e identical} fixed point. *)
+type outcome = Completed | Paused of string
+
 (** An immutable snapshot of the run's counters (see {!Trace}); the
     engine's live accounting is a set of registered {!Trace.counter}s in
     the trace passed to {!create}, under the ["engine."] name prefix. *)
@@ -40,6 +48,13 @@ type stats = {
   max_queue : int;
   live_flows : int;  (** flows created across all reachable PVPGs *)
   budget_trips : int;  (** budget-cap trip events (0 or 1 per run) *)
+  trip_tasks : int;
+      (** tasks drained when the first cap tripped (0 when none did) —
+          with {!Budget.check_work} probing inside the re-resolution
+          loops, bounded by the cap plus one task's pre-trip links *)
+  trip_flows : int;
+      (** live flows when the first cap tripped (0 when none did); the
+          budget regression test pins its distance from [max_flows] *)
   degraded : bool;  (** a budget trip switched the run to degradation mode *)
   first_trip : Budget.trip option;  (** which cap tripped first *)
 }
@@ -63,17 +78,73 @@ val add_root : ?seed_params:bool -> t -> Skipflow_ir.Program.meth -> unit
     instantiated subtypes of their declared type and primitives with
     [Any] — the Section 5 reflection/JNI root policy. *)
 
-val run : ?random_order:int -> t -> unit
+val run : ?random_order:int -> ?on_budget:[ `Degrade | `Pause ] -> t -> outcome
 (** Drain the worklist to the fixed point.  With [random_order:seed],
     pending work is picked pseudo-randomly instead of FIFO; the fixed
     point must not change (checked by the property tests).
 
-    The run honors the configuration's {!Budget.t}: when a cap trips, the
-    engine does not abort — it switches to degradation mode (all flows
-    enabled, object flows saturated to the all-instantiated set, primitive
-    flows widened to [Any]) and finishes at a sound but coarser fixed
-    point.  [stats.degraded] records that this happened; the degraded
-    reachable-method set is always a superset of the precise one. *)
+    The run honors the configuration's {!Budget.t}; [on_budget] selects
+    the reaction when a cap trips:
+
+    - [`Degrade] (default): the engine does not abort — it switches to
+      degradation mode (all flows enabled, object flows saturated to the
+      all-instantiated set, primitive flows widened to [Any]) and
+      finishes at a sound but coarser fixed point.  [stats.degraded]
+      records that this happened; the degraded reachable-method set is
+      always a superset of the precise one.
+    - [`Pause]: nothing is widened — the engine stops at the next task
+      boundary and returns [Paused snapshot].  Resuming the snapshot
+      (under a larger or unlimited budget) continues to the identical
+      fixed point, flow by flow.
+
+    Budget caps are checked after every drained task {e and}, via an
+    in-task probe, after every interprocedural link
+    ({!Budget.check_work}), so a single invoke resolving many callees
+    cannot overshoot a cap unboundedly. *)
+
+(** {2 Checkpointing}
+
+    A paused engine serializes to a byte string (all solver state: flow
+    value states, predicate enablement, pending dirty work in queue
+    order, link/seen sets, saturation flags, counters).  The bytes are a
+    [Marshal] image — treat them as opaque and, when persisting, wrap
+    them in the {!Snapshot} container ({!save_snapshot} /
+    {!load_snapshot}), which adds the magic, schema version, and CRC that
+    make stale or corrupt files a reported error instead of undefined
+    behavior. *)
+
+val snapshot_kind : string
+(** The {!Snapshot} container kind tag for engine state (["engine-state"]). *)
+
+val snapshot_version : int
+(** The engine-state payload schema version; {!load_snapshot} rejects
+    files written by a build with a different one. *)
+
+val snapshot_bytes : t -> string
+(** Serialize the engine's complete solver state (non-destructively; the
+    engine remains usable).  Meaningful at task boundaries — i.e. on a
+    fresh engine, after [run] returned, or on the engine a [Paused]
+    outcome was produced from. *)
+
+val of_snapshot_bytes :
+  ?trace:Trace.t -> ?budget:Budget.t -> string -> (t, string) result
+(** Rebuild an engine from {!snapshot_bytes} output (or a [Paused]
+    payload).  [trace] (default: a fresh quiet one) receives the restored
+    counter values, so a resumed run's totals continue from the paused
+    run's.  [budget] replaces the snapshotted configuration's budget —
+    pass {!Budget.unlimited} to let the resumed run finish.  Returns
+    [Error message] if the bytes cannot be decoded. *)
+
+val save_snapshot : t -> path:string -> (unit, Snapshot.error) result
+(** {!snapshot_bytes} wrapped in the {!Snapshot} container (kind
+    ["engine-state"]), written atomically. *)
+
+val load_snapshot :
+  ?trace:Trace.t -> ?budget:Budget.t -> string -> (t, Snapshot.error) result
+(** Read back a {!save_snapshot} file.  Truncation, bit flips, foreign
+    files, and stale schema versions come back as the corresponding
+    {!Snapshot.error}; an intact container whose payload fails to decode
+    is {!Snapshot.Bad_payload}. *)
 
 (** {2 Results} *)
 

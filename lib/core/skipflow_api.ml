@@ -45,9 +45,19 @@ let exit_code_of_error = function
   | Io_error _ | Compile_error _ | Unknown_root _ | No_main -> 2
   | Internal_error _ -> 1
 
+(** Stable machine-readable tag, one per variant — what the CLI's JSON
+    error object (and the batch journal) carries. *)
+let error_kind = function
+  | Io_error _ -> "io_error"
+  | Compile_error _ -> "compile_error"
+  | Unknown_root _ -> "unknown_root"
+  | No_main -> "no_main"
+  | Internal_error _ -> "internal_error"
+
 type summary = {
   config : Config.t;
   engine : Engine.t;
+  outcome : Engine.outcome;
   metrics : Metrics.t;
   trace : Trace.t;
   reachable : string list;
@@ -90,23 +100,36 @@ let resolve_roots prog = function
       | Ok ms -> Ok ms
       | Error msg -> Error (Unknown_root msg))
 
-let analyze_program ?config ?mode ?random_order ?trace prog ~roots =
+let summary_of_result ~trace ~w0 ~c0 (r : Analysis.result) =
+  {
+    config = r.Analysis.config;
+    engine = r.Analysis.engine;
+    outcome = r.Analysis.outcome;
+    metrics = r.Analysis.metrics;
+    trace;
+    reachable = Analysis.reachable_names r;
+    wall_s = Unix.gettimeofday () -. w0;
+    cpu_s = Sys.time () -. c0;
+  }
+
+let analyze_program ?config ?mode ?random_order ?on_budget ?trace prog ~roots =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
   guard (fun () ->
       let w0 = Unix.gettimeofday () and c0 = Sys.time () in
-      let r = Analysis.run ?config ?mode ?random_order ~trace prog ~roots in
-      Ok
-        {
-          config = r.Analysis.config;
-          engine = r.Analysis.engine;
-          metrics = r.Analysis.metrics;
-          trace;
-          reachable = Analysis.reachable_names r;
-          wall_s = Unix.gettimeofday () -. w0;
-          cpu_s = Sys.time () -. c0;
-        })
+      let r =
+        Analysis.run ?config ?mode ?random_order ?on_budget ~trace prog ~roots
+      in
+      Ok (summary_of_result ~trace ~w0 ~c0 r))
 
-let analyze ?config ?mode ?random_order ?trace ~source ~roots () =
+let resume_snapshot ?budget ?random_order ?on_budget ?trace bytes =
+  let trace = match trace with Some tr -> tr | None -> Trace.create () in
+  guard (fun () ->
+      let w0 = Unix.gettimeofday () and c0 = Sys.time () in
+      match Analysis.resume ?budget ?random_order ?on_budget ~trace bytes with
+      | Error msg -> Error (Internal_error msg)
+      | Ok r -> Ok (summary_of_result ~trace ~w0 ~c0 r))
+
+let analyze ?config ?mode ?random_order ?on_budget ?trace ~source ~roots () =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
   guard (fun () ->
       let w0 = Unix.gettimeofday () and c0 = Sys.time () in
@@ -117,8 +140,8 @@ let analyze ?config ?mode ?random_order ?trace ~source ~roots () =
           | Error e -> Error e
           | Ok root_meths -> (
               match
-                analyze_program ?config ?mode ?random_order ~trace prog
-                  ~roots:root_meths
+                analyze_program ?config ?mode ?random_order ?on_budget ~trace
+                  prog ~roots:root_meths
               with
               | Error e -> Error e
               | Ok s ->

@@ -62,11 +62,20 @@ val exit_code_of_error : error -> int
     of the caller, applied to an [Ok] summary via
     {!Metrics.t}[.degraded].) *)
 
+val error_kind : error -> string
+(** A stable machine-readable tag for each variant — ["io_error"],
+    ["compile_error"], ["unknown_root"], ["no_main"],
+    ["internal_error"] — used by the CLI's JSON error objects and the
+    batch journal. *)
+
 (** {1 Results} *)
 
 type summary = {
   config : Config.t;
   engine : Engine.t;  (** the solved engine (reachable set, flow states) *)
+  outcome : Engine.outcome;
+      (** {!Engine.Paused} only under [on_budget:`Pause]; resume with
+          {!resume_snapshot} *)
   metrics : Metrics.t;
   trace : Trace.t;  (** counters always; phases/events when enabled *)
   reachable : string list;  (** qualified reachable-method names, in
@@ -94,6 +103,7 @@ val analyze :
   ?config:Config.t ->
   ?mode:Engine.mode ->
   ?random_order:int ->
+  ?on_budget:[ `Degrade | `Pause ] ->
   ?trace:Trace.t ->
   source:source ->
   roots:string list ->
@@ -101,16 +111,32 @@ val analyze :
   (summary, error) result
 (** The full pipeline: {!compile}, {!resolve_roots}, solve, metrics.
     Defaults: [config] {!Config.skipflow}, [mode] {!Engine.Dedup}, a
-    fresh quiet trace.  (The trailing [unit] makes the optional arguments
-    erasable — all other parameters are labeled.) *)
+    fresh quiet trace.  [on_budget] is {!Engine.run}'s budget-trip
+    reaction: [`Degrade] (default) or [`Pause] (the summary then carries
+    [outcome = Paused snapshot]).  (The trailing [unit] makes the
+    optional arguments erasable — all other parameters are labeled.) *)
 
 val analyze_program :
   ?config:Config.t ->
   ?mode:Engine.mode ->
   ?random_order:int ->
+  ?on_budget:[ `Degrade | `Pause ] ->
   ?trace:Trace.t ->
   Skipflow_ir.Program.t ->
   roots:Skipflow_ir.Program.meth list ->
   (summary, error) result
 (** {!analyze} for an already-lowered program with resolved root methods
     (workload generators hand these out directly). *)
+
+val resume_snapshot :
+  ?budget:Budget.t ->
+  ?random_order:int ->
+  ?on_budget:[ `Degrade | `Pause ] ->
+  ?trace:Trace.t ->
+  string ->
+  (summary, error) result
+(** Continue a paused solve from a {!Engine.Paused} payload.  [budget]
+    (commonly {!Budget.unlimited}) replaces the snapshotted budget so the
+    resumed run can finish; an undecodable payload is an
+    {!Internal_error}.  The resumed fixed point is identical, flow by
+    flow, to an uninterrupted run's. *)

@@ -1,0 +1,149 @@
+(** Versioned, checksummed on-disk blobs (see the interface for the
+    format contract).  Layout, all integers little-endian:
+
+    {v
+    offset  size  field
+    0       8     magic "SKFBLOB\x01"
+    8       1     kind length K (<= 255)
+    9       K     kind bytes (ASCII tag)
+    9+K     4     schema version (caller-owned, per kind)
+    13+K    8     payload length N
+    21+K    4     CRC-32 of the payload
+    25+K    N     payload
+    v} *)
+
+type error =
+  | Io of { path : string; message : string }
+  | Truncated of { path : string; expected : int; got : int }
+  | Bad_magic of { path : string }
+  | Bad_kind of { path : string; found : string; expected : string }
+  | Bad_version of { path : string; found : int; expected : int }
+  | Bad_checksum of { path : string }
+  | Bad_payload of { path : string; message : string }
+
+let error_message = function
+  | Io { path; message } -> Printf.sprintf "%s: %s" path message
+  | Truncated { path; expected; got } ->
+      Printf.sprintf "%s: truncated blob (need %d bytes, have %d)" path expected got
+  | Bad_magic { path } -> Printf.sprintf "%s: not a SkipFlow blob (bad magic)" path
+  | Bad_kind { path; found; expected } ->
+      Printf.sprintf "%s: blob kind %S where %S was expected" path found expected
+  | Bad_version { path; found; expected } ->
+      Printf.sprintf "%s: unsupported schema version %d (this build reads %d)" path
+        found expected
+  | Bad_checksum { path } -> Printf.sprintf "%s: payload checksum mismatch" path
+  | Bad_payload { path; message } -> Printf.sprintf "%s: bad payload: %s" path message
+
+let magic = "SKFBLOB\x01"
+
+(* ------------------------------ CRC-32 -------------------------------- *)
+
+(* IEEE 802.3, reflected polynomial; the table is built once on first
+   use.  Kept dependency-free on purpose (no zlib binding in the tree). *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ------------------------------- write -------------------------------- *)
+
+let put_u32 b v =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let put_u64 b v =
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let encode ~kind ~version payload =
+  if String.length kind > 255 then invalid_arg "Snapshot.write: kind too long";
+  let b = Buffer.create (32 + String.length payload) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr (String.length kind));
+  Buffer.add_string b kind;
+  put_u32 b version;
+  put_u64 b (String.length payload);
+  put_u32 b (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let write ~path ~kind ~version payload =
+  let bytes = encode ~kind ~version payload in
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  try
+    let oc = open_out_bin tmp in
+    (try
+       output_string oc bytes;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       raise e);
+    Sys.rename tmp path;
+    Ok ()
+  with
+  | Sys_error message | Failure message ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Io { path; message })
+  | Unix.Unix_error (e, _, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      Error (Io { path; message = Unix.error_message e })
+
+(* -------------------------------- read -------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let get_u32 s off =
+  let b i = Char.code s.[off + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let get_u64 s off = get_u32 s off lor (get_u32 s (off + 4) lsl 32)
+
+let read ~path ~kind ~version =
+  match read_file path with
+  | exception Sys_error message -> Error (Io { path; message })
+  | exception End_of_file ->
+      Error (Truncated { path; expected = String.length magic; got = 0 })
+  | s ->
+      let len = String.length s in
+      let need n = if len < n then Error (Truncated { path; expected = n; got = len }) else Ok () in
+      let ( let* ) = Result.bind in
+      let* () = need (String.length magic + 1) in
+      if String.sub s 0 (String.length magic) <> magic then Error (Bad_magic { path })
+      else
+        let klen = Char.code s.[8] in
+        let* () = need (9 + klen + 16) in
+        let found_kind = String.sub s 9 klen in
+        if found_kind <> kind then
+          Error (Bad_kind { path; found = found_kind; expected = kind })
+        else
+          let found_version = get_u32 s (9 + klen) in
+          if found_version <> version then
+            Error (Bad_version { path; found = found_version; expected = version })
+          else
+            let plen = get_u64 s (13 + klen) in
+            let crc = get_u32 s (21 + klen) in
+            let start = 25 + klen in
+            if plen < 0 || plen > len - start then
+              Error (Truncated { path; expected = start + plen; got = len })
+            else
+              let payload = String.sub s start plen in
+              if crc32 payload <> crc then Error (Bad_checksum { path })
+              else Ok payload

@@ -1,0 +1,50 @@
+(** Versioned, checksummed on-disk blobs — the shared container format
+    for solver snapshots ({!Engine.save_snapshot}) and result-cache
+    entries ({!Cache}).
+
+    A blob is a header (magic, a short ASCII {e kind} tag, a caller-owned
+    schema version, the payload length) followed by the payload and
+    guarded by a CRC-32 of the payload.  Writes are {e atomic}: the bytes
+    go to a temporary file in the target directory which is then
+    [rename]d over the destination, so a reader never observes a
+    half-written blob and a crash mid-write leaves at worst a stray
+    [.tmp.*] file.
+
+    Reads are {e total}: every way a file can be wrong — unreadable,
+    truncated (including mid-header), foreign (bad magic), of another
+    kind, of an unknown schema version, or bit-flipped anywhere in the
+    payload — comes back as a typed {!error}, never an exception.  This
+    is the contract the crash-injection fuzz matrix exercises. *)
+
+type error =
+  | Io of { path : string; message : string }
+      (** the file could not be read or written *)
+  | Truncated of { path : string; expected : int; got : int }
+      (** shorter than its header claims (or than any valid header) *)
+  | Bad_magic of { path : string }  (** not a SkipFlow blob at all *)
+  | Bad_kind of { path : string; found : string; expected : string }
+      (** a valid blob of another kind (e.g. a cache entry offered as an
+          engine snapshot) *)
+  | Bad_version of { path : string; found : int; expected : int }
+      (** stale or future schema; the payload layout cannot be trusted *)
+  | Bad_checksum of { path : string }
+      (** payload CRC-32 mismatch: bit rot or a torn write *)
+  | Bad_payload of { path : string; message : string }
+      (** the container was intact but the payload failed to decode
+          (raised by the caller's decoder, e.g. {!Engine.load_snapshot}) *)
+
+val error_message : error -> string
+(** One-line human-readable rendering, prefixed with the path. *)
+
+val write : path:string -> kind:string -> version:int -> string -> (unit, error) result
+(** [write ~path ~kind ~version payload] atomically writes a blob.
+    [kind] is a short ASCII tag (at most 255 bytes) naming the payload
+    schema; [version] is the caller's schema version for that kind. *)
+
+val read : path:string -> kind:string -> version:int -> (string, error) result
+(** [read ~path ~kind ~version] loads and verifies a blob, returning the
+    payload.  Rejects wrong kinds, wrong versions, truncation, and
+    checksum mismatches with the corresponding {!error}. *)
+
+val crc32 : string -> int
+(** CRC-32 (IEEE 802.3) of a string, exposed for tests. *)

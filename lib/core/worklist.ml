@@ -24,16 +24,23 @@ type t = {
 
 let initial_capacity = 1024
 
-let create () =
+let create ?base () =
   let dummy = Flow.make Flow.Pred_on in
+  (* the dummy flow above just consumed an id, so the default base is the
+     next id that can still be handed out; a resume ({!Engine.restore})
+     passes the paused worklist's base instead, because the flows it will
+     re-push were created in the snapshotted process *)
+  let base = match base with Some b -> b | None -> !Flow.next_id + 1 in
   {
     ring = Array.make initial_capacity 0;
     head = 0;
     size = 0;
     flows = Array.make initial_capacity dummy;
-    base = !Flow.next_id + 1;
+    base;
     dummy;
   }
+
+let base t = t.base
 
 let length t = t.size
 let is_empty t = t.size = 0
@@ -74,6 +81,13 @@ let pop_exn t =
   t.head <- (t.head + 1) land (Array.length t.ring - 1);
   t.size <- t.size - 1;
   t.flows.(id - t.base)
+
+(** [pending t] returns the pending flows in queue order without removing
+    them ({!Engine.snapshot_bytes} serializing a paused engine). *)
+let pending t =
+  let cap = Array.length t.ring in
+  Array.init t.size (fun k ->
+      t.flows.(t.ring.((t.head + k) land (cap - 1)) - t.base))
 
 (** [pop_all t] empties the worklist and returns the pending flows in
     queue order (the random-order drain's refill). *)

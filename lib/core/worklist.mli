@@ -13,7 +13,13 @@
 
 type t
 
-val create : unit -> t
+val create : ?base:int -> unit -> t
+(** [base] (default: the next {!Flow} id that will be allocated) is the
+    smallest flow id this worklist may ever see; every pushed flow must
+    have [id >= base].  {!Engine.load_snapshot} passes the snapshotted
+    worklist's base so restored flows keep their dense side-table slots. *)
+
+val base : t -> int
 
 val length : t -> int
 val is_empty : t -> bool
@@ -26,6 +32,10 @@ val pop_exn : t -> Flow.t
 (** Remove and return the oldest pending flow.  The caller must check
     {!is_empty} first (keeps the hot loop allocation-free).
     @raise Invalid_argument when empty. *)
+
+val pending : t -> Flow.t array
+(** The pending flows in queue order, without removing them (used to
+    serialize a paused engine). *)
 
 val pop_all : t -> Flow.t array
 (** Empty the worklist and return the pending flows in queue order (the

@@ -38,6 +38,9 @@ type report = {
   r_lint_checked : int;
       (** lint facts (dead blocks / dead methods) checked against
           interpreter traces by the lint soundness oracle *)
+  r_crash_checked : int;
+      (** crash-injection probes: corrupted snapshot / cache files that
+          had to come back as reported errors with a sound fallback *)
   r_failures : failure list;
 }
 
@@ -46,8 +49,9 @@ let pp_failure ppf f =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d lint facts, %d failure%s"
-    r.r_seeds r.r_runs r.r_degraded r.r_lint_checked
+    "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d lint facts, %d crash \
+     probes, %d failure%s"
+    r.r_seeds r.r_runs r.r_degraded r.r_lint_checked r.r_crash_checked
     (List.length r.r_failures)
     (if List.length r.r_failures = 1 then "" else "s");
   List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_failure f) r.r_failures;
@@ -190,17 +194,246 @@ let fuzz_seed seed =
         configs);
   (List.rev !failures, !runs, !degraded, !lint_checked)
 
+(* --------------------------- crash injection -------------------------- *)
+
+(* Corrupt persisted state — a paused-solver snapshot and a result-cache
+   entry — in every seed-varied way, and demand the robustness contract:
+   a damaged file is a typed, reported error (never an escaping
+   exception), the fallback full solve reaches the straight run's fixed
+   point, and a damaged cache entry is quarantined and recomputed. *)
+
+let read_bytes path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_bytes path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(** The mutation schedule for a file of [len] bytes: truncations at the
+    start, a third, and two thirds, plus seed-derived single-bit flips in
+    the header, the middle, and the tail. *)
+let mutations ~seed ~len intact =
+  let truncate keep =
+    (Printf.sprintf "truncate@%d" keep, String.sub intact 0 keep)
+  in
+  let flip pos =
+    let pos = max 0 (min (len - 1) pos) in
+    let b = Bytes.of_string intact in
+    let bit = 1 lsl (seed mod 8) in
+    Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor bit));
+    (Printf.sprintf "bitflip@%d" pos, Bytes.to_string b)
+  in
+  [
+    truncate 0;
+    truncate (min 5 len);
+    truncate (len / 3);
+    truncate (2 * len / 3);
+    flip (seed mod 8);
+    flip ((len / 2) + (seed mod 7));
+    flip (len - 1 - (seed mod 3));
+  ]
+
+let crash_seed seed =
+  let failures = ref [] in
+  let checked = ref 0 in
+  let fail ~case fmt =
+    Format.kasprintf
+      (fun f_detail ->
+        failures :=
+          { f_seed = seed; f_config = "skipflow"; f_case = case; f_detail }
+          :: !failures)
+      fmt
+  in
+  (match W.Gen_random.compile (cfg_of_seed seed) with
+  | exception e ->
+      fail ~case:"crash:generate" "exception escaped the generator: %s"
+        (Printexc.to_string e)
+  | prog, main -> (
+      let straight = C.Analysis.run prog ~roots:[ main ] in
+      let oracle =
+        C.Engine.reachable_count straight.C.Analysis.engine
+      in
+      (* --- snapshot corruption --- *)
+      let small =
+        {
+          C.Config.skipflow with
+          C.Config.budget = C.Budget.make ~max_tasks:25 ();
+        }
+      in
+      let paused =
+        C.Analysis.run ~config:small ~on_budget:`Pause prog ~roots:[ main ]
+      in
+      (match paused.C.Analysis.outcome with
+      | C.Engine.Completed -> () (* too small to pause; nothing to corrupt *)
+      | C.Engine.Paused _ ->
+          let path = Filename.temp_file "skipflow-crash" ".snap" in
+          Fun.protect
+            ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+            (fun () ->
+              (match
+                 C.Engine.save_snapshot paused.C.Analysis.engine ~path
+               with
+              | Ok () -> ()
+              | Error e ->
+                  fail ~case:"crash:save" "snapshot write failed: %s"
+                    (C.Snapshot.error_message e));
+              let intact = read_bytes path in
+              (* the intact snapshot must load and resume to the oracle *)
+              incr checked;
+              (match
+                 C.Engine.load_snapshot ~budget:C.Budget.unlimited path
+               with
+              | Ok engine ->
+                  ignore (C.Engine.run engine);
+                  if C.Engine.reachable_count engine <> oracle then
+                    fail ~case:"crash:resume"
+                      "resumed run reached %d methods, straight run %d"
+                      (C.Engine.reachable_count engine)
+                      oracle
+              | Error e ->
+                  fail ~case:"crash:resume" "intact snapshot refused: %s"
+                    (C.Snapshot.error_message e)
+              | exception e ->
+                  fail ~case:"crash:resume" "exception on intact load: %s"
+                    (Printexc.to_string e));
+              (* every mutation must be a typed error + sound fallback *)
+              List.iter
+                (fun (mname, damaged) ->
+                  incr checked;
+                  write_bytes path damaged;
+                  match C.Engine.load_snapshot path with
+                  | Ok _ ->
+                      (* a flipped bit the CRC caught anyway is the only
+                         acceptable Ok: it must decode to a resumable
+                         engine — but CRC-32 catches all single-bit
+                         flips, so reaching here is a contract breach *)
+                      fail ~case:("crash:" ^ mname)
+                        "damaged snapshot loaded as if intact"
+                  | Error _ -> (
+                      (* reported, not raised: now the caller's fallback
+                         — a full solve — must still reach the oracle *)
+                      let fallback = C.Analysis.run prog ~roots:[ main ] in
+                      if
+                        C.Engine.reachable_count fallback.C.Analysis.engine
+                        <> oracle
+                      then
+                        fail ~case:("crash:" ^ mname)
+                          "fallback solve diverged from the oracle"
+                      else
+                        match fallback.C.Analysis.outcome with
+                        | C.Engine.Completed -> ()
+                        | C.Engine.Paused _ ->
+                            fail ~case:("crash:" ^ mname)
+                              "unlimited fallback paused")
+                  | exception e ->
+                      fail ~case:("crash:" ^ mname)
+                        "exception escaped the snapshot loader: %s"
+                        (Printexc.to_string e))
+                (mutations ~seed ~len:(String.length intact) intact);
+              (* a stale schema version must be rejected as such *)
+              incr checked;
+              (match
+                 C.Snapshot.write ~path ~kind:C.Engine.snapshot_kind
+                   ~version:(C.Engine.snapshot_version + 1)
+                   (C.Engine.snapshot_bytes paused.C.Analysis.engine)
+               with
+              | Ok () -> (
+                  match C.Engine.load_snapshot path with
+                  | Error (C.Snapshot.Bad_version _) -> ()
+                  | Error e ->
+                      fail ~case:"crash:stale-version"
+                        "expected Bad_version, got %s"
+                        (C.Snapshot.error_message e)
+                  | Ok _ ->
+                      fail ~case:"crash:stale-version"
+                        "future-versioned snapshot loaded"
+                  | exception e ->
+                      fail ~case:"crash:stale-version" "exception: %s"
+                        (Printexc.to_string e))
+              | Error e ->
+                  fail ~case:"crash:stale-version" "re-write failed: %s"
+                    (C.Snapshot.error_message e))));
+      (* --- cache-entry corruption --- *)
+      let dir = Filename.temp_file "skipflow-crash" ".cache" in
+      Sys.remove dir;
+      let trace = C.Trace.create () in
+      let cache = C.Cache.create ~trace dir in
+      let k = C.Cache.key ~config:C.Config.skipflow ~source:(string_of_int seed) in
+      match C.Cache.store cache k "cached-summary" with
+      | Error e ->
+          fail ~case:"crash:cache-store" "store failed: %s"
+            (C.Snapshot.error_message e)
+      | Ok () ->
+          let entry = C.Cache.entry_path cache k in
+          let intact = read_bytes entry in
+          List.iter
+            (fun (mname, damaged) ->
+              incr checked;
+              (* restore a fresh entry, then damage it *)
+              (match C.Cache.store cache k "cached-summary" with
+              | Ok () -> ()
+              | Error _ -> ());
+              write_bytes entry damaged;
+              match C.Cache.find cache k with
+              | Some _ ->
+                  fail ~case:("crash:cache-" ^ mname)
+                    "damaged cache entry served"
+              | None -> ()
+              | exception e ->
+                  fail ~case:("crash:cache-" ^ mname)
+                    "exception escaped the cache: %s" (Printexc.to_string e))
+            (mutations ~seed ~len:(String.length intact) intact);
+          (* damaged entries were quarantined, and the slot recomputes *)
+          incr checked;
+          (match Sys.readdir (C.Cache.quarantine_dir cache) with
+          | [||] ->
+              fail ~case:"crash:cache-quarantine"
+                "no damaged entry was quarantined"
+          | _ -> ()
+          | exception Sys_error m ->
+              fail ~case:"crash:cache-quarantine" "quarantine unreadable: %s" m);
+          (match C.Cache.store cache k "recomputed" with
+          | Ok () ->
+              if C.Cache.find cache k <> Some "recomputed" then
+                fail ~case:"crash:cache-recompute"
+                  "recomputed entry does not serve"
+          | Error e ->
+              fail ~case:"crash:cache-recompute" "re-store failed: %s"
+                (C.Snapshot.error_message e));
+          (* best-effort cleanup of the temp cache tree *)
+          let rec rm p =
+            if Sys.file_exists p then
+              if Sys.is_directory p then begin
+                Array.iter (fun n -> rm (Filename.concat p n)) (Sys.readdir p);
+                try Unix.rmdir p with Unix.Unix_error _ -> ()
+              end
+              else try Sys.remove p with Sys_error _ -> ()
+          in
+          rm dir));
+  (List.rev !failures, !checked)
+
 (** [run ~seeds ()] fuzzes seeds [0 .. seeds-1]; [progress] is called
-    after each seed (for CLI feedback). *)
-let run ?(progress = fun _ -> ()) ~seeds () : report =
+    after each seed (for CLI feedback).  [crash] additionally runs the
+    crash-injection matrix (snapshot + cache corruption) on every seed. *)
+let run ?(progress = fun _ -> ()) ?(crash = false) ~seeds () : report =
   let failures = ref [] and runs = ref 0 and degraded = ref 0 in
-  let lint_checked = ref 0 in
+  let lint_checked = ref 0 and crash_checked = ref 0 in
   for s = 0 to seeds - 1 do
     let fs, r, d, l = fuzz_seed s in
     failures := List.rev_append fs !failures;
     runs := !runs + r;
     degraded := !degraded + d;
     lint_checked := !lint_checked + l;
+    if crash then begin
+      let cfs, c = crash_seed s in
+      failures := List.rev_append cfs !failures;
+      crash_checked := !crash_checked + c
+    end;
     progress s
   done;
   {
@@ -208,5 +441,6 @@ let run ?(progress = fun _ -> ()) ~seeds () : report =
     r_runs = !runs;
     r_degraded = !degraded;
     r_lint_checked = !lint_checked;
+    r_crash_checked = !crash_checked;
     r_failures = List.rev !failures;
   }

@@ -1,0 +1,144 @@
+(* The mega-flow overshoot regression: a single drained invoke task can
+   resolve many callees, and without the in-task probe
+   ([Budget.check_work] after every interprocedural link) the engine
+   would only notice a tripped cap at the next task boundary — after
+   building every callee's PVPG.  These tests pin the overshoot bound:
+   the flow count recorded at trip time stays within one callee's worth
+   of flows of the cap, even when one call site fans out to dozens of
+   targets. *)
+
+module C = Skipflow_core
+module F = Skipflow_frontend
+
+let n_subclasses = 40
+
+(* One base class, [n_subclasses] overriders, and a single virtual call
+   site whose receiver phi merges every allocation — the worst case for
+   in-task fan-out: one drained invoke task links all 40 callees. *)
+let megacall_source () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "class A { int m() { return 0; } }\n";
+  for i = 1 to n_subclasses do
+    Buffer.add_string b
+      (Printf.sprintf "class C%d extends A { int m() { return %d; } }\n" i i)
+  done;
+  Buffer.add_string b "class Main {\n  static void main() {\n";
+  Buffer.add_string b "    int i = 0;\n    A a = new A();\n";
+  for i = 1 to n_subclasses do
+    Buffer.add_string b
+      (Printf.sprintf "    if (i < %d) { a = new C%d(); }\n" i i)
+  done;
+  Buffer.add_string b "    int r = a.m();\n  }\n}\n";
+  Buffer.contents b
+
+let compile () =
+  let prog = F.Frontend.compile (megacall_source ()) in
+  (prog, Option.get (F.Frontend.main_of prog))
+
+let run ?config ?on_budget prog main =
+  C.Analysis.run ?config ?on_budget prog ~roots:[ main ]
+
+let stats (r : C.Analysis.result) = C.Engine.stats r.C.Analysis.engine
+
+(* The slack allowed past a cap: the flows one [link_callee] creates —
+   the largest single callee graph plus the handful of linking flows on
+   the invoke side. *)
+let max_method_flows (r : C.Analysis.result) =
+  List.fold_left
+    (fun acc (g : C.Graph.method_graph) ->
+      max acc (List.length g.C.Graph.g_flows))
+    0
+    (C.Engine.graphs r.C.Analysis.engine)
+
+let test_flow_overshoot_bounded () =
+  let prog, main = compile () in
+  let straight = run prog main in
+  let total = (stats straight).C.Engine.live_flows in
+  let per_method = max_method_flows straight in
+  (* a cap that trips mid-fan-out: past the root graphs, well short of
+     the total *)
+  let cap = (total / 2) + 1 in
+  Alcotest.(check bool) "cap below the full flow count" true (cap < total);
+  let config =
+    { C.Config.skipflow with C.Config.budget = C.Budget.make ~max_flows:cap () }
+  in
+  let degraded = run ~config prog main in
+  let s = stats degraded in
+  Alcotest.(check bool) "run degraded" true s.C.Engine.degraded;
+  (match s.C.Engine.first_trip with
+  | Some C.Budget.Flows -> ()
+  | Some t -> Alcotest.failf "tripped on %s, not flows" (C.Budget.trip_name t)
+  | None -> Alcotest.fail "no trip recorded");
+  if s.C.Engine.trip_flows > cap + per_method + 8 then
+    Alcotest.failf
+      "flow overshoot unbounded: %d live flows at trip, cap %d, largest \
+       method %d flows"
+      s.C.Engine.trip_flows cap per_method;
+  Alcotest.(check bool) "trip actually exceeded the cap" true
+    (s.C.Engine.trip_flows >= cap)
+
+let test_task_overshoot_bounded () =
+  let prog, main = compile () in
+  let cap = 30 in
+  let config =
+    { C.Config.skipflow with C.Config.budget = C.Budget.make ~max_tasks:cap () }
+  in
+  let degraded = run ~config prog main in
+  let s = stats degraded in
+  Alcotest.(check bool) "run degraded" true s.C.Engine.degraded;
+  (* the probe counts in-task links toward the task cap, so the drained
+     task count at trip can never exceed it *)
+  if s.C.Engine.trip_tasks > cap then
+    Alcotest.failf "task overshoot: %d tasks drained at trip, cap %d"
+      s.C.Engine.trip_tasks cap
+
+(* Degradation stays sound under the mega-call: the widened run certifies
+   and reaches at least the precise reachable set. *)
+let test_megacall_degradation_sound () =
+  let prog, main = compile () in
+  let precise = run prog main in
+  let config =
+    { C.Config.skipflow with C.Config.budget = C.Budget.make ~max_flows:60 () }
+  in
+  let degraded = run ~config prog main in
+  (match C.Verify.run degraded.C.Analysis.engine with
+  | [] -> ()
+  | vs -> Alcotest.failf "degraded mega-call fails certification: %s" (List.hd vs));
+  Alcotest.(check bool) "reachable superset" true
+    (C.Engine.reachable_count degraded.C.Analysis.engine
+    >= C.Engine.reachable_count precise.C.Analysis.engine)
+
+(* Pausing (instead of degrading) on the same cap must not widen: the
+   paused engine is mid-solve, and resuming it unlimited lands on the
+   precise fixed point with the precise reachable count. *)
+let test_megacall_pause_stays_precise () =
+  let prog, main = compile () in
+  let precise = run prog main in
+  let config =
+    { C.Config.skipflow with C.Config.budget = C.Budget.make ~max_tasks:30 () }
+  in
+  let paused = run ~config ~on_budget:`Pause prog main in
+  match paused.C.Analysis.outcome with
+  | C.Engine.Completed -> Alcotest.fail "mega-call finished under 30 tasks"
+  | C.Engine.Paused bytes -> (
+      match C.Analysis.resume ~budget:C.Budget.unlimited bytes with
+      | Error msg -> Alcotest.failf "resume: %s" msg
+      | Ok finished ->
+          Alcotest.(check bool) "not degraded" false
+            (C.Engine.is_degraded finished.C.Analysis.engine);
+          Alcotest.(check int) "precise reachable count"
+            (C.Engine.reachable_count precise.C.Analysis.engine)
+            (C.Engine.reachable_count finished.C.Analysis.engine))
+
+let suite =
+  ( "budget",
+    [
+      Alcotest.test_case "mega-call flow overshoot is bounded" `Quick
+        test_flow_overshoot_bounded;
+      Alcotest.test_case "mega-call task overshoot is bounded" `Quick
+        test_task_overshoot_bounded;
+      Alcotest.test_case "mega-call degradation is sound" `Quick
+        test_megacall_degradation_sound;
+      Alcotest.test_case "mega-call pause resumes precisely" `Quick
+        test_megacall_pause_stays_precise;
+    ] )

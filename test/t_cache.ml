@@ -1,0 +1,169 @@
+(* The crash-safe result cache: hit/miss/evict/corrupt accounting, the
+   content-hash key discipline (any config change, including the budget,
+   changes the key), and the corruption contract — a damaged entry is
+   quarantined and reported as a miss, never served and never an
+   exception. *)
+
+module C = Skipflow_core
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_cache ?max_entries f =
+  let dir = Filename.temp_dir "skipflow-cache" "" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let trace = C.Trace.create () in
+      let cache = C.Cache.create ~trace ?max_entries (Filename.concat dir "c") in
+      f trace cache)
+
+let counter trace name =
+  match List.assoc_opt name (C.Trace.counters trace) with
+  | Some v -> v
+  | None -> 0
+
+let test_store_find_round_trip () =
+  with_cache (fun trace cache ->
+      let k = C.Cache.key ~config:C.Config.skipflow ~source:"class Main { }" in
+      Alcotest.(check (option string)) "cold lookup misses" None
+        (C.Cache.find cache k);
+      (match C.Cache.store cache k "the summary" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+      Alcotest.(check (option string)) "stored value comes back"
+        (Some "the summary") (C.Cache.find cache k);
+      (* values may contain newlines — only the first line is the key *)
+      let k2 = C.Cache.key ~config:C.Config.skipflow ~source:"other" in
+      (match C.Cache.store cache k2 "line1\nline2\n" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+      Alcotest.(check (option string)) "multi-line value intact"
+        (Some "line1\nline2\n") (C.Cache.find cache k2);
+      Alcotest.(check int) "hits counted" 2 (counter trace "cache.hit");
+      Alcotest.(check int) "misses counted" 1 (counter trace "cache.miss");
+      Alcotest.(check int) "nothing corrupt" 0 (counter trace "cache.corrupt"))
+
+(* The key must separate source bytes, every configuration axis, and the
+   budget — a degraded (budget-tripped) result must never be served to a
+   run with a different budget. *)
+let test_key_discipline () =
+  let base = C.Cache.key ~config:C.Config.skipflow ~source:"src" in
+  let distinct ctx k =
+    if String.equal base k then Alcotest.failf "%s: key collision" ctx
+  in
+  distinct "source change"
+    (C.Cache.key ~config:C.Config.skipflow ~source:"src2");
+  distinct "different analysis" (C.Cache.key ~config:C.Config.pta ~source:"src");
+  distinct "budget change"
+    (C.Cache.key
+       ~config:
+         {
+           C.Config.skipflow with
+           C.Config.budget = C.Budget.make ~max_tasks:100 ();
+         }
+       ~source:"src");
+  Alcotest.(check string) "key is deterministic" base
+    (C.Cache.key ~config:C.Config.skipflow ~source:"src")
+
+let test_corrupt_entry_quarantined () =
+  with_cache (fun trace cache ->
+      let k = C.Cache.key ~config:C.Config.skipflow ~source:"victim" in
+      (match C.Cache.store cache k "value" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+      let path = C.Cache.entry_path cache k in
+      (* flip one payload byte in place *)
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let bytes = Bytes.of_string (really_input_string ic n) in
+      close_in ic;
+      Bytes.set bytes (n - 2)
+        (Char.chr (Char.code (Bytes.get bytes (n - 2)) lxor 0x01));
+      let oc = open_out_bin path in
+      output_bytes oc bytes;
+      close_out oc;
+      Alcotest.(check (option string)) "corrupt entry is a miss" None
+        (C.Cache.find cache k);
+      Alcotest.(check int) "corruption counted" 1 (counter trace "cache.corrupt");
+      Alcotest.(check bool) "entry moved out of the live set" false
+        (Sys.file_exists path);
+      Alcotest.(check bool) "evidence kept in quarantine" true
+        (Sys.file_exists
+           (Filename.concat (C.Cache.quarantine_dir cache)
+              (Filename.basename path)));
+      (* the slot is usable again *)
+      (match C.Cache.store cache k "value" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "re-store: %s" (C.Snapshot.error_message e));
+      Alcotest.(check (option string)) "recomputed entry serves" (Some "value")
+        (C.Cache.find cache k))
+
+(* An entry whose container is intact but whose first line is another key
+   (rename or collision) must not be served. *)
+let test_wrong_key_not_served () =
+  with_cache (fun trace cache ->
+      let k1 = C.Cache.key ~config:C.Config.skipflow ~source:"a" in
+      let k2 = C.Cache.key ~config:C.Config.skipflow ~source:"b" in
+      (match C.Cache.store cache k1 "value-for-a" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+      Sys.rename (C.Cache.entry_path cache k1) (C.Cache.entry_path cache k2);
+      Alcotest.(check (option string)) "renamed entry refused" None
+        (C.Cache.find cache k2);
+      Alcotest.(check int) "refusal counted as corrupt" 1
+        (counter trace "cache.corrupt"))
+
+let test_lru_eviction () =
+  with_cache ~max_entries:3 (fun trace cache ->
+      let keys =
+        List.map
+          (fun i ->
+            let k =
+              C.Cache.key ~config:C.Config.skipflow
+                ~source:(Printf.sprintf "src-%d" i)
+            in
+            (match C.Cache.store cache k (Printf.sprintf "v%d" i) with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+            (* space out mtimes so LRU order is well defined on coarse
+               filesystem clocks *)
+            (try
+               Unix.utimes (C.Cache.entry_path cache k) (float_of_int i)
+                 (float_of_int i)
+             with Unix.Unix_error _ -> ());
+            k)
+          [ 1; 2; 3 ]
+      in
+      (* a fourth store evicts the stalest entry (src-1) *)
+      let k4 = C.Cache.key ~config:C.Config.skipflow ~source:"src-4" in
+      (match C.Cache.store cache k4 "v4" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+      Alcotest.(check int) "one eviction" 1 (counter trace "cache.evict");
+      Alcotest.(check (option string)) "oldest entry evicted" None
+        (C.Cache.find cache (List.nth keys 0));
+      Alcotest.(check (option string)) "recent entries survive" (Some "v3")
+        (C.Cache.find cache (List.nth keys 2));
+      Alcotest.(check (option string)) "new entry present" (Some "v4")
+        (C.Cache.find cache k4))
+
+let suite =
+  ( "cache",
+    [
+      Alcotest.test_case "store/find round trip with counters" `Quick
+        test_store_find_round_trip;
+      Alcotest.test_case "key separates source, config, and budget" `Quick
+        test_key_discipline;
+      Alcotest.test_case "corrupt entry quarantined, then recomputable" `Quick
+        test_corrupt_entry_quarantined;
+      Alcotest.test_case "entry under the wrong key is refused" `Quick
+        test_wrong_key_not_served;
+      Alcotest.test_case "LRU eviction past max_entries" `Quick
+        test_lru_eviction;
+    ] )

@@ -1,0 +1,312 @@
+(* End-to-end CLI contract tests against the built binary:
+
+   - the exit-code matrix — every [Api.error] variant maps to its
+     documented code, and under [--format json] the error is a
+     machine-readable JSON object on stdout with nothing on stderr;
+   - pause-on-budget via [--snapshot] (exit 3) and [--resume-from]
+     reaching the same result as an uninterrupted run, with corrupt
+     snapshots falling back to a full solve;
+   - [skipflow batch]: journal + [--resume] reproduces the uninterrupted
+     summary byte for byte, and a result cache turns the second run into
+     hits. *)
+
+module K = Skipflow_checks
+
+let exe =
+  (* tests run from [_build/default/test]; fall back to PATH-relative if
+     the layout ever changes *)
+  let candidate = Filename.concat (Sys.getcwd ()) "../bin/skipflow.exe" in
+  if Sys.file_exists candidate then candidate else "skipflow"
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let in_temp_dir f =
+  let dir = Filename.temp_dir "skipflow-cli" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+(** Run the binary; returns (exit code, stdout, stderr). *)
+let run_cli ~dir args =
+  let out = Filename.concat dir "cli.out"
+  and err = Filename.concat dir "cli.err" in
+  let cmd =
+    Printf.sprintf "%s %s > %s 2> %s"
+      (Filename.quote exe)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  (code, read_file out, read_file err)
+
+let main_src = "class Main { static void main() { int x = 1; } }\n"
+let no_main_src = "class Helper { int f() { return 1; } }\n"
+let bad_src = "class Main { static void main() { int x = ; } }\n"
+
+let json_of ~ctx s =
+  match K.Json.of_string (String.trim s) with
+  | j -> j
+  | exception K.Json.Parse_error msg ->
+      Alcotest.failf "%s: stdout is not JSON (%s): %s" ctx msg s
+
+let str_member ~ctx name j =
+  match K.Json.member name j with
+  | Some (K.Json.Str s) -> s
+  | _ -> Alcotest.failf "%s: missing string field %S" ctx name
+
+let int_member ~ctx name j =
+  match K.Json.member name j with
+  | Some (K.Json.Int n) -> n
+  | _ -> Alcotest.failf "%s: missing int field %S" ctx name
+
+(* Every error variant: documented exit code, JSON error object on
+   stdout, empty stderr. *)
+let test_json_error_matrix () =
+  in_temp_dir (fun dir ->
+      let ok_mj = Filename.concat dir "ok.mj" in
+      let bad_mj = Filename.concat dir "bad.mj" in
+      let lib_mj = Filename.concat dir "lib.mj" in
+      write_file ok_mj main_src;
+      write_file bad_mj bad_src;
+      write_file lib_mj no_main_src;
+      let cases =
+        [ (* a directory passes cmdliner's existence check but cannot be
+             read as source: Io_error *)
+          ("io_error", [ "analyze"; dir; "--format"; "json" ], 2);
+          ("compile_error", [ "analyze"; bad_mj; "--format"; "json" ], 2);
+          ( "unknown_root",
+            [ "analyze"; ok_mj; "--root"; "Nope.x"; "--format"; "json" ],
+            2 );
+          ("no_main", [ "analyze"; lib_mj; "--format"; "json" ], 2);
+        ]
+      in
+      List.iter
+        (fun (kind, args, expected_code) ->
+          let code, out, err = run_cli ~dir args in
+          Alcotest.(check int) (kind ^ ": exit code") expected_code code;
+          Alcotest.(check string) (kind ^ ": stderr is empty") "" err;
+          let j = json_of ~ctx:kind out in
+          Alcotest.(check int)
+            (kind ^ ": schema version")
+            K.Json.current_schema_version
+            (int_member ~ctx:kind "schema_version" j);
+          match K.Json.member "error" j with
+          | Some e ->
+              Alcotest.(check string) (kind ^ ": kind") kind
+                (str_member ~ctx:kind "kind" e);
+              Alcotest.(check int)
+                (kind ^ ": embedded exit code matches real one")
+                expected_code
+                (int_member ~ctx:kind "exit_code" e);
+              Alcotest.(check bool)
+                (kind ^ ": has a message")
+                true
+                (String.length (str_member ~ctx:kind "message" e) > 0);
+              if kind = "compile_error" then (
+                match K.Json.member "diags" e with
+                | Some (K.Json.Arr (_ :: _)) -> ()
+                | _ -> Alcotest.fail "compile_error: no diagnostics")
+          | None -> Alcotest.failf "%s: no error object: %s" kind out)
+        cases;
+      (* the same errors in text mode land on stderr and keep the codes *)
+      let code, _, err = run_cli ~dir [ "analyze"; bad_mj ] in
+      Alcotest.(check int) "text compile_error exit" 2 code;
+      Alcotest.(check bool) "text error on stderr" true
+        (String.length err > 0);
+      (* the success path: exit 0, a completed schema-versioned summary *)
+      let code, out, err = run_cli ~dir [ "analyze"; ok_mj; "--format"; "json" ] in
+      Alcotest.(check int) "success exit" 0 code;
+      Alcotest.(check string) "success stderr empty" "" err;
+      let j = json_of ~ctx:"success" out in
+      Alcotest.(check string) "outcome completed" "completed"
+        (str_member ~ctx:"success" "outcome" j))
+
+(* A budget trip with [--snapshot] pauses (exit 3) and writes a resumable
+   state file; [--resume-from] finishes to the same metrics as an
+   uninterrupted run; a corrupted snapshot falls back to a full solve
+   with a warning. *)
+let test_snapshot_pause_resume_cli () =
+  in_temp_dir (fun dir ->
+      let big = Filename.concat dir "big.mj" in
+      let code, _, _ = run_cli ~dir [ "gen"; "-o"; big; "--seed"; "11" ] in
+      Alcotest.(check int) "gen exits 0" 0 code;
+      let metrics_of out =
+        let j = json_of ~ctx:"summary" out in
+        match K.Json.member "metrics" j with
+        | Some m -> K.Json.to_string m
+        | None -> Alcotest.fail "summary has no metrics"
+      in
+      let code, straight_out, _ =
+        run_cli ~dir [ "analyze"; big; "--format"; "json" ]
+      in
+      Alcotest.(check int) "straight run exits 0" 0 code;
+      let snap = Filename.concat dir "state.snap" in
+      let code, _, err =
+        run_cli ~dir
+          [ "analyze"; big; "--max-tasks"; "500"; "--snapshot"; snap;
+            "--format"; "json" ]
+      in
+      Alcotest.(check int) "paused run exits 3" 3 code;
+      Alcotest.(check bool) "pause reported" true
+        (String.length err > 0 && Sys.file_exists snap);
+      let code, resumed_out, _ =
+        run_cli ~dir [ "analyze"; big; "--resume-from"; snap; "--format"; "json" ]
+      in
+      Alcotest.(check int) "resumed run exits 0" 0 code;
+      Alcotest.(check string) "resumed metrics equal straight metrics"
+        (metrics_of straight_out) (metrics_of resumed_out);
+      (* truncate the snapshot: the run must warn and fall back *)
+      let intact = read_file snap in
+      write_file snap (String.sub intact 0 (String.length intact / 2));
+      let code, fallback_out, err =
+        run_cli ~dir [ "analyze"; big; "--resume-from"; snap; "--format"; "json" ]
+      in
+      Alcotest.(check int) "fallback run exits 0" 0 code;
+      Alcotest.(check bool) "fallback warned" true
+        (String.length err > 0);
+      Alcotest.(check string) "fallback metrics equal straight metrics"
+        (metrics_of straight_out) (metrics_of fallback_out))
+
+(* Batch: an interrupted journal resumed with [--resume] reproduces the
+   uninterrupted summary byte for byte ([--no-timings] zeroes the only
+   nondeterministic field), and a warm cache serves hits. *)
+let test_batch_resume_and_cache () =
+  in_temp_dir (fun dir ->
+      let job i src =
+        let p = Filename.concat dir (Printf.sprintf "job%d.mj" i) in
+        write_file p src;
+        p
+      in
+      let j0 = job 0 main_src in
+      let j1 = job 1 "class A { int f() { return 2; } }\nclass Main { static void main() { A a = new A(); int x = a.f(); } }\n" in
+      let j2 = job 2 bad_src in
+      let manifest = Filename.concat dir "manifest.txt" in
+      write_file manifest
+        (String.concat "\n"
+           [ Filename.basename j0; "# a comment"; Filename.basename j1;
+             Filename.basename j2; "" ]);
+      let s_full = Filename.concat dir "full.json" in
+      let jl_full = Filename.concat dir "full.jsonl" in
+      let code, _, _ =
+        run_cli ~dir
+          [ "batch"; manifest; "--no-timings"; "--journal"; jl_full; "-o"; s_full ]
+      in
+      Alcotest.(check int) "batch with a compile error exits 2" 2 code;
+      (* keep only the first journal line, as if the run was killed *)
+      let lines = String.split_on_char '\n' (read_file jl_full) in
+      let jl_part = Filename.concat dir "part.jsonl" in
+      write_file jl_part (List.hd lines ^ "\n");
+      let s_resumed = Filename.concat dir "resumed.json" in
+      let code, _, _ =
+        run_cli ~dir
+          [ "batch"; manifest; "--no-timings"; "--journal"; jl_part;
+            "--resume"; "-o"; s_resumed ]
+      in
+      Alcotest.(check int) "resumed batch exits 2" 2 code;
+      Alcotest.(check string) "resumed summary is byte-identical"
+        (read_file s_full) (read_file s_resumed);
+      (* a torn trailing journal line is skipped, not fatal *)
+      let jl_torn = Filename.concat dir "torn.jsonl" in
+      write_file jl_torn (List.hd lines ^ "\n{\"schema_version\":1,\"rec");
+      let s_torn = Filename.concat dir "torn.json" in
+      let code, _, _ =
+        run_cli ~dir
+          [ "batch"; manifest; "--no-timings"; "--journal"; jl_torn;
+            "--resume"; "-o"; s_torn ]
+      in
+      Alcotest.(check int) "torn-journal batch exits 2" 2 code;
+      Alcotest.(check string) "torn-journal summary matches"
+        (read_file s_full) (read_file s_torn);
+      (* cache: a second identical run serves the successful jobs as hits *)
+      let cache = Filename.concat dir "cache" in
+      let s_cold = Filename.concat dir "cold.json" in
+      let s_warm = Filename.concat dir "warm.json" in
+      ignore
+        (run_cli ~dir
+           [ "batch"; manifest; "--no-timings"; "--cache"; cache; "-o"; s_cold ]);
+      ignore
+        (run_cli ~dir
+           [ "batch"; manifest; "--no-timings"; "--cache"; cache; "-o"; s_warm ]);
+      let hits out =
+        int_member ~ctx:"summary" "cache_hits" (json_of ~ctx:"summary" (read_file out))
+      in
+      Alcotest.(check int) "cold run has no hits" 0 (hits s_cold);
+      Alcotest.(check int) "warm run hits both successful jobs" 2 (hits s_warm);
+      (* pretty-printed summaries are one field per line: dropping the
+         cache-bookkeeping lines must leave identical analysis results *)
+      let scrub path =
+        read_file path
+        |> String.split_on_char '\n'
+        |> List.filter (fun l ->
+               let has needle =
+                 let rec go i =
+                   i + String.length needle <= String.length l
+                   && (String.sub l i (String.length needle) = needle
+                      || go (i + 1))
+                 in
+                 go 0
+               in
+               not (has "\"cache\"" || has "\"attempts\"" || has "\"cache_hits\""))
+        |> String.concat "\n"
+      in
+      Alcotest.(check string) "warm summary matches cold except cache fields"
+        (scrub s_cold) (scrub s_warm))
+
+(* Fault isolation: a job that would exceed its per-job watchdog is
+   killed and recorded; the batch itself survives and reports it. *)
+let test_batch_watchdog () =
+  in_temp_dir (fun dir ->
+      let big = Filename.concat dir "big.mj" in
+      (* the benchmark-sized program takes ~500ms to analyze — an order
+         of magnitude past the 50ms watchdog, so the kill is reliable *)
+      let code, _, _ = run_cli ~dir [ "gen"; "--bench"; "sunflow"; "-o"; big ] in
+      Alcotest.(check int) "gen exits 0" 0 code;
+      let quick = Filename.concat dir "quick.mj" in
+      write_file quick main_src;
+      let manifest = Filename.concat dir "manifest.txt" in
+      write_file manifest
+        (Filename.basename quick ^ "\n" ^ Filename.basename big ^ "\n");
+      let out = Filename.concat dir "summary.json" in
+      let qdir = Filename.concat dir "quarantine" in
+      let code, _, _ =
+        run_cli ~dir
+          [ "batch"; manifest; "--no-timings"; "--timeout-per-job"; "0.05";
+            "--quarantine"; qdir; "-o"; out ]
+      in
+      Alcotest.(check int) "batch with a killed job exits 1" 1 code;
+      let j = json_of ~ctx:"watchdog" (read_file out) in
+      Alcotest.(check int) "quick job still succeeded" 1
+        (int_member ~ctx:"watchdog" "ok" j);
+      Alcotest.(check int) "timed-out job quarantined" 1
+        (int_member ~ctx:"watchdog" "quarantined" j);
+      Alcotest.(check bool) "input copied for triage" true
+        (Sys.file_exists (Filename.concat qdir ("1-" ^ Filename.basename big))))
+
+let suite =
+  ( "cli",
+    [
+      Alcotest.test_case "json error matrix and exit codes" `Quick
+        test_json_error_matrix;
+      Alcotest.test_case "snapshot pause / resume / corrupt fallback" `Quick
+        test_snapshot_pause_resume_cli;
+      Alcotest.test_case "batch journal resume and result cache" `Quick
+        test_batch_resume_and_cache;
+      Alcotest.test_case "batch watchdog contains a slow job" `Quick
+        test_batch_watchdog;
+    ] )

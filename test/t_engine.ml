@@ -258,7 +258,7 @@ class Main {
   let e = C.Engine.create prog C.Config.skipflow in
   C.Engine.add_root e main;
   C.Engine.add_root ~seed_params:true e endpoint;
-  C.Engine.run e;
+  ignore (C.Engine.run e);
   Alcotest.(check bool) "HSpecial.handle reachable via seeded root" true
     (reachable e prog "HSpecial.handle");
   (* H itself is never instantiated, so H.handle stays dead *)

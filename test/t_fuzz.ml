@@ -84,10 +84,25 @@ let test_unlimited_budget_never_degrades () =
   Alcotest.(check bool) "unlimited budget" false r.C.Analysis.metrics.C.Metrics.degraded;
   Alcotest.(check int) "no trips" 0 r.C.Analysis.metrics.C.Metrics.budget_trips
 
+let test_crash_injection () =
+  let r = Fz.run ~seeds:6 ~crash:true () in
+  (match r.Fz.r_failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.failf "%d crash-injection failures, first: %a"
+        (List.length r.Fz.r_failures) Fz.pp_failure f);
+  (* the matrix must actually probe: per seed, the intact round trip, the
+     seven mutations (twice: snapshot + cache), the stale version, the
+     quarantine check — skipped only when a program finishes under the
+     pause budget *)
+  Alcotest.(check bool) "crash probes performed" true (r.Fz.r_crash_checked >= 20)
+
 let suite =
   ( "fuzz",
     [
       Alcotest.test_case "matrix: 25 seeds, zero failures" `Quick test_fuzz_matrix;
+      Alcotest.test_case "crash injection: corrupt state is detected and recovered"
+        `Quick test_crash_injection;
       Alcotest.test_case "task budget: degraded superset certifies" `Quick
         test_task_budget_superset;
       Alcotest.test_case "zero time budget trips" `Quick test_time_budget_trips;
