@@ -779,11 +779,17 @@ let execute_isolated ~timeout_per_job run =
   | 0 ->
       (try
          let r = run () in
-         let oc = open_out result_file in
+         (* tmp + rename: the parent either sees the whole result or the
+            empty pre-created file, never a torn write *)
+         let tmp = result_file ^ ".tmp" in
+         let oc = open_out tmp in
          output_string oc (K.Json.to_compact_string (job_result_json r));
-         close_out oc
+         close_out oc;
+         Sys.rename tmp result_file
        with _ -> ());
-      exit 0
+      (* _exit, not exit: the child inherited the parent's at_exit
+         handlers and buffered channels, and must not flush or run them *)
+      Unix._exit 0
   | pid ->
       let deadline =
         Option.map (fun s -> Unix.gettimeofday () +. s) timeout_per_job
@@ -834,6 +840,8 @@ let execute_isolated ~timeout_per_job run =
                     | None -> failure "crash" "worker wrote a malformed result")))
       in
       (try Sys.remove result_file with Sys_error _ -> ());
+      (* a watchdog-killed worker can leave its tmp file behind *)
+      (try Sys.remove (result_file ^ ".tmp") with Sys_error _ -> ());
       r
 
 (** A manifest is a directory (all [*.mj] inside, sorted) or a file of
@@ -892,6 +900,15 @@ let batch_cmd =
     in
     let trace = C.Trace.create () in
     let cache = Option.map (fun d -> C.Cache.create ~trace d) cache_dir in
+    (* job results depend on the roots and engine mode, which Config.t
+       does not carry — fold them into the key so a cache dir reused
+       across batches with different --root / --engine never serves one
+       run's results to the other *)
+    let cache_scope =
+      Printf.sprintf "roots=%s;mode=%s"
+        (String.concat "," roots)
+        (match mode with C.Engine.Dedup -> "dedup" | C.Engine.Reference -> "ref")
+    in
     let cache_lookup path =
       match cache with
       | None -> (None, None)
@@ -899,7 +916,7 @@ let batch_cmd =
           match F.Frontend.read_file path with
           | exception Sys_error _ -> (None, None)
           | source ->
-              let k = C.Cache.key ~config ~source in
+              let k = C.Cache.key ~config ~scope:cache_scope ~source in
               (Some k, C.Cache.find c k))
     in
     let run_fresh i path =
@@ -1071,8 +1088,8 @@ let batch_cmd =
       & info [ "cache" ] ~docv:"DIR"
           ~doc:
             "Cache successful job results in $(docv), keyed by a content \
-             hash of source + configuration; corrupt entries are \
-             quarantined and recomputed")
+             hash of source + configuration + roots + engine; corrupt \
+             entries are quarantined and recomputed")
   in
   let journal_arg =
     Arg.(

@@ -34,9 +34,12 @@ let check b ~tasks ~flows ~elapsed_s =
 
 (** Work-unit accounting for the engine's in-task probe: a single drained
     task can resolve an unbounded number of callees/fields, so between
-    task boundaries the interprocedural links made so far count toward the
-    task cap.  This bounds the overshoot of [max_tasks] by the work of one
-    link, not one task. *)
+    task boundaries the interprocedural links made {e inside the current
+    task} count toward the task cap.  [links] must be that in-task delta,
+    not a run-cumulative counter — the caller tracks the counter value at
+    the last task boundary.  This bounds the overshoot of [max_tasks] by
+    the work of one link, not one task, while tripping no earlier than
+    the boundary check itself. *)
 let check_work b ~tasks ~links ~flows ~elapsed_s =
   check b ~tasks:(tasks + links) ~flows ~elapsed_s
 

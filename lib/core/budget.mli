@@ -44,11 +44,13 @@ val check_work :
 (** [check_work] is {!check} with work-unit accounting for checks made
     {e inside} a task: a single drained invoke/field task can resolve an
     unbounded number of callees (a "mega-flow"), during which the task
-    counter is frozen — so the interprocedural links made so far are
-    counted toward [max_tasks] too.  {!Engine.run} calls this from the
-    re-resolution loops, bounding the [max_tasks] overshoot by one link's
-    worth of work instead of one task's (a property the budget regression
-    test pins down). *)
+    counter is frozen — so the interprocedural links made so far {e in
+    the current task} (and only those — [links] is the delta since the
+    last task boundary, never a run-cumulative count) are counted toward
+    [max_tasks] too.  {!Engine.run} calls this from the re-resolution
+    loops, bounding the [max_tasks] overshoot by one link's worth of
+    work instead of one task's (a property the budget regression test
+    pins down). *)
 
 val trip_name : trip -> string
 val pp_trip : Format.formatter -> trip -> unit

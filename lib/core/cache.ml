@@ -27,6 +27,41 @@ let rec mkdir_p path =
 let dir t = t.dir
 let quarantine_dir t = Filename.concat t.dir "quarantine"
 
+(** A crash mid-{!Snapshot.write} leaves a [<key>.entry.tmp.<pid>] file
+    behind.  Such files are never served (lookups go by exact entry
+    name), but they are not entries either, so eviction would ignore
+    them forever.  Sweep any old enough that no live writer can still
+    own them; the age threshold protects a concurrent store racing in
+    another process. *)
+let tmp_marker = entry_suffix ^ ".tmp."
+
+let stale_tmp_age_s = 600.0
+
+let is_tmp_name name =
+  let n = String.length name and m = String.length tmp_marker in
+  let rec scan i =
+    i + m <= n && (String.sub name i m = tmp_marker || scan (i + 1))
+  in
+  scan 0
+
+let sweep_stale_tmp dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let now = Unix.gettimeofday () in
+      Array.iter
+        (fun name ->
+          if is_tmp_name name then begin
+            let p = Filename.concat dir name in
+            let stale =
+              match Unix.stat p with
+              | exception Unix.Unix_error _ -> false
+              | st -> now -. st.Unix.st_mtime > stale_tmp_age_s
+            in
+            if stale then try Sys.remove p with Sys_error _ -> ()
+          end)
+        names
+
 let create ?trace ?(max_entries = 512) dir =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
   let t =
@@ -41,6 +76,7 @@ let create ?trace ?(max_entries = 512) dir =
   in
   mkdir_p dir;
   mkdir_p (quarantine_dir t);
+  sweep_stale_tmp dir;
   t
 
 (** Every configuration field goes into the fingerprint — including the
@@ -55,8 +91,9 @@ let fingerprint (config : Config.t) =
     | Some n -> string_of_int n)
     config.Config.seed_root_params Budget.pp config.Config.budget
 
-let key ~config ~source =
-  Digest.to_hex (Digest.string (fingerprint config ^ "\x00" ^ source))
+let key ~config ~scope ~source =
+  Digest.to_hex
+    (Digest.string (fingerprint config ^ "\x00" ^ scope ^ "\x00" ^ source))
 
 let entry_path t k = Filename.concat t.dir (k ^ entry_suffix)
 
@@ -101,6 +138,7 @@ let find t k =
         None
 
 let evict t =
+  sweep_stale_tmp t.dir;
   match Sys.readdir t.dir with
   | exception Sys_error _ -> ()
   | names ->

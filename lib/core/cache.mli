@@ -1,10 +1,11 @@
 (** A crash-safe on-disk result cache for analysis summaries.
 
     Entries are keyed by a content hash of (source bytes, configuration,
-    schema version) — see {!key} — so a cache hit can only serve a result
-    computed from byte-identical inputs under an identical configuration
-    by a compatible build.  The stored value is opaque to this module
-    (the CLI stores its analysis-summary JSON).
+    run scope, schema version) — see {!key} — so a cache hit can only
+    serve a result computed from byte-identical inputs under an
+    identical configuration {e and} identical run-scoped inputs (analysis
+    roots, engine mode) by a compatible build.  The stored value is
+    opaque to this module (the CLI stores its analysis-summary JSON).
 
     Robustness contract, exercised by the crash-injection fuzz matrix:
 
@@ -31,10 +32,14 @@ val dir : t -> string
 val quarantine_dir : t -> string
 (** Where corrupt entries are moved ([<dir>/quarantine]). *)
 
-val key : config:Config.t -> source:string -> string
+val key : config:Config.t -> scope:string -> source:string -> string
 (** The content hash (hex): digest of the source bytes, every
     configuration field (including the budget — a degraded result must
-    not be served to an unlimited run), and the cache schema version. *)
+    not be served to an unlimited run), the cache schema version, and
+    [scope] — any run input the configuration does not carry but the
+    result depends on (the CLI folds in the resolved analysis roots and
+    the engine mode, so the same source analyzed from different roots
+    never shares an entry).  Pass [""] when no such input exists. *)
 
 val entry_path : t -> string -> string
 (** The file a key is stored at (exposed so tests can corrupt it). *)

@@ -155,6 +155,12 @@ type t = {
   mutable pause_pending : bool;
       (** pause-on-budget mode: a cap tripped; stop at the next task
           boundary and snapshot instead of degrading *)
+  mutable links_at_task : int;
+      (** [c_links] value at the current task's start, so the in-task
+          probe charges only the links made {e inside} this task toward
+          [max_tasks] — [c_links] itself is run-cumulative (and restored
+          across resumes), and charging it whole would trip the task cap
+          near [tasks + total_links] instead of [tasks] *)
 }
 
 let flow_meth_id (f : Flow.t) =
@@ -644,6 +650,7 @@ let create ?(mode = Dedup) ?trace prog config =
       first_trip = None;
       probe = (fun () -> ());
       pause_pending = false;
+      links_at_task = 0;
     }
   in
   t.emit <-
@@ -747,6 +754,7 @@ let restore ?trace ?budget fz =
       first_trip = fz.fz_first_trip;
       probe = (fun () -> ());
       pause_pending = false;
+      links_at_task = 0;
     }
   in
   t.emit <-
@@ -807,6 +815,7 @@ let add_root ?seed_params t (m : Program.meth) =
     no-op if enable just covered it), then notify. *)
 let process_flow t (f : Flow.t) =
   Trace.incr t.c.c_tasks;
+  t.links_at_task <- Trace.value t.c.c_links;
   let w = f.Flow.work in
   f.Flow.work <- 0;
   if w land Flow.wk_enable <> 0 then begin
@@ -824,6 +833,7 @@ let process_flow t (f : Flow.t) =
 
 let process_rtask t task =
   Trace.incr t.c.c_tasks;
+  t.links_at_task <- Trace.value t.c.c_links;
   match task with
   | REnable f ->
       Trace.incr t.c.c_enable;
@@ -901,13 +911,16 @@ let run ?random_order ?(on_budget = `Degrade) t =
     if live () && not (Budget.is_unlimited budget) then
       match
         Budget.check_work budget ~tasks:(Trace.value t.c.c_tasks)
-          ~links:(Trace.value t.c.c_links)
+          ~links:(Trace.value t.c.c_links - t.links_at_task)
           ~flows:(Trace.value t.c.c_live_flows) ~elapsed_s
       with
       | Some trip -> trip_reaction trip
       | None -> ()
   in
   t.probe <- probe;
+  (* links made before the first task (root seeding, restored counters)
+     are not this task's work *)
+  t.links_at_task <- Trace.value t.c.c_links;
   let drain_fifo () =
     match t.mode with
     | Dedup ->

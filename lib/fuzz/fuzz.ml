@@ -363,7 +363,7 @@ let crash_seed seed =
       Sys.remove dir;
       let trace = C.Trace.create () in
       let cache = C.Cache.create ~trace dir in
-      let k = C.Cache.key ~config:C.Config.skipflow ~source:(string_of_int seed) in
+      let k = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:(string_of_int seed) in
       match C.Cache.store cache k "cached-summary" with
       | Error e ->
           fail ~case:"crash:cache-store" "store failed: %s"

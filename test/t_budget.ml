@@ -35,8 +35,8 @@ let compile () =
   let prog = F.Frontend.compile (megacall_source ()) in
   (prog, Option.get (F.Frontend.main_of prog))
 
-let run ?config ?on_budget prog main =
-  C.Analysis.run ?config ?on_budget prog ~roots:[ main ]
+let run ?config ?on_budget ?mode prog main =
+  C.Analysis.run ?config ?on_budget ?mode prog ~roots:[ main ]
 
 let stats (r : C.Analysis.result) = C.Engine.stats r.C.Analysis.engine
 
@@ -92,6 +92,51 @@ let test_task_overshoot_bounded () =
     Alcotest.failf "task overshoot: %d tasks drained at trip, cap %d"
       s.C.Engine.trip_tasks cap
 
+(* Regression: the in-task probe must charge only the links made inside
+   the current task toward [max_tasks], not the run-cumulative link
+   counter.  A discovery chain — each callee's return value is the next
+   call's receiver — keeps linking interleaved with propagation to the
+   very end of the solve, so the final links probe with nearly the full
+   task count *and* the full link total behind them.  With cumulative
+   accounting a cap just past the straight-run task count trips there;
+   with delta accounting each of those probes charges a single link and
+   the run completes untripped. *)
+let chain_length = 60
+
+let chain_source () =
+  let b = Buffer.create 4096 in
+  for i = 1 to chain_length do
+    Buffer.add_string b
+      (Printf.sprintf "class C%d { C%d next() { return new C%d(); } }\n" i
+         (i + 1) (i + 1))
+  done;
+  Buffer.add_string b (Printf.sprintf "class C%d { }\n" (chain_length + 1));
+  Buffer.add_string b "class Main {\n  static void main() {\n";
+  Buffer.add_string b "    C1 v1 = new C1();\n";
+  for i = 1 to chain_length do
+    Buffer.add_string b
+      (Printf.sprintf "    C%d v%d = v%d.next();\n" (i + 1) (i + 1) i)
+  done;
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+let test_task_cap_ignores_cumulative_links () =
+  let prog = F.Frontend.compile (chain_source ()) in
+  let main = Option.get (F.Frontend.main_of prog) in
+  let straight = run prog main in
+  let s = stats straight in
+  Alcotest.(check bool) "chain is link-heavy" true
+    (s.C.Engine.links >= chain_length);
+  (* small slack past the exact task count, well below the link total:
+     cumulative accounting would need ~links worth of headroom *)
+  let cap = s.C.Engine.tasks_processed + 4 in
+  let config =
+    { C.Config.skipflow with C.Config.budget = C.Budget.make ~max_tasks:cap () }
+  in
+  let capped = run ~config prog main in
+  Alcotest.(check bool) "no trip at cap = straight tasks + slack" false
+    (stats capped).C.Engine.degraded
+
 (* Degradation stays sound under the mega-call: the widened run certifies
    and reaches at least the precise reachable set. *)
 let test_megacall_degradation_sound () =
@@ -137,6 +182,8 @@ let suite =
         test_flow_overshoot_bounded;
       Alcotest.test_case "mega-call task overshoot is bounded" `Quick
         test_task_overshoot_bounded;
+      Alcotest.test_case "task cap ignores cumulative links" `Quick
+        test_task_cap_ignores_cumulative_links;
       Alcotest.test_case "mega-call degradation is sound" `Quick
         test_megacall_degradation_sound;
       Alcotest.test_case "mega-call pause resumes precisely" `Quick

@@ -30,7 +30,7 @@ let counter trace name =
 
 let test_store_find_round_trip () =
   with_cache (fun trace cache ->
-      let k = C.Cache.key ~config:C.Config.skipflow ~source:"class Main { }" in
+      let k = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"class Main { }" in
       Alcotest.(check (option string)) "cold lookup misses" None
         (C.Cache.find cache k);
       (match C.Cache.store cache k "the summary" with
@@ -39,7 +39,7 @@ let test_store_find_round_trip () =
       Alcotest.(check (option string)) "stored value comes back"
         (Some "the summary") (C.Cache.find cache k);
       (* values may contain newlines — only the first line is the key *)
-      let k2 = C.Cache.key ~config:C.Config.skipflow ~source:"other" in
+      let k2 = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"other" in
       (match C.Cache.store cache k2 "line1\nline2\n" with
       | Ok () -> ()
       | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
@@ -53,13 +53,13 @@ let test_store_find_round_trip () =
    budget — a degraded (budget-tripped) result must never be served to a
    run with a different budget. *)
 let test_key_discipline () =
-  let base = C.Cache.key ~config:C.Config.skipflow ~source:"src" in
+  let base = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"src" in
   let distinct ctx k =
     if String.equal base k then Alcotest.failf "%s: key collision" ctx
   in
   distinct "source change"
-    (C.Cache.key ~config:C.Config.skipflow ~source:"src2");
-  distinct "different analysis" (C.Cache.key ~config:C.Config.pta ~source:"src");
+    (C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"src2");
+  distinct "different analysis" (C.Cache.key ~config:C.Config.pta ~scope:"" ~source:"src");
   distinct "budget change"
     (C.Cache.key
        ~config:
@@ -67,13 +67,21 @@ let test_key_discipline () =
            C.Config.skipflow with
            C.Config.budget = C.Budget.make ~max_tasks:100 ();
          }
+       ~scope:"" ~source:"src");
+  (* run-scoped inputs (roots, engine mode) live outside Config.t but
+     change the result — the scope must separate keys too *)
+  distinct "scope change"
+    (C.Cache.key ~config:C.Config.skipflow ~scope:"roots=A.f;mode=dedup"
        ~source:"src");
+  let scoped s = C.Cache.key ~config:C.Config.skipflow ~scope:s ~source:"src" in
+  if String.equal (scoped "roots=A.f") (scoped "roots=B.g") then
+    Alcotest.fail "different scopes: key collision";
   Alcotest.(check string) "key is deterministic" base
-    (C.Cache.key ~config:C.Config.skipflow ~source:"src")
+    (C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"src")
 
 let test_corrupt_entry_quarantined () =
   with_cache (fun trace cache ->
-      let k = C.Cache.key ~config:C.Config.skipflow ~source:"victim" in
+      let k = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"victim" in
       (match C.Cache.store cache k "value" with
       | Ok () -> ()
       | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
@@ -108,8 +116,8 @@ let test_corrupt_entry_quarantined () =
    (rename or collision) must not be served. *)
 let test_wrong_key_not_served () =
   with_cache (fun trace cache ->
-      let k1 = C.Cache.key ~config:C.Config.skipflow ~source:"a" in
-      let k2 = C.Cache.key ~config:C.Config.skipflow ~source:"b" in
+      let k1 = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"a" in
+      let k2 = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"b" in
       (match C.Cache.store cache k1 "value-for-a" with
       | Ok () -> ()
       | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
@@ -125,7 +133,7 @@ let test_lru_eviction () =
         List.map
           (fun i ->
             let k =
-              C.Cache.key ~config:C.Config.skipflow
+              C.Cache.key ~config:C.Config.skipflow ~scope:""
                 ~source:(Printf.sprintf "src-%d" i)
             in
             (match C.Cache.store cache k (Printf.sprintf "v%d" i) with
@@ -141,7 +149,7 @@ let test_lru_eviction () =
           [ 1; 2; 3 ]
       in
       (* a fourth store evicts the stalest entry (src-1) *)
-      let k4 = C.Cache.key ~config:C.Config.skipflow ~source:"src-4" in
+      let k4 = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"src-4" in
       (match C.Cache.store cache k4 "v4" with
       | Ok () -> ()
       | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
@@ -152,6 +160,39 @@ let test_lru_eviction () =
         (C.Cache.find cache (List.nth keys 2));
       Alcotest.(check (option string)) "new entry present" (Some "v4")
         (C.Cache.find cache k4))
+
+(* Leftover [<key>.entry.tmp.<pid>] files from a crash mid-write are
+   outside the entry set — eviction must not let them accumulate
+   forever, but a fresh tmp may belong to a live writer and must be
+   left alone. *)
+let test_stale_tmp_swept () =
+  with_cache (fun _trace cache ->
+      let dir = C.Cache.dir cache in
+      let stale = Filename.concat dir "deadbeef.entry.tmp.999" in
+      let fresh = Filename.concat dir "cafebabe.entry.tmp.998" in
+      let touch p =
+        let oc = open_out_bin p in
+        output_string oc "partial write";
+        close_out oc
+      in
+      touch stale;
+      touch fresh;
+      Unix.utimes stale 1.0 1.0;
+      (* a store runs eviction, which sweeps aged tmp leftovers *)
+      let k = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"sweep" in
+      (match C.Cache.store cache k "v" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+      Alcotest.(check bool) "stale tmp removed" false (Sys.file_exists stale);
+      Alcotest.(check bool) "fresh tmp kept (may be a live writer)" true
+        (Sys.file_exists fresh);
+      Alcotest.(check (option string)) "entries unaffected" (Some "v")
+        (C.Cache.find cache k);
+      (* reopening the cache dir sweeps too *)
+      Unix.utimes fresh 1.0 1.0;
+      let _reopened = C.Cache.create dir in
+      Alcotest.(check bool) "reopen sweeps aged tmp" false
+        (Sys.file_exists fresh))
 
 let suite =
   ( "cache",
@@ -166,4 +207,6 @@ let suite =
         test_wrong_key_not_served;
       Alcotest.test_case "LRU eviction past max_entries" `Quick
         test_lru_eviction;
+      Alcotest.test_case "stale tmp leftovers are swept" `Quick
+        test_stale_tmp_swept;
     ] )

@@ -248,6 +248,22 @@ let test_batch_resume_and_cache () =
       in
       Alcotest.(check int) "cold run has no hits" 0 (hits s_cold);
       Alcotest.(check int) "warm run hits both successful jobs" 2 (hits s_warm);
+      (* the key is scoped by roots and engine mode: reusing the cache
+         dir under a different --root or --engine must never hit — the
+         cached reachable sets were computed from other roots *)
+      let s_rooted = Filename.concat dir "rooted.json" in
+      ignore
+        (run_cli ~dir
+           [ "batch"; manifest; "--no-timings"; "--cache"; cache; "--root";
+             "Main.main"; "-o"; s_rooted ]);
+      Alcotest.(check int) "explicit --root shares no entries" 0
+        (hits s_rooted);
+      let s_ref = Filename.concat dir "ref.json" in
+      ignore
+        (run_cli ~dir
+           [ "batch"; manifest; "--no-timings"; "--cache"; cache; "--engine";
+             "ref"; "-o"; s_ref ]);
+      Alcotest.(check int) "--engine ref shares no entries" 0 (hits s_ref);
       (* pretty-printed summaries are one field per line: dropping the
          cache-bookkeeping lines must leave identical analysis results *)
       let scrub path =
