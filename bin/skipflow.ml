@@ -24,6 +24,7 @@ module C = Skipflow_core
 module F = Skipflow_frontend
 module W = Skipflow_workloads
 module K = Skipflow_checks
+module S = Skipflow_serve
 open Cmdliner
 
 let exit_analysis_error = 1
@@ -38,34 +39,10 @@ let fail_api_error (e : Api.error) : 'a =
 
 (** The machine-readable failure object: every {!Api.error} variant maps
     to a stable [kind] (see {!Api.error_kind}) plus its documented exit
-    code; compile errors carry their positioned diagnostics. *)
-let error_json (e : Api.error) =
-  let diags =
-    match e with
-    | Api.Compile_error { diags; _ } ->
-        [ ( "diags",
-            K.Json.Arr
-              (List.map
-                 (fun (d : F.Diag.t) ->
-                   K.Json.Obj
-                     [ ("line", K.Json.Int d.F.Diag.pos.F.Lexer.line);
-                       ("col", K.Json.Int d.F.Diag.pos.F.Lexer.col);
-                       ("message", K.Json.Str d.F.Diag.message);
-                     ])
-                 diags) );
-        ]
-    | _ -> []
-  in
-  K.Json.Obj
-    [ ("schema_version", K.Json.Int K.Json.current_schema_version);
-      ( "error",
-        K.Json.Obj
-          ([ ("kind", K.Json.Str (Api.error_kind e));
-             ("message", K.Json.Str (Api.error_message e));
-             ("exit_code", K.Json.Int (Api.exit_code_of_error e));
-           ]
-          @ diags) );
-    ]
+    code; compile errors carry their positioned diagnostics.  The shape
+    is owned by the serve protocol so the one-shot CLI and the daemon
+    can never drift apart. *)
+let error_json (e : Api.error) = S.Protocol.api_error_json e
 
 (** Format-aware failure: under [--format json] the error object goes to
     stdout (machine-consumable, stderr left clean); under text, carets go
@@ -767,6 +744,16 @@ let execute_job ~config ~mode ~roots path =
         b_wall_us = wall_us ();
       }
 
+(** Set (to the signal number) by the batch SIGINT/SIGTERM handlers; the
+    driver polls it between jobs and inside the watchdog wait loop so an
+    interrupt lands at a clean point: the in-flight worker is SIGKILLed,
+    its temp files are swept, the journal is flushed, and the process
+    exits with the conventional 128+signal code.  A re-run with
+    [--resume] picks up exactly where the journal stops. *)
+let batch_interrupted : int option ref = ref None
+
+exception Batch_interrupted
+
 (** Run one job in a forked child under a wall-clock watchdog.  The
     child's only channel back is the result file; a worker that dies (or
     is killed by the watchdog) yields a synthesized failure record. *)
@@ -777,6 +764,10 @@ let execute_isolated ~timeout_per_job run =
   flush stderr;
   match Unix.fork () with
   | 0 ->
+      (* a terminal Ctrl-C signals the whole foreground process group:
+         the worker must die by default, not run the driver's handler *)
+      Sys.set_signal Sys.sigint Sys.Signal_default;
+      Sys.set_signal Sys.sigterm Sys.Signal_default;
       (try
          let r = run () in
          (* tmp + rename: the parent either sees the whole result or the
@@ -796,6 +787,12 @@ let execute_isolated ~timeout_per_job run =
       in
       let rec wait () =
         match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ when !batch_interrupted <> None ->
+            Unix.kill pid Sys.sigkill;
+            ignore (Unix.waitpid [] pid);
+            (try Sys.remove result_file with Sys_error _ -> ());
+            (try Sys.remove (result_file ^ ".tmp") with Sys_error _ -> ());
+            raise Batch_interrupted
         | 0, _ -> (
             match deadline with
             | Some d when Unix.gettimeofday () > d ->
@@ -992,29 +989,59 @@ let batch_cmd =
             r_cache = (if cache = None then "off" else "miss");
           }
     in
+    (* from here on an interrupt must leave a resumable journal, not a
+       half-written mess: note the signal, let the driver reach a clean
+       point, then flush and exit 128+signal *)
+    batch_interrupted := None;
+    let note s = Sys.Signal_handle (fun _ -> batch_interrupted := Some s) in
+    Sys.set_signal Sys.sigint (note Sys.sigint);
+    Sys.set_signal Sys.sigterm (note Sys.sigterm);
+    let on_interrupt () =
+      Option.iter
+        (fun oc ->
+          try
+            flush oc;
+            close_out oc
+          with Sys_error _ -> ())
+        journal_oc;
+      let signal_name, code =
+        if !batch_interrupted = Some Sys.sigterm then ("SIGTERM", 143)
+        else ("SIGINT", 130)
+      in
+      Format.eprintf
+        "batch: interrupted (%s); journal flushed — re-run with --resume to \
+         continue@."
+        signal_name;
+      exit code
+    in
     let records =
-      List.mapi
-        (fun i path ->
-          match Hashtbl.find_opt completed (i, path) with
-          | Some r -> r (* journaled by the interrupted run; don't redo *)
-          | None ->
-              let r = run_fresh i path in
+      try
+        List.mapi
+          (fun i path ->
+            if !batch_interrupted <> None then raise Batch_interrupted;
+            match Hashtbl.find_opt completed (i, path) with
+            | Some r -> r (* journaled by the interrupted run; don't redo *)
+            | None ->
+                let r = run_fresh i path in
               (* journal before moving on: a crash between jobs loses at
                  most the in-flight one *)
-              Option.iter
-                (fun oc ->
-                  output_string oc
-                    (K.Json.to_compact_string
-                       (K.Json.Obj
-                          [ ("schema_version", K.Json.Int batch_schema_version);
-                            ("record", record_json ~timings r);
-                          ]));
-                  output_char oc '\n';
-                  flush oc)
-                journal_oc;
-              r)
-        jobs
+                Option.iter
+                  (fun oc ->
+                    output_string oc
+                      (K.Json.to_compact_string
+                         (K.Json.Obj
+                            [ ( "schema_version",
+                                K.Json.Int batch_schema_version );
+                              ("record", record_json ~timings r);
+                            ]));
+                    output_char oc '\n';
+                    flush oc)
+                  journal_oc;
+                r)
+          jobs
+      with Batch_interrupted -> on_interrupt ()
     in
+    if !batch_interrupted <> None then on_interrupt ();
     Option.iter close_out journal_oc;
     let count st =
       List.length
@@ -1155,6 +1182,234 @@ let batch_cmd =
       $ timeout_per_job_arg $ retries_arg $ cache_arg $ journal_arg
       $ resume_arg $ quarantine_arg $ no_isolate_arg $ no_timings_arg
       $ out_arg)
+
+(* -------------------------------- serve ------------------------------- *)
+
+(* The analysis daemon: the state machine lives in [Skipflow_serve.Server];
+   this is only the transport — a select-based line pump over stdin/stdout
+   or a Unix domain socket, with prompt SIGINT/SIGTERM handling (the
+   handlers set a flag; the pump polls it between 250ms select windows, so
+   a signal never tears a response or skips the final snapshot). *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off len =
+    if len > 0 then
+      match Unix.write fd b off len with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | n -> go (off + n) (len - n)
+  in
+  go 0 (Bytes.length b)
+
+(** Pump request lines from [in_fd] through the daemon until EOF, a
+    served shutdown request, or a signal ([quit]). *)
+let serve_fd srv ~quit ~in_fd ~out_fd =
+  let buf = Bytes.create 65536 in
+  let acc = Buffer.create 256 in
+  let respond line = List.iter (write_all out_fd) (S.Server.handle_line srv line) in
+  let drain_complete_lines () =
+    let s = Buffer.contents acc in
+    let n = String.length s in
+    let rec go start =
+      if start >= n then Buffer.clear acc
+      else
+        match String.index_from_opt s start '\n' with
+        | None ->
+            Buffer.clear acc;
+            Buffer.add_substring acc s start (n - start)
+        | Some i ->
+            respond (String.sub s start (i - start));
+            go (i + 1)
+    in
+    go 0
+  in
+  let rec loop () =
+    if !quit <> None || S.Server.wants_shutdown srv then ()
+    else
+      match Unix.select [ in_fd ] [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.read in_fd buf 0 (Bytes.length buf) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | 0 ->
+              (* EOF; a final unterminated line still deserves an answer *)
+              let rest = Buffer.contents acc in
+              Buffer.clear acc;
+              if String.trim rest <> "" then respond rest
+          | n ->
+              Buffer.add_subbytes acc buf 0 n;
+              drain_complete_lines ();
+              loop ())
+  in
+  try loop ()
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+    (* the client vanished mid-response; the daemon outlives it *)
+    ()
+
+let serve_socket srv ~quit path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let rec accept_loop () =
+    if !quit <> None || S.Server.wants_shutdown srv then ()
+    else
+      match Unix.select [ sock ] [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | [], _, _ -> accept_loop ()
+      | _ ->
+          let client, _ = Unix.accept sock in
+          serve_fd srv ~quit ~in_fd:client ~out_fd:client;
+          (try Unix.close client with Unix.Unix_error _ -> ());
+          accept_loop ()
+  in
+  accept_loop ();
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let serve_cmd =
+  let run file config roots mode max_tasks timeout max_flows state resume
+      socket deadline_ms max_queue retry_after_ms snapshot_every memo_entries
+      no_timings =
+    let config =
+      { config with C.Config.budget = budget_of ~max_tasks ~timeout ~max_flows }
+    in
+    let cfg =
+      {
+        S.Server.sv_config = config;
+        sv_mode = mode;
+        sv_roots = roots;
+        sv_state_dir = state;
+        sv_snapshot_every = snapshot_every;
+        sv_deadline_ms = deadline_ms;
+        sv_max_queue = max_queue;
+        sv_retry_after_ms = retry_after_ms;
+        sv_memo_entries = memo_entries;
+        sv_timings = not no_timings;
+        sv_log = (fun msg -> Format.eprintf "serve: %s@." msg);
+      }
+    in
+    let initial = Option.map (fun f -> `File f) file in
+    match S.Server.create ?initial ~resume cfg with
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit exit_input_error
+    | Ok srv ->
+        let quit = ref None in
+        let note code = Sys.Signal_handle (fun _ -> quit := Some code) in
+        Sys.set_signal Sys.sigint (note 130);
+        Sys.set_signal Sys.sigterm (note 143);
+        (* a client that hangs up must cost a response, not the daemon *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        (match socket with
+        | Some path -> serve_socket srv ~quit path
+        | None -> serve_fd srv ~quit ~in_fd:Unix.stdin ~out_fd:Unix.stdout);
+        S.Server.finalize srv;
+        match !quit with Some code -> exit code | None -> ()
+  in
+  let file_opt =
+    Arg.(
+      value
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.mj"
+          ~doc:
+            "Initial MiniJava program to load and solve before serving \
+             (optional; an $(i,edit) request can load one later)")
+  in
+  let state_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "state" ] ~docv:"DIR"
+          ~doc:
+            "State directory: atomic snapshots of the resident solved \
+             state plus a response journal, enabling --resume after a \
+             crash or kill")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "resume" ]
+          ~doc:
+            "Warm-start from the --state snapshot and re-emit journaled \
+             responses byte for byte when their requests arrive again")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve on a Unix domain socket (one client at a time) instead \
+             of stdin/stdout")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline; a request past it gets a \
+             structured deadline_exceeded error and the resident state \
+             rolls back (requests can override with their own \
+             $(i,deadline_ms) field)")
+  in
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt int S.Server.default_cfg.S.Server.sv_max_queue
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request queue capacity; past it requests are shed \
+             with an overloaded error carrying a retry_after_ms hint")
+  in
+  let retry_after_arg =
+    Arg.(
+      value
+      & opt int S.Server.default_cfg.S.Server.sv_retry_after_ms
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"The hint carried by shed (overloaded) responses")
+  in
+  let snapshot_every_arg =
+    Arg.(
+      value
+      & opt int S.Server.default_cfg.S.Server.sv_snapshot_every
+      & info [ "snapshot-every" ] ~docv:"N"
+          ~doc:"Snapshot the resident state every N mutations (default 1)")
+  in
+  let memo_entries_arg =
+    Arg.(
+      value
+      & opt int S.Server.default_cfg.S.Server.sv_memo_entries
+      & info [ "memo-entries" ] ~docv:"N"
+          ~doc:
+            "Capacity of the in-memory memo of previously solved states \
+             (content-hash keyed; makes edit-and-revert cycles hits)")
+  in
+  let no_timings_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "no-timings" ]
+          ~doc:
+            "Zero all wall_us fields and drop wall-clock counters, making \
+             responses byte-comparable across runs")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-tolerant incremental analysis daemon: JSONL \
+          requests (analyze, lint, profile, edit, health, shutdown) over \
+          stdin/stdout or a Unix socket, with a resident solved program, \
+          incremental re-analysis on edit, per-request deadlines, \
+          overload shedding, and snapshot/journal recovery")
+    Term.(
+      const run $ file_opt $ analysis_arg $ roots_arg $ engine_arg
+      $ max_tasks_arg $ timeout_arg $ max_flows_arg $ state_arg $ resume_arg
+      $ socket_arg $ deadline_arg $ max_queue_arg $ retry_after_arg
+      $ snapshot_every_arg $ memo_entries_arg $ no_timings_arg)
 
 (* --------------------------------- gen -------------------------------- *)
 
@@ -1308,4 +1563,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; batch_cmd; compare_cmd; deadcode_cmd; lint_cmd;
-            profile_cmd; run_cmd; fuzz_cmd; gen_cmd; bench_list_cmd ]))
+            profile_cmd; run_cmd; serve_cmd; fuzz_cmd; gen_cmd;
+            bench_list_cmd ]))

@@ -57,6 +57,20 @@ let resume ?random_order ?on_budget ?budget ?trace bytes =
         (finish ?random_order ?on_budget ~config:(Engine.config_of engine)
            ~trace ~t0 engine)
 
+(** [rerun engine] drives an already-constructed engine (back) to its
+    fixed point and recomputes metrics — the incremental-analysis path: a
+    solved engine that just gained roots via {!Engine.add_root} re-drains
+    from the new boundary flows only, and monotonicity guarantees the
+    resulting fixed point is the one a from-scratch solve over the grown
+    root set would reach. *)
+let rerun ?random_order ?on_budget ?trace engine =
+  let trace =
+    match trace with Some tr -> tr | None -> Engine.trace_of engine
+  in
+  let t0 = Sys.time () in
+  finish ?random_order ?on_budget ~config:(Engine.config_of engine) ~trace ~t0
+    engine
+
 (** Convenience: resolve root methods by ["Class.method"] qualified names. *)
 let roots_by_name (prog : Program.t) names =
   let rec go acc = function

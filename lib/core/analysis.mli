@@ -40,6 +40,20 @@ val run :
     [`Degrade] (default) finishes at a sound coarser fixed point;
     [`Pause] returns with [result.outcome = Paused snapshot] instead. *)
 
+val rerun :
+  ?random_order:int ->
+  ?on_budget:[ `Degrade | `Pause ] ->
+  ?trace:Trace.t ->
+  Engine.t ->
+  result
+(** Drive an already-constructed engine (back) to its fixed point and
+    recompute metrics.  This is the incremental re-analysis step: on a
+    solved engine that just gained roots via {!Engine.add_root}, the
+    worklist re-drains from the new roots' boundary flows only, and
+    monotone chaotic iteration guarantees the fixed point equals a
+    from-scratch solve over the grown root set (pinned flow by flow by
+    the serve tests).  [trace] defaults to the engine's own trace. *)
+
 val resume :
   ?random_order:int ->
   ?on_budget:[ `Degrade | `Pause ] ->

@@ -161,7 +161,17 @@ let evict t =
               (mtime, p))
             entries
         in
-        Array.sort compare stamped;
+        (* oldest first; ties broken by path.  [st_mtime] ties are common
+           in practice — coarse-granularity filesystems, and several
+           stores landing within one clock tick — and an unordered tie
+           would make which entry survives eviction depend on [readdir]
+           order, i.e. on the filesystem.  The path (the content-hash
+           key) makes the order total and reproducible. *)
+        let lru_order (ma, pa) (mb, pb) =
+          let c = Float.compare ma mb in
+          if c <> 0 then c else String.compare pa pb
+        in
+        Array.sort lru_order stamped;
         for i = 0 to excess - 1 do
           let _, p = stamped.(i) in
           (try Sys.remove p with Sys_error _ -> ());

@@ -788,6 +788,14 @@ let load_snapshot ?trace ?budget path =
       | Ok t -> Ok t
       | Error message -> Error (Snapshot.Bad_payload { path; message }))
 
+let clone ?trace ?budget t =
+  (* [capture]'s frozen record aliases the live mutable flows; only a
+     Marshal round trip yields an independent copy.  Bytes we just
+     produced always decode. *)
+  match of_snapshot_bytes ?trace ?budget (snapshot_bytes t) with
+  | Ok t' -> t'
+  | Error message -> invalid_arg ("Engine.clone: " ^ message)
+
 (* ------------------------------ driver -------------------------------- *)
 
 let add_root ?seed_params t (m : Program.meth) =

@@ -146,6 +146,13 @@ val load_snapshot :
     {!Snapshot.error}; an intact container whose payload fails to decode
     is {!Snapshot.Bad_payload}. *)
 
+val clone : ?trace:Trace.t -> ?budget:Budget.t -> t -> t
+(** An independent deep copy of the complete solver state (a
+    {!snapshot_bytes} round trip): mutating the clone — e.g.
+    {!add_root} + {!run} on a solved engine — leaves the original
+    untouched.  [budget] replaces the clone's budget.  Meaningful at task
+    boundaries, like {!snapshot_bytes}. *)
+
 (** {2 Results} *)
 
 val prog_of : t -> Skipflow_ir.Program.t

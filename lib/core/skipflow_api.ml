@@ -71,6 +71,8 @@ let guard f =
   | (Stack_overflow | Out_of_memory) as e -> raise e
   | e -> Error (Internal_error (Printexc.to_string e))
 
+let protect = guard
+
 let spanner_of trace =
   { Frontend.span = (fun name f -> Trace.with_phase trace name f) }
 

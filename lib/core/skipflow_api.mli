@@ -68,6 +68,14 @@ val error_kind : error -> string
     ["internal_error"] — used by the CLI's JSON error objects and the
     batch journal. *)
 
+val protect : (unit -> ('a, error) result) -> ('a, error) result
+(** Run [f] under the facade's exception boundary: any exception except
+    [Stack_overflow] / [Out_of_memory] becomes {!Internal_error}.  This is
+    the same guard every entry point below runs under, exposed so
+    long-lived embedders (the serve daemon) can extend the
+    no-exception-crosses-the-boundary guarantee to their own
+    per-request work. *)
+
 (** {1 Results} *)
 
 type summary = {

@@ -41,6 +41,12 @@ type report = {
   r_crash_checked : int;
       (** crash-injection probes: corrupted snapshot / cache files that
           had to come back as reported errors with a sound fallback *)
+  r_serve_checked : int;
+      (** daemon probes: abandoned (kill -9-equivalent) serve sessions
+          resumed and replayed byte-identically, truncated / garbage
+          request lines answered with structured errors, corrupt serve
+          snapshots recovered by cold start, and every final resident
+          fixed point certified flow-by-flow against a fresh solve *)
   r_failures : failure list;
 }
 
@@ -50,8 +56,9 @@ let pp_failure ppf f =
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d lint facts, %d crash \
-     probes, %d failure%s"
+     probes, %d daemon probes, %d failure%s"
     r.r_seeds r.r_runs r.r_degraded r.r_lint_checked r.r_crash_checked
+    r.r_serve_checked
     (List.length r.r_failures)
     (if List.length r.r_failures = 1 then "" else "s");
   List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_failure f) r.r_failures;
@@ -417,12 +424,230 @@ let crash_seed seed =
           rm dir));
   (List.rev !failures, !checked)
 
+(* ---------------------------- daemon mode ----------------------------- *)
+
+(* Fuzz the serve daemon the way production kills it: abandon sessions
+   without shutdown (the in-process equivalent of kill -9 — snapshots and
+   journal are on disk, the process state is gone), resume them, and
+   demand byte-identical responses for the replayed prefix plus a final
+   resident fixed point flow-identical to a fresh solve; feed truncated
+   and garbage request lines and demand structured errors with the daemon
+   still serving; corrupt the serve snapshot in seed-varied ways and
+   demand a logged cold start, never an escape. *)
+
+module Sv = Skipflow_serve.Server
+module Incr = Skipflow_serve.Incremental
+
+let rec rm_tree p =
+  if Sys.file_exists p then
+    if Sys.is_directory p then begin
+      Array.iter (fun n -> rm_tree (Filename.concat p n)) (Sys.readdir p);
+      try Unix.rmdir p with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove p with Sys_error _ -> ()
+
+let temp_state_dir () =
+  let p = Filename.temp_file "skipflow-fuzz-serve" ".state" in
+  Sys.remove p;
+  p
+
+let req fields = K.Json.to_compact_string (K.Json.Obj fields)
+
+let edit_req id source =
+  req
+    [ ("op", K.Json.Str "edit"); ("id", K.Json.Int id);
+      ("source", K.Json.Str source);
+    ]
+
+let serve_cfg dir =
+  { Sv.default_cfg with Sv.sv_state_dir = dir; sv_log = (fun _ -> ()) }
+
+let serve_seed seed =
+  let failures = ref [] in
+  let checked = ref 0 in
+  let fail ~case fmt =
+    Format.kasprintf
+      (fun f_detail ->
+        failures :=
+          { f_seed = seed; f_config = "skipflow"; f_case = case; f_detail }
+          :: !failures)
+      fmt
+  in
+  let probe () = incr checked in
+  (* the edit corpus: two random programs plus a revert, so the session
+     exercises full solves, the memo, and the resident fast path *)
+  let src_of cfg = Skipflow_frontend.Ast_pp.to_string (W.Gen_random.generate cfg) in
+  match
+    ( src_of (cfg_of_seed seed),
+      src_of { (cfg_of_seed (seed + 1)) with W.Gen_random.seed = seed + 1001 } )
+  with
+  | exception e ->
+      fail ~case:"serve:generate" "exception escaped the generator: %s"
+        (Printexc.to_string e);
+      (List.rev !failures, !checked)
+  | base, alt ->
+      let lines =
+        [ edit_req 1 base;
+          req [ ("op", K.Json.Str "health"); ("id", K.Json.Int 2) ];
+          edit_req 3 alt;
+          req [ ("op", K.Json.Str "analyze"); ("id", K.Json.Int 4) ];
+          edit_req 5 base;
+          req [ ("op", K.Json.Str "analyze"); ("id", K.Json.Int 6) ];
+        ]
+      in
+      let run_session ~resume dir ls =
+        match Sv.create ~resume (serve_cfg dir) with
+        | Error msg -> Error msg
+        | Ok srv -> Ok (srv, List.concat_map (Sv.handle_line srv) ls)
+      in
+      let take n l = List.filteri (fun i _ -> i < n) l in
+      (* the straight session: no interruption, no state dir *)
+      (match run_session ~resume:false None lines with
+      | exception e ->
+          fail ~case:"serve:straight" "exception escaped the daemon: %s"
+            (Printexc.to_string e)
+      | Error msg -> fail ~case:"serve:straight" "create failed: %s" msg
+      | Ok (straight_srv, straight_out) -> (
+          probe ();
+          (* kill after a seed-varied prefix, resume, re-feed everything *)
+          let dir = temp_state_dir () in
+          let k = 1 + (seed mod List.length lines) in
+          (match run_session ~resume:false (Some dir) (take k lines) with
+          | exception e ->
+              fail ~case:"serve:prefix" "exception escaped the daemon: %s"
+                (Printexc.to_string e)
+          | Error msg -> fail ~case:"serve:prefix" "create failed: %s" msg
+          | Ok (_abandoned, _) -> (
+              (* no finalize, no shutdown: the session is simply gone *)
+              match run_session ~resume:true (Some dir) lines with
+              | exception e ->
+                  fail ~case:"serve:resume" "exception escaped the resumed daemon: %s"
+                    (Printexc.to_string e)
+              | Error msg -> fail ~case:"serve:resume" "create failed: %s" msg
+              | Ok (resumed_srv, resumed_out) ->
+                  probe ();
+                  if resumed_out <> straight_out then
+                    fail ~case:"serve:resume"
+                      "killed-after-%d/resumed responses differ from the \
+                       straight session's"
+                      k
+                  else probe ();
+                  (match (Sv.state resumed_srv, Sv.state straight_srv) with
+                  | Some a, Some b -> (
+                      match
+                        Incr.same_fixed_point a.Incr.engine b.Incr.engine
+                      with
+                      | Ok () -> probe ()
+                      | Error msg ->
+                          fail ~case:"serve:resume"
+                            "resumed resident fixed point diverged: %s" msg)
+                  | _ ->
+                      fail ~case:"serve:resume"
+                        "a session ended without a resident state")));
+          (* torn and garbage request lines: structured errors, daemon
+             lives on and still answers *)
+          (match Sv.create ~resume:false (serve_cfg None) with
+          | Error msg -> fail ~case:"serve:garbage" "create failed: %s" msg
+          | Ok srv ->
+              let torn =
+                String.sub (edit_req 1 base)
+                  0
+                  (1 + (seed mod String.length (edit_req 1 base)))
+              in
+              List.iter
+                (fun line ->
+                  match Sv.handle_line srv line with
+                  | exception e ->
+                      fail ~case:"serve:garbage"
+                        "exception escaped on %S: %s" line
+                        (Printexc.to_string e)
+                  | [ resp ] -> (
+                      match K.Json.of_string resp with
+                      | exception K.Json.Parse_error m ->
+                          fail ~case:"serve:garbage"
+                            "unparseable response to %S: %s" line m
+                      | j -> (
+                          match K.Json.member "ok" j with
+                          | Some (K.Json.Bool false) -> probe ()
+                          | _ ->
+                              fail ~case:"serve:garbage"
+                                "garbage line %S was not answered with a \
+                                 structured error"
+                                line))
+                  | _ -> fail ~case:"serve:garbage" "no response to %S" line)
+                [ torn; "{\"op\":"; "not json at all"; "{\"op\":\"frobnicate\"}" ];
+              (* and a valid request afterwards must still be served *)
+              (match Sv.handle_line srv (edit_req 9 base) with
+              | exception e ->
+                  fail ~case:"serve:garbage"
+                    "daemon died after garbage input: %s" (Printexc.to_string e)
+              | [] -> fail ~case:"serve:garbage" "no response after garbage"
+              | _ -> probe ()));
+          (* corrupt serve snapshots: every mutation must come back as a
+             cold start (or an intact-prefix recovery), never an escape,
+             and the daemon must re-solve to the straight fixed point *)
+          let dir2 = temp_state_dir () in
+          (match run_session ~resume:false (Some dir2) [ edit_req 1 base ] with
+          | Error msg -> fail ~case:"serve:corrupt" "create failed: %s" msg
+          | Ok (srv, _) -> (
+              Sv.finalize srv;
+              let snap = Filename.concat dir2 "serve.snap" in
+              (* drop the journal: this probe is about snapshot damage,
+                 not replay *)
+              (try Sys.remove (Filename.concat dir2 "journal.jsonl")
+               with Sys_error _ -> ());
+              match read_bytes snap with
+              | exception Sys_error m ->
+                  fail ~case:"serve:corrupt" "snapshot unreadable: %s" m
+              | intact ->
+                  List.iter
+                    (fun (mname, damaged) ->
+                      write_bytes snap damaged;
+                      match Sv.create ~resume:true (serve_cfg (Some dir2)) with
+                      | exception e ->
+                          fail ~case:("serve:" ^ mname)
+                            "exception escaped the resume: %s"
+                            (Printexc.to_string e)
+                      | Error msg ->
+                          fail ~case:("serve:" ^ mname)
+                            "damaged snapshot refused instead of cold start: \
+                             %s"
+                            msg
+                      | Ok srv -> (
+                          match Sv.handle_line srv (edit_req 1 base) with
+                          | exception e ->
+                              fail ~case:("serve:" ^ mname)
+                                "exception escaped the recovered daemon: %s"
+                                (Printexc.to_string e)
+                          | _ -> (
+                              match (Sv.state srv, Sv.state straight_srv) with
+                              | Some a, Some b ->
+                                  (* straight_srv's last edit was [base]
+                                     too, so the fixed points must agree *)
+                                  (match
+                                     Incr.same_fixed_point a.Incr.engine
+                                       b.Incr.engine
+                                   with
+                                  | Ok () -> probe ()
+                                  | Error msg ->
+                                      fail ~case:("serve:" ^ mname)
+                                        "recovered fixed point diverged: %s"
+                                        msg)
+                              | _ ->
+                                  fail ~case:("serve:" ^ mname)
+                                    "recovered daemon has no resident state")))
+                    (mutations ~seed ~len:(String.length intact) intact)));
+          rm_tree dir;
+          rm_tree dir2));
+      (List.rev !failures, !checked)
+
 (** [run ~seeds ()] fuzzes seeds [0 .. seeds-1]; [progress] is called
     after each seed (for CLI feedback).  [crash] additionally runs the
     crash-injection matrix (snapshot + cache corruption) on every seed. *)
 let run ?(progress = fun _ -> ()) ?(crash = false) ~seeds () : report =
   let failures = ref [] and runs = ref 0 and degraded = ref 0 in
   let lint_checked = ref 0 and crash_checked = ref 0 in
+  let serve_checked = ref 0 in
   for s = 0 to seeds - 1 do
     let fs, r, d, l = fuzz_seed s in
     failures := List.rev_append fs !failures;
@@ -432,7 +657,10 @@ let run ?(progress = fun _ -> ()) ?(crash = false) ~seeds () : report =
     if crash then begin
       let cfs, c = crash_seed s in
       failures := List.rev_append cfs !failures;
-      crash_checked := !crash_checked + c
+      crash_checked := !crash_checked + c;
+      let sfs, sc = serve_seed s in
+      failures := List.rev_append sfs !failures;
+      serve_checked := !serve_checked + sc
     end;
     progress s
   done;
@@ -442,5 +670,6 @@ let run ?(progress = fun _ -> ()) ?(crash = false) ~seeds () : report =
     r_degraded = !degraded;
     r_lint_checked = !lint_checked;
     r_crash_checked = !crash_checked;
+    r_serve_checked = !serve_checked;
     r_failures = List.rev !failures;
   }

@@ -1,0 +1,74 @@
+(** The serve daemon's state machine, transport-agnostic: request lines
+    in, response lines out.  The process event loop (stdin/stdout or a
+    Unix socket, signals, blocking reads) lives in the CLI; everything
+    below is a pure library so the tests and the fuzz harness can drive
+    whole sessions — including crash/recovery cycles — in process.
+
+    {b Robustness contract.}  No exception crosses {!handle_line}: every
+    failure is a structured {!Protocol.error} response.  Mutations are
+    computed on candidates and committed only on success, so a deadline
+    trip rolls the resident state back by construction.  Every response
+    is appended to a journal (with the request digest and the resulting
+    generation) before it is returned, and the resident state plus memo
+    are snapshotted atomically every [snapshot_every] mutations — a
+    [kill -9] at any point loses at most the in-flight request, and a
+    restart with [resume:true] re-emits journaled responses byte for
+    byte while re-executing post-snapshot mutations to catch the
+    resident state up. *)
+
+module C = Skipflow_core
+module Api = Skipflow_api
+
+type cfg = {
+  sv_config : C.Config.t;
+  sv_mode : C.Engine.mode;
+  sv_roots : string list;  (** initial root names; [[]] = static main *)
+  sv_state_dir : string option;  (** snapshots + journal; [None] = none *)
+  sv_snapshot_every : int;
+      (** mutations between snapshots; 1 = after every mutation *)
+  sv_deadline_ms : int option;  (** default per-request deadline *)
+  sv_max_queue : int;  (** bounded request queue capacity *)
+  sv_retry_after_ms : int;  (** the hint shed responses carry *)
+  sv_memo_entries : int;  (** memo capacity (solved states) *)
+  sv_timings : bool;  (** report wall_us; off = 0, byte-comparable *)
+  sv_log : string -> unit;  (** diagnostics (recovery warnings etc.) *)
+}
+
+val default_cfg : cfg
+(** skipflow config, dedup engine, main root, no state dir, snapshot
+    every mutation, no deadline, queue of 64, retry hint 50ms, 8 memo
+    entries, timings off, silent log. *)
+
+type t
+
+val create : ?initial:Api.source -> resume:bool -> cfg -> (t, string) result
+(** Start a daemon.  [initial] loads and fully solves a program before
+    serving (its errors fail creation — the CLI contract).  With
+    [resume:true] and a state dir, the last snapshot is restored (config
+    fingerprint, container CRC, schema version and the {!C.Verify}
+    certifier all guard it; any suspicion falls back to a cold start
+    with a logged warning, never a refusal) and the journal is loaded
+    for replay.  A resumed daemon prefers the snapshot over [initial]. *)
+
+val handle_line : t -> string -> string list
+(** Process one request line to completion: parse, replay-match,
+    dispatch, journal, snapshot; returns the response lines (empty for a
+    blank input line).  Never raises. *)
+
+val submit : t -> string -> string list
+(** Enqueue a request line, or shed it: when the bounded queue is full
+    the returned list carries the {!Protocol.Overloaded} response (with
+    the [retry_after_ms] hint) and the line is dropped. *)
+
+val drain_one : t -> string list option
+(** Process the oldest queued request ([None] if the queue is empty). *)
+
+val pending : t -> int
+val wants_shutdown : t -> bool
+(** A [shutdown] request was processed; the loop should {!finalize}. *)
+
+val generation : t -> int
+val state : t -> Incremental.state option
+
+val finalize : t -> unit
+(** Final snapshot, journal flush and close.  Idempotent. *)

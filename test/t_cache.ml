@@ -161,6 +161,54 @@ let test_lru_eviction () =
       Alcotest.(check (option string)) "new entry present" (Some "v4")
         (C.Cache.find cache k4))
 
+(* Entries whose mtimes tie (coarse filesystem clocks, or several stores
+   within one tick) must still evict in a total, reproducible order: the
+   tie breaks on the entry path, so which entry survives never depends
+   on readdir order.  Pin that by forcing every mtime equal and checking
+   the lexicographically-smallest entry is the one evicted. *)
+let test_eviction_tie_break_on_path () =
+  with_cache ~max_entries:3 (fun trace cache ->
+      let keys =
+        List.map
+          (fun i ->
+            let k =
+              C.Cache.key ~config:C.Config.skipflow ~scope:""
+                ~source:(Printf.sprintf "tie-%d" i)
+            in
+            (match C.Cache.store cache k (Printf.sprintf "v%d" i) with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+            Unix.utimes (C.Cache.entry_path cache k) 1000.0 1000.0;
+            k)
+          [ 1; 2; 3 ]
+      in
+      let victim =
+        List.hd
+          (List.sort
+             (fun a b ->
+               String.compare
+                 (C.Cache.entry_path cache a)
+                 (C.Cache.entry_path cache b))
+             keys)
+      in
+      let k4 = C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"tie-4" in
+      (match C.Cache.store cache k4 "v4" with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "store: %s" (C.Snapshot.error_message e));
+      Unix.utimes (C.Cache.entry_path cache k4) 1000.0 1000.0;
+      Alcotest.(check int) "one eviction" 1 (counter trace "cache.evict");
+      Alcotest.(check (option string)) "smallest path evicted on mtime tie"
+        None (C.Cache.find cache victim);
+      List.iter
+        (fun k ->
+          if not (String.equal k victim) then
+            Alcotest.(check bool)
+              (Printf.sprintf "survivor %s still served"
+                 (Filename.basename (C.Cache.entry_path cache k)))
+              true
+              (C.Cache.find cache k <> None))
+        keys)
+
 (* Leftover [<key>.entry.tmp.<pid>] files from a crash mid-write are
    outside the entry set — eviction must not let them accumulate
    forever, but a fresh tmp may belong to a live writer and must be
@@ -207,6 +255,8 @@ let suite =
         test_wrong_key_not_served;
       Alcotest.test_case "LRU eviction past max_entries" `Quick
         test_lru_eviction;
+      Alcotest.test_case "eviction ties on mtime break on path" `Quick
+        test_eviction_tie_break_on_path;
       Alcotest.test_case "stale tmp leftovers are swept" `Quick
         test_stale_tmp_swept;
     ] )

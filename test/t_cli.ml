@@ -314,6 +314,139 @@ let test_batch_watchdog () =
       Alcotest.(check bool) "input copied for triage" true
         (Sys.file_exists (Filename.concat qdir ("1-" ^ Filename.basename big))))
 
+(* [skipflow serve] end to end through the binary: a straight session's
+   response stream, versus one killed with SIGKILL mid-session and
+   restarted with --resume — the re-fed stream must come back byte for
+   byte.  The transport, snapshotting, journaling and replay all cross
+   the real process boundary here (the in-process variants live in
+   t_serve). *)
+let test_serve_kill9_resume_cli () =
+  in_temp_dir (fun dir ->
+      let src = Filename.concat dir "p.mj" in
+      let base =
+        "class Main { static void main() { Live l = new Live(); int x = \
+         l.go(); } }\n\
+         class Live { int go() { return 1; } }\n\
+         class Dead { int never() { return 2; } }\n"
+      in
+      write_file src base;
+      let edited = base ^ "class Extra { int pad() { return 9; } }\n" in
+      let req fields = K.Json.to_compact_string (K.Json.Obj fields) in
+      let requests =
+        String.concat "\n"
+          [ req [ ("op", K.Json.Str "health"); ("id", K.Json.Int 1) ];
+            req [ ("op", K.Json.Str "analyze"); ("id", K.Json.Int 2) ];
+            req
+              [ ("op", K.Json.Str "edit"); ("id", K.Json.Int 3);
+                ("source", K.Json.Str edited);
+              ];
+            req [ ("op", K.Json.Str "analyze"); ("id", K.Json.Int 4) ];
+            req
+              [ ("op", K.Json.Str "edit"); ("id", K.Json.Int 5);
+                ("source", K.Json.Str base);
+              ];
+            req [ ("op", K.Json.Str "health"); ("id", K.Json.Int 6) ];
+          ]
+        ^ "\n"
+      in
+      let reqs = Filename.concat dir "requests.jsonl" in
+      write_file reqs requests;
+      let sh fmt = Printf.ksprintf (fun cmd -> Sys.command cmd) fmt in
+      let straight = Filename.concat dir "straight.out" in
+      let code =
+        sh "%s serve %s --state %s --no-timings < %s > %s 2>/dev/null"
+          (Filename.quote exe) (Filename.quote src)
+          (Filename.quote (Filename.concat dir "sA"))
+          (Filename.quote reqs) (Filename.quote straight)
+      in
+      Alcotest.(check int) "straight session exits 0" 0 code;
+      (* feed three requests, then hang — the watchdog SIGKILLs the
+         daemon mid-session, after snapshots and journal hit disk *)
+      let killed =
+        sh
+          "( head -3 %s; sleep 30 ) | timeout -s KILL 4 %s serve %s --state \
+           %s --no-timings > /dev/null 2>&1"
+          (Filename.quote reqs) (Filename.quote exe) (Filename.quote src)
+          (Filename.quote (Filename.concat dir "sB"))
+      in
+      Alcotest.(check int) "daemon died by SIGKILL" 137 killed;
+      let resumed = Filename.concat dir "resumed.out" in
+      let code =
+        sh "%s serve --state %s --resume --no-timings < %s > %s 2>/dev/null"
+          (Filename.quote exe)
+          (Filename.quote (Filename.concat dir "sB"))
+          (Filename.quote reqs) (Filename.quote resumed)
+      in
+      Alcotest.(check int) "resumed session exits 0" 0 code;
+      Alcotest.(check string) "replayed responses byte-identical"
+        (read_file straight) (read_file resumed))
+
+(* [skipflow batch] under SIGTERM: the driver kills the in-flight worker,
+   flushes the journal, and exits 143; a --resume run then finishes only
+   the remaining jobs and reaches a complete summary. *)
+let test_batch_sigterm_resume () =
+  in_temp_dir (fun dir ->
+      let big = Filename.concat dir "big.mj" in
+      let code, _, _ = run_cli ~dir [ "gen"; "--bench"; "sunflow"; "-o"; big ] in
+      Alcotest.(check int) "gen exits 0" 0 code;
+      let n_jobs = 8 in
+      let manifest = Filename.concat dir "manifest.txt" in
+      write_file manifest
+        (String.concat ""
+           (List.init n_jobs (fun i ->
+                let p = Filename.concat dir (Printf.sprintf "job%d.mj" i) in
+                write_file p (read_file big);
+                Filename.basename p ^ "\n")));
+      let journal = Filename.concat dir "journal.jsonl" in
+      let code_file = Filename.concat dir "term.code" in
+      (* each job takes ~500ms, so at one second in the batch is mid-run;
+         a slow machine only makes the race safer *)
+      let script =
+        Printf.sprintf
+          "%s batch %s --journal %s --no-timings -o %s >/dev/null 2>&1 &\n\
+           pid=$!\n\
+           sleep 1\n\
+           kill -TERM $pid\n\
+           wait $pid\n\
+           echo $? > %s\n"
+          (Filename.quote exe) (Filename.quote manifest)
+          (Filename.quote journal)
+          (Filename.quote (Filename.concat dir "ignored.json"))
+          (Filename.quote code_file)
+      in
+      let sh_file = Filename.concat dir "interrupt.sh" in
+      write_file sh_file script;
+      let rc = Sys.command (Printf.sprintf "sh %s" (Filename.quote sh_file)) in
+      Alcotest.(check int) "interrupt script ran" 0 rc;
+      Alcotest.(check string) "batch exited 143 on SIGTERM" "143"
+        (String.trim (read_file code_file));
+      (* the flushed journal parses line by line *)
+      let journaled =
+        List.filter (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' (read_file journal))
+      in
+      List.iter (fun l -> ignore (json_of ~ctx:"journal line" l)) journaled;
+      Alcotest.(check bool) "interrupt landed mid-batch" true
+        (List.length journaled < n_jobs);
+      (* no stray worker temp files survive the interrupt *)
+      Array.iter
+        (fun name ->
+          if Filename.check_suffix name ".tmp" then
+            Alcotest.failf "stray temp file after interrupt: %s" name)
+        (Sys.readdir dir);
+      let out = Filename.concat dir "summary.json" in
+      let code, _, _ =
+        run_cli ~dir
+          [ "batch"; manifest; "--journal"; journal; "--resume";
+            "--no-timings"; "-o"; out ]
+      in
+      Alcotest.(check int) "resume completes" 0 code;
+      let j = json_of ~ctx:"resume summary" (read_file out) in
+      Alcotest.(check int) "all jobs accounted for" n_jobs
+        (int_member ~ctx:"resume summary" "jobs" j);
+      Alcotest.(check int) "all jobs ok" n_jobs
+        (int_member ~ctx:"resume summary" "ok" j))
+
 let suite =
   ( "cli",
     [
@@ -325,4 +458,8 @@ let suite =
         test_batch_resume_and_cache;
       Alcotest.test_case "batch watchdog contains a slow job" `Quick
         test_batch_watchdog;
+      Alcotest.test_case "serve: kill -9 and resume replay byte-identically"
+        `Quick test_serve_kill9_resume_cli;
+      Alcotest.test_case "batch: SIGTERM flushes the journal and resumes"
+        `Quick test_batch_sigterm_resume;
     ] )

@@ -1,0 +1,499 @@
+(* The serve daemon: protocol parsing, the full error matrix (every
+   facade error variant and every serve-specific error, each with its
+   stable kind and exit code), incremental-vs-fresh flow-by-flow equality
+   over an edit corpus that exercises every strategy, deadline rollback,
+   overload shedding, and kill-9/warm-restart response byte-equality. *)
+
+module C = Skipflow_core
+module K = Skipflow_checks
+module Api = Skipflow_api
+module P = Skipflow_serve.Protocol
+module I = Skipflow_serve.Incremental
+module Sv = Skipflow_serve.Server
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_state_dir f =
+  let dir = Filename.temp_dir "skipflow-serve" "" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let req fields = K.Json.to_compact_string (K.Json.Obj fields)
+
+let edit_req ?deadline_ms id source =
+  req
+    ([ ("op", K.Json.Str "edit"); ("id", K.Json.Int id) ]
+    @ (match deadline_ms with
+      | Some d -> [ ("deadline_ms", K.Json.Int d) ]
+      | None -> [])
+    @ [ ("source", K.Json.Str source) ])
+
+let op_req ?(extra = []) id op =
+  req ([ ("op", K.Json.Str op); ("id", K.Json.Int id) ] @ extra)
+
+(* a response is exactly one line of parseable JSON *)
+let one_response = function
+  | [ line ] -> K.Json.of_string (String.trim line)
+  | other -> Alcotest.failf "expected one response line, got %d" (List.length other)
+
+let bool_member name j =
+  match K.Json.member name j with
+  | Some (K.Json.Bool b) -> b
+  | _ -> Alcotest.failf "missing bool %S" name
+
+let str_member name j =
+  match K.Json.member name j with
+  | Some (K.Json.Str s) -> s
+  | _ -> Alcotest.failf "missing string %S" name
+
+let int_member name j =
+  match K.Json.member name j with
+  | Some (K.Json.Int n) -> n
+  | _ -> Alcotest.failf "missing int %S" name
+
+let error_of j =
+  match K.Json.member "error" j with
+  | Some e -> e
+  | None -> Alcotest.failf "response has no error object"
+
+(* --------------------------- protocol parsing -------------------------- *)
+
+let test_parse_requests () =
+  (match P.parse_request {|{"op":"analyze","id":7,"deadline_ms":250}|} with
+  | Ok { P.req_id = Some 7; req_deadline_ms = Some 250; req = P.Analyze { roots = None } } -> ()
+  | _ -> Alcotest.fail "analyze envelope mis-parsed");
+  (match P.parse_request {|{"op":"analyze","roots":["A.b","C.d"]}|} with
+  | Ok { P.req = P.Analyze { roots = Some [ "A.b"; "C.d" ] }; _ } -> ()
+  | _ -> Alcotest.fail "analyze roots mis-parsed");
+  (match P.parse_request {|{"op":"lint","only":["dead-method"]}|} with
+  | Ok { P.req = P.Lint { only = Some [ "dead-method" ] }; _ } -> ()
+  | _ -> Alcotest.fail "lint only mis-parsed");
+  (match P.parse_request {|{"op":"edit","source":"class A { }"}|} with
+  | Ok { P.req = P.Edit { source = "class A { }" }; _ } -> ()
+  | _ -> Alcotest.fail "edit mis-parsed");
+  List.iter
+    (fun (line, expect) ->
+      match (P.parse_request line, expect) with
+      | Error (P.Parse_error _), `Parse -> ()
+      | Error (P.Unknown_op _), `Unknown -> ()
+      | got, _ ->
+          Alcotest.failf "%s: wrong classification (%s)" line
+            (match got with
+            | Ok _ -> "parsed"
+            | Error e -> P.error_kind e))
+    [
+      ("{", `Parse);
+      ("not json", `Parse);
+      ("{\"id\":1}", `Parse);
+      ({|{"op":"edit"}|}, `Parse);
+      ({|{"op":"analyze","roots":[1]}|}, `Parse);
+      ({|{"op":"analyze","schema_version":999}|}, `Parse);
+      ({|{"op":"frobnicate"}|}, `Unknown);
+    ]
+
+(* ----------------------- the error matrix (kinds) ---------------------- *)
+
+(* Every Api.error variant, produced through the facade (not hand-built),
+   rendered through the protocol: stable kind, documented exit code, and
+   for compile errors the positioned diagnostics. *)
+let test_api_error_matrix () =
+  let fields e = P.api_error_fields e in
+  let kind e = str_member "kind" (K.Json.Obj (fields e)) in
+  let code e = int_member "exit_code" (K.Json.Obj (fields e)) in
+  let io =
+    match Api.compile (`File "/nonexistent/skipflow-test.mj") with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "unreadable file compiled"
+  in
+  Alcotest.(check string) "io kind" "io_error" (kind io);
+  Alcotest.(check int) "io exit" 2 (code io);
+  let compile =
+    match Api.compile (`Text "class Broken {") with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "broken source compiled"
+  in
+  Alcotest.(check string) "compile kind" "compile_error" (kind compile);
+  Alcotest.(check int) "compile exit" 2 (code compile);
+  (match K.Json.member "diags" (K.Json.Obj (fields compile)) with
+  | Some (K.Json.Arr (d :: _)) ->
+      ignore (int_member "line" d);
+      ignore (int_member "col" d);
+      ignore (str_member "message" d)
+  | _ -> Alcotest.fail "compile error without positioned diags");
+  let prog, _ = Result.get_ok (Api.compile (`Text "class A { static void main() { } }")) in
+  let unknown_root =
+    match Api.resolve_roots prog [ "Nope.nada" ] with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "bogus root resolved"
+  in
+  Alcotest.(check string) "root kind" "unknown_root" (kind unknown_root);
+  Alcotest.(check int) "root exit" 2 (code unknown_root);
+  let mainless, _ = Result.get_ok (Api.compile (`Text "class B { int f() { return 1; } }")) in
+  let no_main =
+    match Api.resolve_roots mainless [] with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "mainless program resolved a default root"
+  in
+  Alcotest.(check string) "no-main kind" "no_main" (kind no_main);
+  Alcotest.(check int) "no-main exit" 2 (code no_main);
+  let internal =
+    match Api.protect (fun () -> failwith "boom") with
+    | Error e -> e
+    | Ok _ -> Alcotest.fail "protect let an exception through"
+  in
+  Alcotest.(check string) "internal kind" "internal_error" (kind internal);
+  Alcotest.(check int) "internal exit" 1 (code internal)
+
+(* The serve-specific errors: kind, exit code, and the structured extras
+   (retry_after_ms, deadline_ms). *)
+let test_serve_error_matrix () =
+  let render e = P.error_json e in
+  let check_one e ~kind ~exit_code =
+    let j = render e in
+    Alcotest.(check string) (kind ^ " kind") kind (str_member "kind" j);
+    Alcotest.(check int) (kind ^ " exit") exit_code (int_member "exit_code" j)
+  in
+  check_one (P.Parse_error "bad") ~kind:"parse_error" ~exit_code:2;
+  check_one (P.Unknown_op "zap") ~kind:"unknown_op" ~exit_code:2;
+  check_one P.No_program ~kind:"no_program" ~exit_code:2;
+  check_one (P.Deadline_exceeded { deadline_ms = 17 }) ~kind:"deadline_exceeded"
+    ~exit_code:3;
+  check_one (P.Overloaded { retry_after_ms = 40 }) ~kind:"overloaded"
+    ~exit_code:1;
+  check_one P.Shutting_down ~kind:"shutting_down" ~exit_code:1;
+  Alcotest.(check int) "deadline carried" 17
+    (int_member "deadline_ms" (render (P.Deadline_exceeded { deadline_ms = 17 })));
+  Alcotest.(check int) "retry hint carried" 40
+    (int_member "retry_after_ms" (render (P.Overloaded { retry_after_ms = 40 })))
+
+(* ------------------- incremental vs fresh (the oracle) ----------------- *)
+
+let base_src =
+  "class Main {\n\
+  \  static void main() {\n\
+  \    Live l = new Live();\n\
+  \    int x = l.go();\n\
+  \  }\n\
+   }\n\
+   class Live { int go() { return 1; } }\n\
+   class Dead { int never() { return 2; } }\n"
+
+let replace ~sub ~by s =
+  let n = String.length sub in
+  let len = String.length s in
+  let b = Buffer.create len in
+  let i = ref 0 in
+  while !i < len do
+    if !i + n <= len && String.equal (String.sub s !i n) sub then begin
+      Buffer.add_string b by;
+      i := !i + n
+    end
+    else begin
+      Buffer.add_char b s.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+let dead_edit = replace ~sub:"return 2" ~by:"return 3" base_src
+let live_edit = replace ~sub:"return 1" ~by:"return 5" base_src
+
+let config = C.Config.skipflow
+let mode = C.Engine.Dedup
+
+let fresh_engine ~source ~roots =
+  match
+    I.solve_full ~config ~mode ~deadline_ms:None ~generation:0 ~source ~roots ()
+  with
+  | Ok o -> o.I.o_state.I.engine
+  | Error e -> Alcotest.failf "fresh solve failed: %s" (P.error_message e)
+
+(* Drive the incremental layer through an edit corpus that reaches every
+   strategy, certifying each committed state flow-by-flow against a
+   from-scratch solve — the acceptance oracle. *)
+let test_incremental_matches_fresh () =
+  let memo = I.Memo.create 8 in
+  let seen = ref [] in
+  let commit (o : I.outcome) =
+    List.iter (I.Memo.add memo) o.I.o_memo_adds;
+    seen := I.strategy_name o.I.o_strategy :: !seen;
+    o.I.o_state
+  in
+  let certify label (st : I.state) =
+    match
+      I.same_fixed_point st.I.engine
+        (fresh_engine ~source:st.I.source ~roots:st.I.roots)
+    with
+    | Ok () -> ()
+    | Error msg -> Alcotest.failf "%s: diverged from fresh solve: %s" label msg
+  in
+  let edit label st source expect =
+    match I.edit ~config ~mode ~deadline_ms:None ~memo st ~source with
+    | Error e -> Alcotest.failf "%s: %s" label (P.error_message e)
+    | Ok o ->
+        Alcotest.(check string) label expect (I.strategy_name o.I.o_strategy);
+        let st = commit o in
+        certify label st;
+        st
+  in
+  let analyze label st roots expect =
+    match I.analyze_roots ~config ~mode ~deadline_ms:None ~memo st ~roots with
+    | Error e -> Alcotest.failf "%s: %s" label (P.error_message e)
+    | Ok o ->
+        Alcotest.(check string) label expect (I.strategy_name o.I.o_strategy);
+        let st = commit o in
+        certify label st;
+        st
+  in
+  let st =
+    match
+      I.solve_full ~config ~mode ~deadline_ms:None ~generation:0
+        ~source:base_src ~roots:[] ()
+    with
+    | Ok o -> commit o
+    | Error e -> Alcotest.failf "initial solve: %s" (P.error_message e)
+  in
+  certify "initial" st;
+  let st = edit "same source is resident" st base_src "resident" in
+  let st = edit "dead-body edit reuses" st dead_edit "reuse" in
+  let st = edit "live-body edit resolves fully" st live_edit "full" in
+  let st = edit "revert to reused state hits the memo" st dead_edit "memo" in
+  let st = edit "revert to base hits the memo" st base_src "memo" in
+  let st =
+    analyze "grown roots re-drain" st [ "Main.main"; "Dead.never" ] "redrain"
+  in
+  let st = analyze "same roots are resident" st [ "Main.main"; "Dead.never" ] "resident" in
+  let st = analyze "shrunk roots resolve fully" st [ "Main.main" ] "full" in
+  ignore st;
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "strategy %s exercised" s)
+        true
+        (List.mem s !seen))
+    [ "resident"; "memo"; "reuse"; "redrain"; "full" ]
+
+(* A reuse or redrain outcome must have passed the certifier. *)
+let test_incremental_verified_flag () =
+  let memo = I.Memo.create 4 in
+  let st =
+    match
+      I.solve_full ~config ~mode ~deadline_ms:None ~generation:0
+        ~source:base_src ~roots:[] ()
+    with
+    | Ok o -> o.I.o_state
+    | Error e -> Alcotest.failf "initial solve: %s" (P.error_message e)
+  in
+  (match I.edit ~config ~mode ~deadline_ms:None ~memo st ~source:dead_edit with
+  | Ok o ->
+      Alcotest.(check string) "reuse" "reuse" (I.strategy_name o.I.o_strategy);
+      Alcotest.(check bool) "reuse is certified" true o.I.o_verified
+  | Error e -> Alcotest.failf "edit: %s" (P.error_message e));
+  match
+    I.analyze_roots ~config ~mode ~deadline_ms:None ~memo st
+      ~roots:[ "Main.main"; "Dead.never" ]
+  with
+  | Ok o ->
+      Alcotest.(check string) "redrain" "redrain"
+        (I.strategy_name o.I.o_strategy);
+      Alcotest.(check bool) "redrain is certified" true o.I.o_verified
+  | Error e -> Alcotest.failf "analyze: %s" (P.error_message e)
+
+(* --------------------------- server behavior --------------------------- *)
+
+let quiet_cfg = { Sv.default_cfg with Sv.sv_log = (fun _ -> ()) }
+
+let create_exn ?initial ~resume cfg =
+  match Sv.create ?initial ~resume cfg with
+  | Ok srv -> srv
+  | Error msg -> Alcotest.failf "create: %s" msg
+
+let test_server_structured_errors () =
+  let srv = create_exn ~resume:false quiet_cfg in
+  let expect_err line kind =
+    let j = one_response (Sv.handle_line srv line) in
+    Alcotest.(check bool) (kind ^ " not ok") false (bool_member "ok" j);
+    Alcotest.(check string) kind kind (str_member "kind" (error_of j))
+  in
+  expect_err (op_req 1 "analyze") "no_program";
+  expect_err (op_req 2 "profile") "no_program";
+  expect_err (op_req 3 "lint") "no_program";
+  expect_err "{\"op\":" "parse_error";
+  expect_err (op_req 4 "frobnicate") "unknown_op";
+  expect_err (edit_req 5 "class Broken {") "compile_error";
+  (* the daemon survives all of the above and still serves *)
+  let j = one_response (Sv.handle_line srv (edit_req 6 base_src)) in
+  Alcotest.(check bool) "daemon alive after errors" true (bool_member "ok" j);
+  (* a lint with an unknown check id is a client error, not a crash *)
+  let j =
+    one_response
+      (Sv.handle_line srv
+         (op_req 7 "lint"
+            ~extra:[ ("only", K.Json.Arr [ K.Json.Str "no-such-check" ]) ]))
+  in
+  Alcotest.(check string) "unknown check is a parse_error" "parse_error"
+    (str_member "kind" (error_of j));
+  (* shutdown, then everything is refused *)
+  let j = one_response (Sv.handle_line srv (op_req 8 "shutdown")) in
+  Alcotest.(check bool) "shutdown ok" true (bool_member "ok" j);
+  Alcotest.(check bool) "wants shutdown" true (Sv.wants_shutdown srv);
+  let j = one_response (Sv.handle_line srv (op_req 9 "health")) in
+  Alcotest.(check string) "post-shutdown refused" "shutting_down"
+    (str_member "kind" (error_of j))
+
+let test_deadline_rollback () =
+  let srv = create_exn ~initial:(`Text base_src) ~resume:false quiet_cfg in
+  let gen0 = Sv.generation srv in
+  let j =
+    one_response (Sv.handle_line srv (edit_req ~deadline_ms:0 1 live_edit))
+  in
+  Alcotest.(check bool) "deadline trips" false (bool_member "ok" j);
+  Alcotest.(check string) "deadline kind" "deadline_exceeded"
+    (str_member "kind" (error_of j));
+  Alcotest.(check int) "deadline exit code" 3
+    (int_member "exit_code" (error_of j));
+  Alcotest.(check int) "rolled back" gen0 (Sv.generation srv);
+  (* the resident state still serves, and is the pre-edit one *)
+  let j = one_response (Sv.handle_line srv (op_req 2 "analyze")) in
+  Alcotest.(check bool) "resident survives" true (bool_member "ok" j);
+  (match K.Json.member "result" j with
+  | Some r ->
+      Alcotest.(check string) "old state is resident" "resident"
+        (str_member "strategy" r)
+  | None -> Alcotest.fail "no result");
+  (* without a deadline the same edit commits *)
+  let j = one_response (Sv.handle_line srv (edit_req 3 live_edit)) in
+  Alcotest.(check bool) "edit commits without deadline" true (bool_member "ok" j);
+  Alcotest.(check int) "generation advanced" (gen0 + 1) (Sv.generation srv)
+
+let test_overload_shedding () =
+  let srv =
+    create_exn ~initial:(`Text base_src) ~resume:false
+      { quiet_cfg with Sv.sv_max_queue = 1; sv_retry_after_ms = 75 }
+  in
+  Alcotest.(check (list string)) "first enqueues" []
+    (Sv.submit srv (op_req 1 "health"));
+  Alcotest.(check int) "one pending" 1 (Sv.pending srv);
+  let shed = one_response (Sv.submit srv (op_req 2 "health")) in
+  Alcotest.(check bool) "shed not ok" false (bool_member "ok" shed);
+  Alcotest.(check string) "shed kind" "overloaded"
+    (str_member "kind" (error_of shed));
+  Alcotest.(check int) "retry hint" 75
+    (int_member "retry_after_ms" (error_of shed));
+  Alcotest.(check int) "still one pending" 1 (Sv.pending srv);
+  (match Sv.drain_one srv with
+  | Some [ line ] ->
+      let j = K.Json.of_string (String.trim line) in
+      Alcotest.(check bool) "queued request served" true (bool_member "ok" j)
+  | _ -> Alcotest.fail "drain_one served nothing");
+  Alcotest.(check int) "queue drained" 0 (Sv.pending srv);
+  Alcotest.(check bool) "drained dry" true (Sv.drain_one srv = None)
+
+(* ----------------------- kill -9 and warm restart ----------------------- *)
+
+let session_lines =
+  [
+    edit_req 1 base_src;
+    op_req 2 "health";
+    edit_req 3 dead_edit;
+    op_req 4 "analyze";
+    edit_req 5 live_edit;
+    op_req 6 "analyze"
+      ~extra:
+        [ ("roots", K.Json.Arr [ K.Json.Str "Main.main"; K.Json.Str "Dead.never" ]) ];
+    op_req 7 "profile";
+  ]
+
+let run_all srv lines = List.concat_map (Sv.handle_line srv) lines
+
+(* The acceptance criterion: kill the daemon (abandon it mid-session,
+   snapshots and journal on disk), restart with --resume, re-feed the
+   same request stream, and the full response stream is byte-identical
+   to an uninterrupted session's — for every kill point. *)
+let test_kill_resume_byte_identical () =
+  let straight =
+    let srv = create_exn ~resume:false quiet_cfg in
+    run_all srv session_lines
+  in
+  List.iteri
+    (fun k _ ->
+      with_state_dir (fun dir ->
+          let cfg = { quiet_cfg with Sv.sv_state_dir = Some dir } in
+          let prefix = List.filteri (fun i _ -> i <= k) session_lines in
+          let srv_a = create_exn ~resume:false cfg in
+          ignore (run_all srv_a prefix);
+          (* no finalize, no shutdown: the kill -9 equivalent *)
+          let srv_b = create_exn ~resume:true cfg in
+          let replayed = run_all srv_b session_lines in
+          if replayed <> straight then
+            Alcotest.failf
+              "killed-after-%d session's responses differ from the straight \
+               run's"
+              (k + 1)))
+    session_lines
+
+(* A corrupted serve snapshot must fall back to a cold start (logged, not
+   fatal) and the daemon must still serve correct results. *)
+let test_corrupt_snapshot_cold_start () =
+  with_state_dir (fun dir ->
+      let warned = ref 0 in
+      let cfg =
+        { quiet_cfg with
+          Sv.sv_state_dir = Some dir;
+          sv_log = (fun _ -> incr warned);
+        }
+      in
+      let srv = create_exn ~resume:false cfg in
+      ignore (run_all srv [ edit_req 1 base_src ]);
+      Sv.finalize srv;
+      let snap = Filename.concat dir "serve.snap" in
+      (* truncate the snapshot to a torn prefix, and drop the journal so
+         recovery cannot lean on replay *)
+      let oc = open_out_bin snap in
+      output_string oc "skipflow-snapshot corrupted beyond recognition";
+      close_out oc;
+      Sys.remove (Filename.concat dir "journal.jsonl");
+      let srv2 = create_exn ~resume:true cfg in
+      Alcotest.(check bool) "fallback was logged" true (!warned > 0);
+      Alcotest.(check bool) "cold start has no resident state" true
+        (Sv.state srv2 = None);
+      let j = one_response (Sv.handle_line srv2 (edit_req 2 base_src)) in
+      Alcotest.(check bool) "recovered daemon serves" true (bool_member "ok" j);
+      match Sv.state srv2 with
+      | None -> Alcotest.fail "no resident state after recovery edit"
+      | Some st -> (
+          match
+            I.same_fixed_point st.I.engine
+              (fresh_engine ~source:base_src ~roots:[])
+          with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "recovered fixed point diverged: %s" msg))
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "protocol: request parsing" `Quick test_parse_requests;
+      Alcotest.test_case "protocol: facade error matrix" `Quick
+        test_api_error_matrix;
+      Alcotest.test_case "protocol: serve error matrix" `Quick
+        test_serve_error_matrix;
+      Alcotest.test_case "incremental matches fresh over the edit corpus"
+        `Quick test_incremental_matches_fresh;
+      Alcotest.test_case "reuse and redrain are certified" `Quick
+        test_incremental_verified_flag;
+      Alcotest.test_case "structured errors, daemon survives them all" `Quick
+        test_server_structured_errors;
+      Alcotest.test_case "deadline trips roll the resident state back" `Quick
+        test_deadline_rollback;
+      Alcotest.test_case "bounded queue sheds with a retry hint" `Quick
+        test_overload_shedding;
+      Alcotest.test_case "kill -9 / resume replays byte-identically" `Quick
+        test_kill_resume_byte_identical;
+      Alcotest.test_case "corrupt snapshot falls back to a cold start" `Quick
+        test_corrupt_snapshot_cold_start;
+    ] )
