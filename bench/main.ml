@@ -5,9 +5,11 @@
      dune exec bench/main.exe table1          -- Table 1 (PTA vs SkipFlow, all suites)
      dune exec bench/main.exe figure9         -- Figure 9 (normalized metrics per suite)
      dune exec bench/main.exe ablation        -- extra: feature ablation
+     dune exec bench/main.exe product         -- flat vs product primitive domain
      dune exec bench/main.exe micro           -- bechamel micro-benchmarks
      dune exec bench/main.exe json [opts]     -- machine-readable perf rows
                                                  (--benches a,b  --min-dedup-ratio X
+                                                  --check-product-live-flows
                                                   -o FILE; default BENCH_<n>.json)
 
    Environment:
@@ -24,7 +26,10 @@
 module Api = Skipflow_api
 module C = Skipflow_core
 module W = Skipflow_workloads
+module K = Skipflow_checks
 open Skipflow_ir
+
+let product_config = { C.Config.skipflow with C.Config.pval = C.Pval.Product }
 
 let scale =
   match Sys.getenv_opt "SKIPFLOW_SCALE" with
@@ -229,6 +234,45 @@ let print_ablation () =
         ])
     [ "sunflow"; "pmd"; "spring-petclinic"; "chi-square" ]
 
+(* --------------------- flat vs product primitive domain --------------- *)
+
+(* The EXPERIMENTS.md flat-vs-product table: same program, same engine,
+   only the primitive value domain switched.  Reachable methods and live
+   flows may only shrink under the product; dead branches (the lint
+   check) may only grow. *)
+let print_product () =
+  Printf.printf "\n===== Flat vs product primitive domain (--pval) =====\n";
+  Printf.printf
+    "(scale %.3f; the range-guarded units of each workload are removable \
+     only under product)\n\n"
+    scale;
+  Printf.printf "%-12s %-22s %-8s %7s %11s %10s %10s\n" "suite" "benchmark" "pval"
+    "reach" "live_flows" "dead_blks" "solve[ms]";
+  List.iter
+    (fun (b : W.Suites.bench) ->
+      let params = W.Suites.params_of ~scale b in
+      let prog, main = W.Gen.compile params in
+      let line (pname, config) =
+        let s, t = measure ~reps:3 config prog main in
+        let st = C.Engine.stats s.Api.engine in
+        let ctx = K.Checks.make_ctx ~engine:s.Api.engine ~roots:[ main ] in
+        let dead_blocks = List.length (K.Checks.dead_blocks ctx) in
+        Printf.printf "%-12s %-22s %-8s %7d %11d %10d %10.1f\n" b.W.Suites.suite
+          (if pname = "flat" then b.W.Suites.name else "")
+          pname
+          (C.Engine.reachable_count s.Api.engine)
+          st.C.Engine.live_flows dead_blocks (t *. 1000.);
+        (C.Engine.reachable_count s.Api.engine, st.C.Engine.live_flows)
+      in
+      let fr, ff = line ("flat", C.Config.skipflow) in
+      let pr, pf = line ("product", product_config) in
+      if pr > fr || pf > ff then begin
+        Printf.eprintf "product: %s regressed (reach %d->%d, flows %d->%d)\n"
+          b.W.Suites.name fr pr ff pf;
+        exit 1
+      end)
+    W.Suites.all
+
 (* --------------------------- bechamel micro --------------------------- *)
 
 let print_micro () =
@@ -288,6 +332,7 @@ type jrow = {
   j_suite : string;
   j_bench : string;
   j_config : string;
+  j_pval : string;  (** primitive value domain: "flat" or "product" *)
   j_time_ms : float;
   j_build_ms : float;  (** PVPG construction (inside the solve) *)
   j_solve_ms : float;  (** worklist drain to the fixed point *)
@@ -302,6 +347,7 @@ let json_configs =
   [
     ("PTA", C.Config.pta, C.Engine.Dedup);
     ("SkipFlow", C.Config.skipflow, C.Engine.Dedup);
+    ("SkipFlow-product", product_config, C.Engine.Dedup);
     ("PTA-ref", C.Config.pta, C.Engine.Reference);
     ("SkipFlow-ref", C.Config.skipflow, C.Engine.Reference);
   ]
@@ -321,6 +367,7 @@ let json_bench (b : W.Suites.bench) : jrow list =
         j_suite = b.W.Suites.suite;
         j_bench = b.W.Suites.name;
         j_config = cname;
+        j_pval = C.Pval.mode_name config.C.Config.pval;
         j_time_ms = t *. 1000.;
         j_build_ms = build_ms sum.Api.trace;
         j_solve_ms = phase_ms sum.Api.trace "solve";
@@ -366,17 +413,18 @@ let speedup rows config =
 let emit_json ~out rows =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
-  Buffer.add_string b "  \"schema_version\": 1,\n";
+  Buffer.add_string b "  \"schema_version\": 2,\n";
   Printf.bprintf b "  \"scale\": %g,\n" scale;
   Buffer.add_string b "  \"rows\": [\n";
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
       Printf.bprintf b
-        "    {\"suite\": %S, \"bench\": %S, \"config\": %S, \"time_ms\": %.3f, \
+        "    {\"suite\": %S, \"bench\": %S, \"config\": %S, \"pval\": %S, \
+         \"time_ms\": %.3f, \
          \"build_ms\": %.3f, \"solve_ms\": %.3f, \"metrics_ms\": %.3f, \
          \"tasks\": %d, \"dedup_hits\": %d, \"reachable\": %d, \"live_flows\": %d}"
-        r.j_suite r.j_bench r.j_config r.j_time_ms r.j_build_ms r.j_solve_ms
+        r.j_suite r.j_bench r.j_config r.j_pval r.j_time_ms r.j_build_ms r.j_solve_ms
         r.j_metrics_ms r.j_tasks r.j_dedup_hits r.j_reachable r.j_live_flows)
     rows;
   Buffer.add_string b "\n  ],\n";
@@ -398,12 +446,16 @@ let run_json args =
      the SkipFlow task-dedup ratio regresses below the floor (the CI smoke
      job), [-o FILE] overrides the auto-numbered output *)
   let benches = ref [] and floor_ = ref None and out = ref None in
+  let check_product = ref false in
   let rec parse = function
     | "--benches" :: v :: rest ->
         benches := String.split_on_char ',' v;
         parse rest
     | "--min-dedup-ratio" :: v :: rest ->
         floor_ := Some (float_of_string v);
+        parse rest
+    | "--check-product-live-flows" :: rest ->
+        check_product := true;
         parse rest
     | "-o" :: v :: rest ->
         out := Some v;
@@ -442,6 +494,43 @@ let run_json args =
   Printf.printf
     "wrote %s (%d rows; SkipFlow dedup task ratio %.2fx, median speedup %.2fx)\n" out
     (List.length rows) ratio (speedup rows "SkipFlow");
+  (* precision gate: on every bench the product primitive domain must
+     reach a fixed point with no more live flows than the flat one, and
+     it must strictly reduce at least one bench in the selection *)
+  if !check_product then begin
+    let find cfg bn =
+      List.find_opt
+        (fun r -> String.equal r.j_config cfg && String.equal r.j_bench bn)
+        rows
+    in
+    let bench_names = List.sort_uniq compare (List.map (fun r -> r.j_bench) rows) in
+    let strict = ref 0 in
+    List.iter
+      (fun bn ->
+        match (find "SkipFlow" bn, find "SkipFlow-product" bn) with
+        | Some flat, Some prod ->
+            if prod.j_live_flows > flat.j_live_flows then begin
+              Printf.eprintf "json: %s: product live_flows %d exceeds flat %d\n"
+                bn prod.j_live_flows flat.j_live_flows;
+              exit 1
+            end;
+            if prod.j_reachable > flat.j_reachable then begin
+              Printf.eprintf "json: %s: product reachable %d exceeds flat %d\n"
+                bn prod.j_reachable flat.j_reachable;
+              exit 1
+            end;
+            if prod.j_live_flows < flat.j_live_flows then incr strict
+        | _ ->
+            Printf.eprintf "json: %s: missing a SkipFlow/SkipFlow-product row\n" bn;
+            exit 1)
+      bench_names;
+    Printf.printf "product live-flows gate: %d/%d benches strictly reduced\n"
+      !strict (List.length bench_names);
+    if !strict = 0 then begin
+      Printf.eprintf "json: product domain reduced live_flows on no benchmark\n";
+      exit 1
+    end
+  end;
   match !floor_ with
   | Some f when ratio < f ->
       Printf.eprintf "json: dedup task ratio %.2f below floor %.2f\n" ratio f;
@@ -474,6 +563,7 @@ let () =
       let rows = collect () in
       print_figure9 rows
   | "ablation" -> print_ablation ()
+  | "product" -> print_product ()
   | "micro" -> print_micro ()
   | "json" ->
       run_json (Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)))
@@ -482,7 +572,9 @@ let () =
       print_table1 rows;
       print_figure9 rows;
       print_ablation ();
+      print_product ();
       print_micro ()
   | other ->
-      Printf.eprintf "unknown command %s (table1|figure9|ablation|micro|json|all)\n" other;
+      Printf.eprintf
+        "unknown command %s (table1|figure9|ablation|product|micro|json|all)\n" other;
       exit 1

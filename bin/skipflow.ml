@@ -70,15 +70,30 @@ let file_arg =
 
 (* the enum maps names straight to configurations: there is no string to
    re-validate downstream *)
-let analysis_arg =
+let pval_arg =
   Arg.(
     value
-    & opt (enum
-             [ ("skipflow", C.Config.skipflow); ("pta", C.Config.pta);
-               ("preds-only", C.Config.predicates_only);
-               ("prims-only", C.Config.primitives_only) ])
-        C.Config.skipflow
-    & info [ "a"; "analysis" ] ~doc:"Analysis configuration: skipflow, pta, preds-only, prims-only")
+    & opt (enum [ ("flat", C.Pval.Flat); ("product", C.Pval.Product) ]) C.Pval.Flat
+    & info [ "pval" ] ~docv:"DOMAIN"
+        ~doc:
+          "Primitive value domain: flat (constants only, the default) or \
+           product (reduced product of constants and integer intervals — \
+           predicate edges then filter ranges, not just constants)")
+
+let analysis_arg =
+  let base =
+    Arg.(
+      value
+      & opt (enum
+               [ ("skipflow", C.Config.skipflow); ("pta", C.Config.pta);
+                 ("preds-only", C.Config.predicates_only);
+                 ("prims-only", C.Config.primitives_only) ])
+          C.Config.skipflow
+      & info [ "a"; "analysis" ] ~doc:"Analysis configuration: skipflow, pta, preds-only, prims-only")
+  in
+  (* --pval composes with every configuration, so every subcommand that
+     takes --analysis accepts it with no extra plumbing *)
+  Term.(const (fun config pval -> { config with C.Config.pval }) $ base $ pval_arg)
 
 let roots_arg =
   Arg.(value & opt_all string [] & info [ "root" ] ~docv:"Class.method" ~doc:"Root method (repeatable); defaults to the static main")

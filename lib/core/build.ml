@@ -268,6 +268,30 @@ let run ctx (meth : Program.meth) : Graph.method_graph =
         let f = mk ?span (Flow.Alloc cls) in
         pred_edge b.cur_pred f;
         set_def v f
+    | Bl.Assign (v, Bl.Arith (op0, l, r))
+      when ctx.config.Config.primitives
+           && Pval.equal_mode ctx.config.Config.pval Pval.Product ->
+        (* product lattice: arithmetic transfers intervals instead of
+           topping out; the operand flows are observed so the transfer
+           re-runs when either operand's state grows *)
+        let op =
+          match op0 with
+          | Bl.Add -> Prim.Add
+          | Bl.Sub -> Prim.Sub
+          | Bl.Mul -> Prim.Mul
+          | Bl.Div -> Prim.Div
+          | Bl.Rem -> Prim.Rem
+        in
+        let lf = lookup b l and rf = lookup b r in
+        let f =
+          mk ?span
+            ~filter:(Flow.Arith { op; l = lf; r = rf })
+            (Flow.Source Vstate.empty)
+        in
+        pred_edge b.cur_pred f;
+        obs_edge lf f;
+        obs_edge rf f;
+        set_def v f
     | Bl.Assign (v, e) ->
         let f = mk ?span (Flow.Source (source_value e)) in
         pred_edge b.cur_pred f;

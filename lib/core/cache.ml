@@ -84,8 +84,9 @@ let create ?trace ?(max_entries = 512) dir =
     run with a larger budget. *)
 let fingerprint (config : Config.t) =
   Format.asprintf
-    "cache-v%d;predicates=%b;primitives=%b;saturation=%s;seed_root_params=%b;budget=%a"
+    "cache-v%d;predicates=%b;primitives=%b;pval=%s;saturation=%s;seed_root_params=%b;budget=%a"
     schema_version config.Config.predicates config.Config.primitives
+    (Pval.mode_name config.Config.pval)
     (match config.Config.saturation with
     | None -> "none"
     | Some n -> string_of_int n)

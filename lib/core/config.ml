@@ -28,6 +28,11 @@
 type t = {
   predicates : bool;
   primitives : bool;
+  pval : Pval.mode;
+      (** which primitive lattice [primitives] tracking runs on: the
+          paper's flat constants ([Flat], the default) or the reduced
+          product constants × intervals ([Product], {!Prim}) whose
+          comparison filters narrow ranges *)
   saturation : int option;
   seed_root_params : bool;
   budget : Budget.t;
@@ -39,6 +44,7 @@ let skipflow =
   {
     predicates = true;
     primitives = true;
+    pval = Pval.Flat;
     saturation = None;
     seed_root_params = true;
     budget = Budget.unlimited;
@@ -63,7 +69,8 @@ let name c =
   | false, true -> "SkipFlow[prims-only]"
 
 let pp ppf c =
-  Format.fprintf ppf "%s%s" (name c)
+  Format.fprintf ppf "%s%s%s" (name c)
+    (match c.pval with Pval.Flat -> "" | Pval.Product -> "[pval=product]")
     (match c.saturation with None -> "" | Some k -> Printf.sprintf "+sat%d" k);
   if not (Budget.is_unlimited c.budget) then
     Format.fprintf ppf "[%a]" Budget.pp c.budget

@@ -9,6 +9,12 @@ type t = {
   primitives : bool;
       (** when false primitive constants are abstracted to [Any], so
           comparison filters degenerate to pass-through *)
+  pval : Pval.mode;
+      (** the primitive lattice [primitives] tracking runs on:
+          [Pval.Flat] is the paper's constant lattice (the default in
+          every preset); [Pval.Product] runs the reduced product
+          constants × intervals, so comparison filters narrow ranges
+          and arithmetic produces intervals instead of [Any] *)
   saturation : int option;
       (** optional type-set growth cutoff (Wimmer et al. 2024); [None]
           matches the paper's evaluated configuration *)

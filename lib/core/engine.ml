@@ -262,6 +262,11 @@ let gen_value t (f : Flow.t) =
    transfer functions are monotone joins, so the fixed point is unchanged
    (the differential tests against {!Reference} mode check this). *)
 
+(* Which primitive sublattice joins and comparison filters run on —
+   threaded from the configuration into every join/filter site so flat
+   runs stay bit-identical to the pre-product engine. *)
+let pval_of t = t.config.Config.pval
+
 let rec emit_input t (f : Flow.t) v =
   match t.mode with
   | Reference ->
@@ -275,7 +280,7 @@ let rec emit_input t (f : Flow.t) v =
          strict growth, so no equality re-check is needed either. *)
       if Vstate.leq v f.Flow.raw then Trace.incr t.c.c_dedup_input
       else begin
-        f.Flow.raw <- Vstate.join f.Flow.raw v;
+        f.Flow.raw <- Vstate.join ~pval:(pval_of t) f.Flow.raw v;
         if not f.Flow.enabled then begin
           Trace.incr t.c.c_input;
           recompute t f
@@ -338,7 +343,10 @@ and recompute t (f : Flow.t) =
       (* The original implementation, retained verbatim so the reference
          baseline keeps its pre-optimization cost profile: join first,
          compare after (one transient value-state allocation per call). *)
-      let s' = Vstate.join_unshared f.Flow.state (Flow.apply_filter f f.Flow.raw) in
+      let pval = pval_of t in
+      let s' =
+        Vstate.join_unshared ~pval f.Flow.state (Flow.apply_filter ~pval f f.Flow.raw)
+      in
       if not (Vstate.equal s' f.Flow.state) then begin
         f.Flow.state <- s';
         if Trace.events_on t.trace then
@@ -347,12 +355,12 @@ and recompute t (f : Flow.t) =
         on_state_change t f
       end
   | Dedup ->
-      let s = Flow.apply_filter f f.Flow.raw in
+      let s = Flow.apply_filter ~pval:(pval_of t) f f.Flow.raw in
       (* Joining with the previous state keeps the per-flow state monotone
          even while an observed operand is still growing; the [leq] test
          makes the already-covered case allocation-free. *)
       if not (Vstate.leq s f.Flow.state) then begin
-        let s = Vstate.join f.Flow.state s in
+        let s = Vstate.join ~pval:(pval_of t) f.Flow.state s in
         f.Flow.state <- s;
         if Trace.events_on t.trace then
           Trace.event t.trace ~kind:"join" ~flow:f.Flow.id ~meth:(flow_meth_id f) ();
@@ -366,14 +374,14 @@ and input t (f : Flow.t) v =
   match t.mode with
   | Reference ->
       (* original join-then-compare form (see {!recompute}) *)
-      let raw' = Vstate.join_unshared f.Flow.raw v in
+      let raw' = Vstate.join_unshared ~pval:(pval_of t) f.Flow.raw v in
       if not (Vstate.equal raw' f.Flow.raw) then begin
         f.Flow.raw <- raw';
         recompute t f
       end
   | Dedup ->
       if not (Vstate.leq v f.Flow.raw) then begin
-        f.Flow.raw <- Vstate.join f.Flow.raw v;
+        f.Flow.raw <- Vstate.join ~pval:(pval_of t) f.Flow.raw v;
         recompute t f
       end
 
@@ -392,7 +400,7 @@ and degrade_flow t (f : Flow.t) =
      | Vstate.Types _ ->
          f.Flow.saturated <- true;
          Edges.use_edge ~emit:t.emit t.all_inst_any f
-     | Vstate.Empty | Vstate.Const _ | Vstate.Any -> emit_input t f Vstate.any);
+     | Vstate.Empty | Vstate.Prim _ | Vstate.Any -> emit_input t f Vstate.any);
   (* re-run the flow-specific action against the widened operand states *)
   match f.Flow.kind with
   | Flow.Invoke _ | Flow.Field_load _ | Flow.Field_store _ -> emit_notify t f
@@ -481,7 +489,7 @@ and try_link t (f : Flow.t) =
               (* Object flows never reach [Any] in well-typed programs;
                  be conservative if they do. *)
               t.instantiated
-          | Vstate.Empty | Vstate.Const _ -> Typeset.empty
+          | Vstate.Empty | Vstate.Prim _ -> Typeset.empty
         in
         let fresh =
           match t.mode with
@@ -574,8 +582,10 @@ and enable t (f : Flow.t) =
       Trace.event t.trace ~kind:"enable" ~flow:f.Flow.id ~meth:(flow_meth_id f) ();
     (match f.Flow.kind with Flow.Alloc c -> mark_instantiated t c | _ -> ());
     let gv = gen_value t f in
-    if not (Vstate.is_empty gv) then f.Flow.raw <- Vstate.join f.Flow.raw gv;
-    let s = Vstate.join f.Flow.state (Flow.apply_filter f f.Flow.raw) in
+    let pval = pval_of t in
+    if not (Vstate.is_empty gv) then
+      f.Flow.raw <- Vstate.join ~pval f.Flow.raw gv;
+    let s = Vstate.join ~pval f.Flow.state (Flow.apply_filter ~pval f f.Flow.raw) in
     f.Flow.state <- s;
     saturate_check t f s;
     (* Becoming enabled makes the (possibly previously accumulated) state
@@ -769,7 +779,7 @@ let restore ?trace ?budget fz =
   t
 
 let snapshot_kind = "engine-state"
-let snapshot_version = 1
+let snapshot_version = 2
 
 let of_snapshot_bytes ?trace ?budget s =
   match (Marshal.from_string s 0 : frozen) with

@@ -30,6 +30,11 @@ type filter =
           connected by an observe edge *)
   | Declared of { mask_with_null : Typeset.t; cls : Ids.Class.t }
       (** formal-parameter filter: subtypes of the declared type + null *)
+  | Arith of { op : Prim.binop; l : t; r : t }
+      (** forward arithmetic transfer ([--pval product] only): the flow's
+          VS_in is ignored and its output is [Vstate.arith op] over the
+          states of the two operand flows, both connected by observe
+          edges *)
 
 (** Categories of branch sites, for the counter metrics of Table 1. *)
 and check_kind = Type_check | Null_check | Prim_check
@@ -141,12 +146,13 @@ let make ?meth ?span ?(filter = No_filter) kind =
     work = 0;
   }
 
-let apply_filter (f : t) (v : Vstate.t) =
+let apply_filter ~pval (f : t) (v : Vstate.t) =
   match f.filter with
   | No_filter -> v
   | Instanceof { mask; negated; _ } -> Vstate.filter_instanceof ~mask ~negated v
-  | Compare { op; other } -> Vstate.compare_filter op v other.state
+  | Compare { op; other } -> Vstate.compare_filter ~pval op v other.state
   | Declared { mask_with_null; _ } -> Vstate.filter_declared ~mask_with_null v
+  | Arith { op; l; r } -> Vstate.arith op l.state r.state
 
 let is_invoke f = match f.kind with Invoke _ -> true | _ -> false
 

@@ -34,7 +34,22 @@ let leq a b =
   | Const x, Const y -> Int.equal x y
   | (Top | Const _), _ -> false
 
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, x | x, Top -> x
+  | Const x, Const y -> if Int.equal x y then a else Bot
+
 let is_bot = function Bot -> true | Const _ | Top -> false
+
+(** Which primitive lattice the analysis runs: the paper's flat
+    constants ([Flat], Figure 6) or the reduced product of constants
+    and intervals ([Product], {!Prim}).  Threaded through
+    {!Config.t}. *)
+type mode = Flat | Product
+
+let equal_mode (a : mode) (b : mode) = a = b
+let mode_name = function Flat -> "flat" | Product -> "product"
 
 let pp ppf = function
   | Bot -> Format.pp_print_string ppf "Empty"

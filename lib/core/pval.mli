@@ -13,5 +13,16 @@ val join : t -> t -> t
 val leq : t -> t -> bool
 (** Lattice order: [leq a b] iff [join a b = b]. *)
 
+val meet : t -> t -> t
+(** Greatest lower bound (distinct constants meet to [Bot]). *)
+
 val is_bot : t -> bool
 val pp : Format.formatter -> t -> unit
+
+(** Which primitive lattice the analysis runs: the paper's flat
+    constants ([Flat]) or the reduced product constants × intervals
+    ([Product]).  Selected by [--pval] and carried in {!Config.t}. *)
+type mode = Flat | Product
+
+val equal_mode : mode -> mode -> bool
+val mode_name : mode -> string

@@ -65,8 +65,11 @@ let compare_runs ~(baseline : Engine.t) ~(precise : Engine.t) : t =
           | _ -> ())
         g.Graph.g_invokes;
       match g.Graph.g_return.Flow.state with
-      | Vstate.Const n when not (Ty.equal g.Graph.g_meth.Program.m_ret_ty Ty.Void) ->
-          consts := (qname, n) :: !consts
+      | Vstate.Prim p when not (Ty.equal g.Graph.g_meth.Program.m_ret_ty Ty.Void)
+        -> (
+          match Prim.as_const p with
+          | Some n -> consts := (qname, n) :: !consts
+          | None -> ())
       | _ -> ())
     (Engine.graphs precise);
   {

@@ -28,11 +28,12 @@ open Skipflow_ir
 
 type violation = string
 
-let check_flow_invariants prog (violations : violation list ref) (f : Flow.t) =
+let check_flow_invariants ~pval prog (violations : violation list ref)
+    (f : Flow.t) =
   let bad fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
   let name () = Format.asprintf "%a" Flow.pp f in
   (* VS_out covers the filtered VS_in *)
-  if not (Vstate.leq (Flow.apply_filter f f.Flow.raw) f.Flow.state) then
+  if not (Vstate.leq (Flow.apply_filter ~pval f f.Flow.raw) f.Flow.state) then
     bad "%s: VS_out does not cover filter(VS_in)" (name ());
   (* Source-like rules *)
   (match f.Flow.kind with
@@ -161,6 +162,7 @@ let run (engine : Engine.t) : violation list =
   let prog = Engine.prog_of engine in
   let violations = ref [] in
   let degraded = Engine.is_degraded engine in
+  let pval = (Engine.config_of engine).Config.pval in
   List.iter
     (fun (g : Graph.method_graph) ->
       List.iter
@@ -174,7 +176,7 @@ let run (engine : Engine.t) : violation list =
             violations :=
               Format.asprintf "%a: flow disabled in a degraded run" Flow.pp f
               :: !violations;
-          check_flow_invariants prog violations f;
+          check_flow_invariants ~pval prog violations f;
           check_invoke engine prog violations f;
           check_field_access engine prog violations f)
         g.Graph.g_flows)

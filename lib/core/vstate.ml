@@ -14,40 +14,65 @@
 
 type t =
   | Empty
-  | Const of int  (** one primitive constant; booleans are 0/1 *)
+  | Prim of Prim.t
+      (** primitive content; invariant: the payload is proper — never
+          {!Prim.bot} (that is [Empty]) and never {!Prim.top} (that is
+          [Any]).  Under [--pval flat] every payload is a singleton
+          constant, reproducing the paper's [Const of int] exactly. *)
   | Types of Typeset.t  (** invariant: the set is non-empty *)
   | Any  (** ⊤ = [{Any}] *)
 
 let empty = Empty
 let any = Any
-let const n = Const n
-let vtrue = Const 1
-let vfalse = Const 0
+
+(* Always the fully-reduced singleton, independent of the pval mode, so
+   [leq (const n) s] is the membership test under either lattice. *)
+let const n = Prim (Prim.const n)
+let vtrue = const 1
+let vfalse = const 0
 let null = Types Typeset.null_bit
+
+(* Re-establish the properness invariant after a [Prim] operation. *)
+let of_prim p =
+  if Prim.is_bot p then Empty else if Prim.is_top p then Any else Prim p
 
 let types ts = if Typeset.is_empty ts then Empty else Types ts
 let of_class c = Types (Typeset.class_singleton c)
-let is_empty = function Empty -> true | Const _ | Types _ | Any -> false
+let is_empty = function Empty -> true | Prim _ | Types _ | Any -> false
 
 let equal a b =
   match (a, b) with
   | Empty, Empty | Any, Any -> true
-  | Const x, Const y -> Int.equal x y
+  | Prim x, Prim y -> Prim.equal x y
   | Types x, Types y -> Typeset.equal x y
-  | (Empty | Const _ | Types _ | Any), _ -> false
+  | (Empty | Prim _ | Types _ | Any), _ -> false
 
-let join a b =
+(* The primitive join is the one mode-dependent lattice point: flat
+   tops out on distinct constants (paper, Figure 6); product joins in
+   the reduced domain.  On singleton payloads both agree, so flat runs
+   are bit-for-bit the pre-product behaviour. *)
+let join_prim ~pval a b x y =
+  match (pval : Pval.mode) with
+  | Flat -> if Prim.equal x y then a else Any
+  | Product ->
+      let j = Prim.join x y in
+      if j == x then a
+      else if j == y then b
+      else if Prim.is_top j then Any
+      else Prim j
+
+let join ~pval a b =
   match (a, b) with
   | Empty, x | x, Empty -> x
   | Any, _ | _, Any -> Any
-  | Const x, Const y -> if Int.equal x y then a else Any
+  | Prim x, Prim y -> join_prim ~pval a b x y
   | Types x, Types y ->
       (* [Typeset.union] returns an argument physically when it already is
          the result; reuse the existing box then (the engine joins are
          mostly no-ops near the fixed point) *)
       let u = Typeset.union x y in
       if u == x then a else if u == y then b else Types u
-  | Const _, Types _ | Types _, Const _ ->
+  | Prim _, Types _ | Types _, Prim _ ->
       (* Mixing primitives and objects cannot happen in a well-typed
          program; the lattice join is the common top. *)
       Any
@@ -56,29 +81,32 @@ let join a b =
    re-boxes (and [union_unshared] always copies), reproducing the
    per-task transient allocation the solver paid before the physical
    sharing fast paths existed. *)
-let join_unshared a b =
+let join_unshared ~pval a b =
   match (a, b) with
   | Empty, x | x, Empty -> x
   | Any, _ | _, Any -> Any
-  | Const x, Const y -> if Int.equal x y then a else Any
+  | Prim x, Prim y -> join_prim ~pval a b x y
   | Types x, Types y -> Types (Typeset.union_unshared x y)
-  | Const _, Types _ | Types _, Const _ -> Any
+  | Prim _, Types _ | Types _, Prim _ -> Any
 
 let leq a b =
   match (a, b) with
   | Empty, _ -> true
   | _, Any -> true
-  | Const x, Const y -> Int.equal x y
+  | Prim x, Prim y -> Prim.leq x y
   | Types x, Types y -> Typeset.subset x y
-  | (Const _ | Types _ | Any), _ -> false
+  | (Prim _ | Types _ | Any), _ -> false
 
 let type_set = function
   | Types ts -> ts
-  | Empty | Const _ | Any -> Typeset.empty
+  | Empty | Prim _ | Any -> Typeset.empty
 
 let pp ppf = function
   | Empty -> Format.pp_print_string ppf "{}"
-  | Const n -> Format.fprintf ppf "{%d}" n
+  | Prim p -> (
+      match Prim.as_const p with
+      | Some n -> Format.fprintf ppf "{%d}" n
+      | None -> Format.fprintf ppf "{%a}" Prim.pp p)
   | Types ts -> Typeset.pp ppf ts
   | Any -> Format.pp_print_string ppf "{Any}"
 
@@ -108,7 +136,7 @@ let filter_instanceof ~(mask : Typeset.t) ~negated v =
       let ts' = if negated then Typeset.diff ts mask else Typeset.inter ts mask in
       if ts' == ts then v else types ts'
   | Empty -> Empty
-  | Const _ | Any -> v
+  | Prim _ | Any -> v
 
 (** [filter_declared ~mask_with_null v] restricts an object state to the
     subtypes of a declared type (plus [null]); used by formal-parameter
@@ -119,7 +147,7 @@ let filter_declared ~(mask_with_null : Typeset.t) v =
       let ts' = Typeset.inter ts mask_with_null in
       if ts' == ts then v else types ts'
   | Empty -> Empty
-  | Const _ | Any -> v
+  | Prim _ | Any -> v
 
 (** Comparison operators appearing in filtering flows.  Branch conditions
     are normalized to [==] and [<] (Appendix B.1); the negated ([inv]) and
@@ -147,27 +175,41 @@ let int_cmp op x y =
   | Gt -> x > y
   | Le -> x <= y
 
-(** [compare_filter op vl vr] is the [Compare] function of Appendix C: the
-    content of [vl] filtered with respect to [op] and [vr].
+let rel_of = function
+  | Lt -> Prim.Lt
+  | Le -> Prim.Le
+  | Gt -> Prim.Gt
+  | Ge -> Prim.Ge
+  | Eq | Ne -> assert false
+
+(** [compare_filter ~pval op vl vr] is the [Compare] function of Appendix
+    C: the content of [vl] filtered with respect to [op] and [vr].
 
     - either operand empty → empty (both operands are needed);
     - [==] with [Any] on either side → the lower of the two states;
-    - [==] otherwise → set intersection (this also implements null checks:
-      [x == null] keeps [{null}]);
-    - [!=] → set difference, with [Any] passing [vl] through unfiltered;
-    - relational operators are defined on primitives only: [Any] anywhere →
-      [vl] unfiltered; two constants → keep [vl] iff the relation holds.
+    - [==] otherwise → intersection: type-set intersection on objects,
+      {!Prim.meet} on primitives (on flat singletons that is exactly
+      keep-or-empty; null checks keep [{null}]);
+    - [!=] → difference where representable: a singleton right operand
+      kills / endpoint-trims the left ([Any] passes [vl] through);
+    - relational operators are defined on primitives only: two constants
+      keep [vl] iff the relation holds; ranges narrow via {!Prim.narrow}.
+      [Any] on the left narrows to the implied range only under
+      [--pval product] — the single mode-gated case, which is why flat
+      runs reproduce the paper's all-or-nothing filtering bit for bit.
 
     Ill-typed mixtures (a constant compared with a type set) conservatively
     return [vl]. *)
-let compare_filter op vl vr =
+let compare_filter ~pval op vl vr =
   if is_empty vl || is_empty vr then Empty
   else
     match op with
     | Eq -> (
         match (vl, vr) with
         | Any, v | v, Any -> v
-        | Const x, Const y -> if x = y then vl else Empty
+        | Prim x, Prim y ->
+            let m = Prim.meet x y in
+            if m == x then vl else if m == y then vr else of_prim m
         | Types x, Types y ->
             let i = Typeset.inter x y in
             if i == x then vl else if i == y then vr else types i
@@ -176,7 +218,12 @@ let compare_filter op vl vr =
         match (vl, vr) with
         | Any, _ -> Any
         | _, Any -> vl
-        | Const x, Const y -> if x = y then Empty else vl
+        | Prim x, Prim y -> (
+            match Prim.as_const y with
+            | Some n ->
+                let r = Prim.remove_const x n in
+                if r == x then vl else of_prim r
+            | None -> vl)
         | Types x, Types y ->
             (* The paper defines '≠' as plain set difference.  On type sets
                that is only sound when the right operand denotes a single
@@ -193,6 +240,24 @@ let compare_filter op vl vr =
         | _ -> vl)
     | Lt | Ge | Gt | Le -> (
         match (vl, vr) with
+        | Prim x, Prim y -> (
+            match (Prim.as_const x, Prim.as_const y) with
+            | Some a, Some b -> if int_cmp op a b then vl else Empty
+            | _ ->
+                (* a non-singleton payload only exists under product *)
+                let r = Prim.narrow (rel_of op) x y in
+                if r == x then vl else of_prim r)
+        | Any, Prim y when Pval.equal_mode pval Pval.Product ->
+            of_prim (Prim.narrow (rel_of op) Prim.top y)
         | Any, _ | _, Any -> vl
-        | Const x, Const y -> if int_cmp op x y then vl else Empty
         | _ -> vl)
+
+(** Forward arithmetic transfer for the product lattice's [Arith] flows:
+    interval transfer on primitive operands ({!Prim.arith}), [Empty] when
+    either operand has no value yet, conservative [Any] otherwise.  Only
+    built under [--pval product]. *)
+let arith op a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Prim x, Prim y -> of_prim (Prim.arith op x y)
+  | (Prim _ | Types _ | Any), _ -> Any

@@ -10,15 +10,28 @@
 
 type t =
   | Empty
-  | Const of int  (** one primitive constant; booleans are 0/1 *)
+  | Prim of Prim.t
+      (** primitive content; invariant: the payload is proper — never
+          {!Prim.bot} ([Empty] represents that) and never {!Prim.top}
+          ([Any] does).  Under [--pval flat] every payload is a
+          singleton constant — the paper's [Const of int], exactly. *)
   | Types of Typeset.t  (** invariant: the set is non-empty *)
   | Any  (** ⊤ = [{Any}] *)
 
 val empty : t
 val any : t
+
 val const : int -> t
+(** The fully-reduced singleton [{n}], whatever the pval mode — so
+    [leq (const n) s] tests membership of [n] in [s] under either
+    lattice (the fuzz oracle relies on this). *)
+
 val vtrue : t
 val vfalse : t
+
+val of_prim : Prim.t -> t
+(** Re-establish the properness invariant: {!Prim.bot} ↦ [Empty],
+    {!Prim.top} ↦ [Any], proper payloads boxed as [Prim]. *)
 
 val null : t
 (** The state containing exactly the [null] reference. *)
@@ -29,9 +42,14 @@ val types : Typeset.t -> t
 val of_class : Skipflow_ir.Ids.Class.t -> t
 val is_empty : t -> bool
 val equal : t -> t -> bool
-val join : t -> t -> t
 
-val join_unshared : t -> t -> t
+val join : pval:Pval.mode -> t -> t -> t
+(** Least upper bound.  [pval] selects the primitive sublattice: flat
+    tops distinct constants out to [Any] (paper, Figure 6), product
+    joins intervals ({!Prim.join}).  On singleton payloads the two
+    agree, so flat reproduces the pre-product behaviour exactly. *)
+
+val join_unshared : pval:Pval.mode -> t -> t -> t
 (** Like {!join} but without the physical-sharing fast paths: the
     type-set case always materializes a fresh set.  Used by the
     reference engine to keep the baseline's historical cost profile. *)
@@ -73,10 +91,18 @@ val flip : cmp_op -> cmp_op
 
 val pp_cmp_op : Format.formatter -> cmp_op -> unit
 
-val compare_filter : cmp_op -> t -> t -> t
-(** [compare_filter op vl vr] is the [Compare] function of Appendix C: the
-    content of [vl] that can satisfy [op] against some value of [vr].
-    Deviation for soundness: on type sets, ['≠'] applies the paper's set
-    difference only when [vr] is exactly [{null}] (the only type denoting a
-    single runtime value) and passes [vl] through otherwise — see
-    DESIGN.md §7. *)
+val compare_filter : pval:Pval.mode -> cmp_op -> t -> t -> t
+(** [compare_filter ~pval op vl vr] is the [Compare] function of Appendix
+    C: the content of [vl] that can satisfy [op] against some value of
+    [vr].  Under [--pval product] the primitive cases narrow ranges
+    ({!Prim.meet} / {!Prim.narrow}) instead of the flat lattice's
+    all-or-nothing answer; under [--pval flat] the result is bit-for-bit
+    the paper's function.  Deviation for soundness: on type sets, ['≠']
+    applies the paper's set difference only when [vr] is exactly
+    [{null}] (the only type denoting a single runtime value) and passes
+    [vl] through otherwise — see DESIGN.md §7. *)
+
+val arith : Prim.binop -> t -> t -> t
+(** Forward arithmetic transfer ([Arith] flows, [--pval product] only):
+    {!Prim.arith} on primitive operands, [Empty] when either operand is
+    still empty, conservative [Any] otherwise. *)

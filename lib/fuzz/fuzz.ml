@@ -38,6 +38,10 @@ type report = {
   r_lint_checked : int;
       (** lint facts (dead blocks / dead methods) checked against
           interpreter traces by the lint soundness oracle *)
+  r_prim_checked : int;
+      (** concrete primitive values from interpreter traces checked for
+          containment in the defining flow's final value state (the
+          interval/constant soundness oracle) *)
   r_crash_checked : int;
       (** crash-injection probes: corrupted snapshot / cache files that
           had to come back as reported errors with a sound fallback *)
@@ -55,10 +59,10 @@ let pp_failure ppf f =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d lint facts, %d crash \
-     probes, %d daemon probes, %d failure%s"
-    r.r_seeds r.r_runs r.r_degraded r.r_lint_checked r.r_crash_checked
-    r.r_serve_checked
+    "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d lint facts, %d prim \
+     values, %d crash probes, %d daemon probes, %d failure%s"
+    r.r_seeds r.r_runs r.r_degraded r.r_lint_checked r.r_prim_checked
+    r.r_crash_checked r.r_serve_checked
     (List.length r.r_failures)
     (if List.length r.r_failures = 1 then "" else "s");
   List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_failure f) r.r_failures;
@@ -77,6 +81,7 @@ let cfg_of_seed seed =
 let configs =
   [
     ("skipflow", C.Config.skipflow);
+    ("skipflow-product", { C.Config.skipflow with C.Config.pval = C.Pval.Product });
     ("pta", C.Config.pta);
     ("preds-only", C.Config.predicates_only);
     ("prims-only", C.Config.primitives_only);
@@ -95,6 +100,7 @@ type expect = Exact | Superset
 let fuzz_seed seed =
   let failures = ref [] in
   let runs = ref 0 and degraded = ref 0 and lint_checked = ref 0 in
+  let prim_checked = ref 0 in
   let fail ~config ~case fmt =
     Format.kasprintf
       (fun f_detail ->
@@ -172,6 +178,39 @@ let fuzz_seed seed =
                           "degraded reachable set is not a superset (%d vs %d reachable)"
                           (Ids.Meth.Set.cardinal reach)
                           (Ids.Meth.Set.cardinal r0));
+                  (* primitive-value soundness oracle: every concrete int
+                     the interpreter observed must be contained in the
+                     defining flow's final value state — this is what
+                     keeps the interval × constant reduced product
+                     honest, and degradation may only widen states, so
+                     every case of the matrix is fair game *)
+                  List.iter
+                    (fun (m, var, v) ->
+                      match v with
+                      | I.VInt n -> (
+                          incr prim_checked;
+                          match C.Engine.graph_of r.C.Analysis.engine m with
+                          | None ->
+                              fail ~config:cname ~case
+                                "prim: %s defined a value but is unreachable"
+                                (Program.qualified_name prog m)
+                          | Some g -> (
+                              match g.C.Graph.g_defs.(Ids.Var.to_int var) with
+                              | Some flow ->
+                                  if
+                                    not
+                                      (flow.C.Flow.enabled
+                                      && C.Vstate.leq (C.Vstate.const n)
+                                           flow.C.Flow.state)
+                                  then
+                                    fail ~config:cname ~case
+                                      "prim: observed value %d escapes its \
+                                       flow's state in %s"
+                                      n
+                                      (Program.qualified_name prog m)
+                              | None -> ()))
+                      | _ -> ())
+                    trace.I.defs;
                   (* lint soundness oracle: anything the checks prove dead
                      at this fixed point must be absent from the concrete
                      trace (degradation only shrinks the dead sets, so
@@ -199,7 +238,7 @@ let fuzz_seed seed =
                     (K.Checks.dead_methods ctx))
             cases)
         configs);
-  (List.rev !failures, !runs, !degraded, !lint_checked)
+  (List.rev !failures, !runs, !degraded, !lint_checked, !prim_checked)
 
 (* --------------------------- crash injection -------------------------- *)
 
@@ -647,13 +686,15 @@ let serve_seed seed =
 let run ?(progress = fun _ -> ()) ?(crash = false) ~seeds () : report =
   let failures = ref [] and runs = ref 0 and degraded = ref 0 in
   let lint_checked = ref 0 and crash_checked = ref 0 in
+  let prim_checked = ref 0 in
   let serve_checked = ref 0 in
   for s = 0 to seeds - 1 do
-    let fs, r, d, l = fuzz_seed s in
+    let fs, r, d, l, p = fuzz_seed s in
     failures := List.rev_append fs !failures;
     runs := !runs + r;
     degraded := !degraded + d;
     lint_checked := !lint_checked + l;
+    prim_checked := !prim_checked + p;
     if crash then begin
       let cfs, c = crash_seed s in
       failures := List.rev_append cfs !failures;
@@ -669,6 +710,7 @@ let run ?(progress = fun _ -> ()) ?(crash = false) ~seeds () : report =
     r_runs = !runs;
     r_degraded = !degraded;
     r_lint_checked = !lint_checked;
+    r_prim_checked = !prim_checked;
     r_crash_checked = !crash_checked;
     r_serve_checked = !serve_checked;
     r_failures = List.rev !failures;

@@ -41,6 +41,12 @@ type guard_pattern =
   | Static_flag
       (** a [static var boolean] field that is never written: its value
           state stays the default [false], killing the guarded branch *)
+  | Range_flag
+      (** a mode selector clamped to a small range ([m = 0; if (...) m =
+          k] with [k <= 3]) guarding an [> 10] comparison: the flat
+          constant domain joins [{0, k}] straight to [Any] and keeps the
+          branch alive, while the interval × constant product proves
+          [m ∈ \[0, k\]] and kills it *)
 
 type params = {
   seed : int;
@@ -52,6 +58,9 @@ type params = {
   poly_width : int;  (** implementations per dispatch family, >= 2 *)
   check_density : float;  (** probability of each dynamic-check pattern per method *)
   cross_calls : int;  (** cross-unit call sites per unit *)
+  range_guards : int;
+      (** how many dead units (taken first) use the [Range_flag] pattern,
+          which only the interval × constant product domain can remove *)
 }
 
 let default_params =
@@ -65,6 +74,7 @@ let default_params =
     poly_width = 4;
     check_density = 0.35;
     cross_calls = 2;
+    range_guards = 0;
   }
 
 type group = Live | Dead | Unused
@@ -98,6 +108,10 @@ let generate (p : params) : Ast.program =
           else Rng.int rng (max 1 p.live_units)
         in
         let pat = patterns.(Rng.int rng (Array.length patterns)) in
+        (* the override comes after the draw so the RNG stream — and with
+           it every program generated with [range_guards = 0] — is
+           byte-identical to the pre-range-guard generator *)
+        let pat = if k < p.range_guards then Range_flag else pat in
         (d, host, pat))
   in
   let guards_of_unit u = List.filter (fun (_, h, _) -> h = u) guards in
@@ -142,6 +156,23 @@ let generate (p : params) : Ast.program =
         ( [
             decl Ast.Tint lv (Some (scall "Conf" cname []));
             if_ (var lv >: int 10) [ enter ] [];
+          ],
+          [] )
+    | Range_flag ->
+        let cname = Printf.sprintf "mode%d" d in
+        let mv = Printf.sprintf "mv%d" d in
+        conf_meths :=
+          meth ~static:true ~ret:Ast.Tint cname
+            [ (Ast.Tint, "x") ]
+            [
+              decl Ast.Tint "m" (Some (int 0));
+              if_ (var "x" >: int 0) [ assign "m" (int (Rng.range rng 1 3)) ] [];
+              ret (var "m");
+            ]
+          :: !conf_meths;
+        ( [
+            decl Ast.Tint mv (Some (scall "Conf" cname [ var "x" ]));
+            if_ (var mv >: int 10) [ enter ] [];
           ],
           [] )
     | Never_returns ->

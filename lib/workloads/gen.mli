@@ -13,6 +13,8 @@ type guard_pattern =
   | Prim_const
   | Never_returns
   | Static_flag
+  | Range_flag
+      (** removable only by the interval × constant product domain *)
 
 type params = {
   seed : int;
@@ -24,6 +26,10 @@ type params = {
   poly_width : int;  (** implementations per dispatch family, >= 2 *)
   check_density : float;  (** probability of each dynamic-check pattern per method *)
   cross_calls : int;  (** cross-unit call sites per unit *)
+  range_guards : int;
+      (** dead units (taken first) guarded by a clamped-range mode
+          selector, removable only under [--pval product]; [0] keeps the
+          generator byte-identical to the flat-era output *)
 }
 
 val default_params : params

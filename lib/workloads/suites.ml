@@ -107,14 +107,20 @@ let params_of ?(scale = 0.05) (bch : bench) : Gen.params =
   let dead_units = max 1 (int_of_float (Float.round (float_of_int total_units *. red))) in
   let live_units = max 2 (total_units - dead_units) in
   let unused_units = max 1 (total_units / 7) in
+  (* range-guarded units ride on top of the paper-calibrated dead
+     fraction: they stay live under the flat constant domain (so the
+     flat reduction still matches the paper's), and only [--pval
+     product] removes them *)
+  let range_guards = max 1 (dead_units / 6) in
   {
     Gen.seed = seed_of bch.name;
     live_units;
-    dead_units;
+    dead_units = dead_units + range_guards;
     unused_units;
     unit_size;
     poly_families = max 1 (live_units / 60);
     poly_width = 4;
     check_density = 0.35;
     cross_calls = 2;
+    range_guards;
   }

@@ -60,6 +60,12 @@ let test_key_discipline () =
   distinct "source change"
     (C.Cache.key ~config:C.Config.skipflow ~scope:"" ~source:"src2");
   distinct "different analysis" (C.Cache.key ~config:C.Config.pta ~scope:"" ~source:"src");
+  (* a flat-domain result must never be served to a product-domain run:
+     the two fixed points carry different value states *)
+  distinct "primitive domain change"
+    (C.Cache.key
+       ~config:{ C.Config.skipflow with C.Config.pval = C.Pval.Product }
+       ~scope:"" ~source:"src");
   distinct "budget change"
     (C.Cache.key
        ~config:

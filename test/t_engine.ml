@@ -205,8 +205,8 @@ class Main {
   let o = (Option.get (Program.find_class prog "O")).Program.c_id in
   let p = (Option.get (Program.find_class prog "P")).Program.c_id in
   let expected =
-    C.Vstate.join C.Vstate.null
-      (C.Vstate.join (C.Vstate.of_class o) (C.Vstate.of_class p))
+    C.Vstate.join ~pval:C.Pval.Flat C.Vstate.null
+      (C.Vstate.join ~pval:C.Pval.Flat (C.Vstate.of_class o) (C.Vstate.of_class p))
   in
   (* field-sensitive but context-insensitive: the load sees both stores
      plus the default null *)

@@ -1,9 +1,11 @@
 (* Randomized robustness harness (lib/fuzz) plus targeted tests of the
    budget/degradation machinery on a large generated workload:
 
-   - the fuzz matrix (4 configs × {FIFO, random order} × {unlimited, tiny
+   - the fuzz matrix (5 configs × {FIFO, random order} × {unlimited, tiny
      budget}) reports zero failures, exercises degradation, and checks the
-     lint soundness oracle (dead blocks / methods never appear in traces);
+     lint soundness oracle (dead blocks / methods never appear in traces)
+     plus the primitive-value oracle (every concrete int the interpreter
+     observed is contained in its defining flow's final value state);
    - a budget-tripped run on a benchmark-sized program terminates, is
      flagged degraded, still passes the independent certifier, and reaches
      a superset of the precise reachable set;
@@ -32,12 +34,15 @@ let test_fuzz_matrix () =
   | f :: _ ->
       Alcotest.failf "%d fuzz failures, first: %a" (List.length r.Fz.r_failures)
         Fz.pp_failure f);
-  Alcotest.(check int) "all runs performed" (25 * 16) r.Fz.r_runs;
+  Alcotest.(check int) "all runs performed" (25 * 20) r.Fz.r_runs;
   (* the tiny budget must actually fault-inject the degradation path *)
   Alcotest.(check bool) "degradation exercised" true (r.Fz.r_degraded > 0);
   (* the lint soundness oracle must actually check dead-block / dead-method
      facts against the interpreter traces *)
-  Alcotest.(check bool) "lint oracle exercised" true (r.Fz.r_lint_checked > 0)
+  Alcotest.(check bool) "lint oracle exercised" true (r.Fz.r_lint_checked > 0);
+  (* the primitive-value oracle must actually check concrete ints against
+     the interval × constant states *)
+  Alcotest.(check bool) "prim oracle exercised" true (r.Fz.r_prim_checked > 0)
 
 let bench_workload () =
   W.Gen.compile { W.Gen.default_params with W.Gen.live_units = 8; dead_units = 3 }

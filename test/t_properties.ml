@@ -56,10 +56,12 @@ let value_covered (v : I.value) (state : C.Vstate.t) =
   | I.VObj o -> C.Vstate.leq (C.Vstate.of_class o.I.o_cls) state
   | I.VArr a -> C.Vstate.leq (C.Vstate.of_class a.I.a_cls) state
 
-let soundness_value_states seed =
+let product_config = { C.Config.skipflow with C.Config.pval = C.Pval.Product }
+
+let soundness_value_states_cfg config seed =
   let prog, main = compile_seed seed in
   let trace, _halt = I.run ~fuel:20_000 prog main in
-  let r = C.Analysis.run prog ~roots:[ main ] in
+  let r = C.Analysis.run ~config prog ~roots:[ main ] in
   List.for_all
     (fun (m, var, v) ->
       match C.Engine.graph_of r.C.Analysis.engine m with
@@ -69,6 +71,9 @@ let soundness_value_states seed =
           | Some flow -> flow.C.Flow.enabled && value_covered v flow.C.Flow.state
           | None -> true (* vars eliminated as trivial phis have no flow *)))
     trace.I.defs
+
+let soundness_value_states = soundness_value_states_cfg C.Config.skipflow
+let soundness_value_states_product = soundness_value_states_cfg product_config
 
 let soundness_instantiated seed =
   let prog, main = compile_seed seed in
@@ -106,6 +111,18 @@ let ablation_monotone seed =
   && Ids.Meth.Set.subset sf prims
   && Ids.Meth.Set.subset prims pta
 
+(* the interval × constant product only ever narrows states relative to
+   the flat constant domain, so its reachable set refines SkipFlow's *)
+let product_refines_flat seed =
+  let prog, main = compile_seed seed in
+  let flat =
+    reachable_set (C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ])
+  in
+  let product =
+    reachable_set (C.Analysis.run ~config:product_config prog ~roots:[ main ])
+  in
+  Ids.Meth.Set.subset product flat
+
 let saturation_superset seed =
   let prog, main = compile_seed seed in
   let sf = reachable_set (C.Analysis.run ~config:C.Config.skipflow prog ~roots:[ main ]) in
@@ -133,18 +150,25 @@ let state_signature r =
     (C.Engine.graphs r.C.Analysis.engine)
   |> List.sort compare
 
-let order_independence seed =
+let order_independence_cfg config seed =
   let prog, main = compile_seed seed in
-  let base = C.Analysis.run prog ~roots:[ main ] in
+  let base = C.Analysis.run ~config prog ~roots:[ main ] in
   let sig0 = state_signature base in
   List.for_all
     (fun ord ->
       (* a fresh program instance per run: flows are not shared *)
       let prog2, main2 = compile_seed seed in
       ignore prog;
-      let r = C.Analysis.run ~random_order:ord prog2 ~roots:[ main2 ] in
+      let r = C.Analysis.run ~config ~random_order:ord prog2 ~roots:[ main2 ] in
       state_signature r = sig0)
     [ 3; 911 ]
+
+let order_independence = order_independence_cfg C.Config.skipflow
+
+(* widening by threshold snapping keeps the product domain's fixed point
+   order-independent too — the paper's determinism claim must survive
+   the interval extension *)
+let order_independence_product = order_independence_cfg product_config
 
 let interp_deterministic seed =
   let prog, main = compile_seed seed in
@@ -166,6 +190,10 @@ let bench_params_of_seed seed =
     poly_width = 2 + (seed mod 3);
     check_density = 0.4;
     cross_calls = 1 + (seed mod 2);
+    (* no range guards here: these props pin the *flat* bench contracts
+       (SkipFlow < PTA on every metric), and a range-guarded dead unit
+       is live under flat by design *)
+    range_guards = 0;
   }
 
 let bench_skipflow_below_pta seed =
@@ -194,11 +222,16 @@ let suite =
     [
       prop ~count:150 "soundness: executed methods reachable" soundness_reachability;
       prop ~count:100 "soundness: value states cover observed values" soundness_value_states;
+      prop ~count:60 "soundness: product value states cover observed values"
+        soundness_value_states_product;
+      prop ~count:60 "precision: product ⊆ flat reachable" product_refines_flat;
       prop ~count:80 "soundness: instantiated types over-approximated" soundness_instantiated;
       prop ~count:100 "precision: SkipFlow ⊆ PTA ⊆ RTA ⊆ CHA" spectrum;
       prop ~count:60 "ablations monotone" ablation_monotone;
       prop ~count:25 "saturation yields superset" saturation_superset;
       prop ~count:20 "fixed point independent of worklist order" order_independence;
+      prop ~count:15 "product fixed point independent of worklist order"
+        order_independence_product;
       prop ~count:20 "interpreter deterministic" interp_deterministic;
       prop ~count:25 "benchmarks: SkipFlow dominates PTA on every metric"
         bench_skipflow_below_pta;

@@ -1,6 +1,12 @@
-(* Tests for the primitive-value lattice ℙ (paper, Figure 6). *)
+(* Tests for the primitive-value lattice ℙ (paper, Figure 6), the
+   interval domain, and the reduced product constants × intervals:
+   qcheck lattice laws (join/meet commutativity, associativity,
+   idempotence, leq-compatibility), reduce canonicality, and
+   ascending-chain termination of widening. *)
 
 module P = Skipflow_core.Pval
+module I = Skipflow_core.Interval
+module Pr = Skipflow_core.Prim
 
 let pv = Alcotest.testable P.pp P.equal
 
@@ -46,10 +52,161 @@ let props =
         || (P.equal a P.Bot && P.equal c P.Top));
   ]
 
+(* ----------------------- interval lattice laws ----------------------- *)
+
+let bnd = QCheck.Gen.(oneof [ return None; map Option.some (int_range (-8) 8) ])
+
+let gen_itv =
+  QCheck.Gen.(
+    frequency [ (1, return I.bot); (6, map2 (fun lo hi -> I.of_bounds lo hi) bnd bnd) ])
+
+let arb_itv = QCheck.make ~print:(Format.asprintf "%a" I.pp) gen_itv
+
+let gen_prim =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, return Pr.bot);
+        (1, return Pr.top);
+        (3, map Pr.const (int_range (-8) 8));
+        (4, map Pr.of_interval gen_itv);
+      ])
+
+let arb_prim = QCheck.make ~print:(Format.asprintf "%a" Pr.pp) gen_prim
+
+let arb_binop =
+  QCheck.make QCheck.Gen.(oneofl [ Pr.Add; Pr.Sub; Pr.Mul; Pr.Div; Pr.Rem ])
+
+let lattice_props name arb ~equal ~leq ~join ~meet ~bot ~top =
+  let n s = Printf.sprintf "%s %s" name s in
+  [
+    prop (n "join comm") (QCheck.pair arb arb) (fun (a, b) ->
+        equal (join a b) (join b a));
+    prop (n "meet comm") (QCheck.pair arb arb) (fun (a, b) ->
+        equal (meet a b) (meet b a));
+    prop (n "join assoc") (QCheck.triple arb arb arb) (fun (a, b, c) ->
+        equal (join a (join b c)) (join (join a b) c));
+    prop (n "meet assoc") (QCheck.triple arb arb arb) (fun (a, b, c) ->
+        equal (meet a (meet b c)) (meet (meet a b) c));
+    prop (n "join idem") arb (fun a -> equal (join a a) a);
+    prop (n "meet idem") arb (fun a -> equal (meet a a) a);
+    prop (n "leq defines join") (QCheck.pair arb arb) (fun (a, b) ->
+        leq a b = equal (join a b) b);
+    prop (n "leq defines meet") (QCheck.pair arb arb) (fun (a, b) ->
+        leq a b = equal (meet a b) a);
+    prop (n "meet lower bound") (QCheck.pair arb arb) (fun (a, b) ->
+        let m = meet a b in
+        leq m a && leq m b);
+    prop (n "bot is bottom") arb (fun a -> leq bot a);
+    prop (n "top is top") arb (fun a -> leq a top);
+  ]
+
+let interval_props =
+  lattice_props "interval" arb_itv ~equal:I.equal ~leq:I.leq ~join:I.join
+    ~meet:I.meet ~bot:I.bot ~top:I.top
+  @ [
+      prop "interval widen upper-bounds both" (QCheck.pair arb_itv arb_itv)
+        (fun (a, b) ->
+          let w = I.widen a b in
+          I.leq a w && I.leq b w);
+      (* ascending-chain termination: widening any chain of joins
+         stabilizes after finitely many steps (4 suffice for intervals:
+         each unstable bound jumps to its infinity exactly once) *)
+      prop "interval widen chain terminates"
+        (QCheck.list_of_size (QCheck.Gen.return 12) arb_itv)
+        (fun steps ->
+          let x = List.fold_left (fun acc s -> I.widen acc (I.join acc s)) I.bot steps in
+          List.for_all (fun s -> I.equal (I.widen x (I.join x s)) x)
+            (List.concat [ steps; steps ]));
+      prop "interval arith soundness"
+        (QCheck.pair arb_binop
+           (QCheck.pair
+              (QCheck.pair (QCheck.int_range (-6) 6) (QCheck.int_range 0 3))
+              (QCheck.pair (QCheck.int_range (-6) 6) (QCheck.int_range 0 3))))
+        (fun (op, ((xl, xw), (yl, yw))) ->
+          let ia = I.of_bounds (Some xl) (Some (xl + xw)) in
+          let ib = I.of_bounds (Some yl) (Some (yl + yw)) in
+          let f =
+            match op with
+            | Pr.Add -> I.add
+            | Pr.Sub -> I.sub
+            | Pr.Mul -> I.mul
+            | Pr.Div -> I.div
+            | Pr.Rem -> I.rem
+          in
+          let r = f ia ib in
+          List.for_all
+            (fun x ->
+              List.for_all
+                (fun y ->
+                  match op with
+                  | Pr.Add -> I.mem (x + y) r
+                  | Pr.Sub -> I.mem (x - y) r
+                  | Pr.Mul -> I.mem (x * y) r
+                  | Pr.Div -> y = 0 || I.mem (x / y) r
+                  | Pr.Rem -> y = 0 || I.mem (x mod y) r)
+                (List.init (yw + 1) (fun i -> yl + i)))
+            (List.init (xw + 1) (fun i -> xl + i)));
+    ]
+
+let prim_props =
+  lattice_props "prim" arb_prim ~equal:Pr.equal ~leq:Pr.leq ~join:Pr.join
+    ~meet:Pr.meet ~bot:Pr.bot ~top:Pr.top
+  @ [
+      (* reduce canonicality: every constructed value is in canonical
+         form — bot is {Bot,Bot}; a singleton interval forces the
+         constant; a constant forces the singleton interval *)
+      prop "prim reduce canonical" arb_prim (fun p ->
+          if Pr.is_bot p then P.is_bot p.Pr.c && I.is_bot p.Pr.itv
+          else
+            match (p.Pr.c, I.as_const p.Pr.itv) with
+            | P.Const n, Some m -> n = m
+            | P.Const _, None -> false
+            | P.Top, Some _ -> false (* singleton must have reduced to Const *)
+            | P.Top, None -> true
+            | P.Bot, _ -> false);
+      prop "prim reduce idempotent" arb_prim (fun p ->
+          Pr.equal (Pr.reduce p.Pr.c p.Pr.itv) p);
+      prop "prim widen upper-bounds both" (QCheck.pair arb_prim arb_prim)
+        (fun (a, b) ->
+          let w = Pr.widen a b in
+          Pr.leq a w && Pr.leq b w);
+      prop "prim widen chain terminates"
+        (QCheck.list_of_size (QCheck.Gen.return 12) arb_prim)
+        (fun steps ->
+          let x =
+            List.fold_left (fun acc s -> Pr.widen acc (Pr.join acc s)) Pr.bot steps
+          in
+          List.for_all (fun s -> Pr.equal (Pr.widen x (Pr.join x s)) x)
+            (List.concat [ steps; steps ]));
+      prop "prim arith soundness on constants"
+        (QCheck.triple arb_binop (QCheck.int_range (-9) 9) (QCheck.int_range (-9) 9))
+        (fun (op, x, y) ->
+          let r = Pr.arith op (Pr.const x) (Pr.const y) in
+          match op with
+          | Pr.Add -> Pr.mem (x + y) r
+          | Pr.Sub -> Pr.mem (x - y) r
+          | Pr.Mul -> Pr.mem (x * y) r
+          | Pr.Div -> if y = 0 then Pr.is_bot r else Pr.mem (x / y) r
+          | Pr.Rem -> if y = 0 then Pr.is_bot r else Pr.mem (x mod y) r);
+      prop "prim narrow sound"
+        (QCheck.pair arb_prim arb_prim)
+        (fun (l, r) ->
+          (* every member of l that can satisfy < against some member of r
+             survives narrowing (spot-check small witnesses) *)
+          let nl = Pr.narrow Pr.Lt l r in
+          List.for_all
+            (fun x ->
+              (not (Pr.mem x l))
+              || not (List.exists (fun y -> Pr.mem y r && x < y) (List.init 17 (fun i -> i - 8)))
+              || Pr.mem x nl)
+            (List.init 17 (fun i -> i - 8)));
+    ]
+
 let suite =
   ( "pval",
     [
       Alcotest.test_case "join table" `Quick test_join_table;
       Alcotest.test_case "leq" `Quick test_leq;
     ]
-    @ props )
+    @ props @ interval_props @ prim_props )

@@ -33,9 +33,9 @@ let verdict =
     ( = )
 
 let test_branch_verdict () =
-  let live = mk_flow ~enabled:true ~state:(C.Vstate.Const 1) in
-  let live' = mk_flow ~enabled:true ~state:(C.Vstate.Const 0) in
-  let disabled = mk_flow ~enabled:false ~state:(C.Vstate.Const 1) in
+  let live = mk_flow ~enabled:true ~state:(C.Vstate.const 1) in
+  let live' = mk_flow ~enabled:true ~state:(C.Vstate.const 0) in
+  let disabled = mk_flow ~enabled:false ~state:(C.Vstate.const 1) in
   let empty = mk_flow ~enabled:true ~state:C.Vstate.empty in
   Alcotest.check verdict "both live" C.Report.Both_live
     (C.Report.branch_verdict (site live live'));

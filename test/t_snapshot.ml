@@ -214,7 +214,12 @@ let test_pause_resume_identical_fixed_point () =
               check_same_fixed_point ~ctx straight.C.Analysis.engine
                 finished.C.Analysis.engine)
             [ ("dedup", C.Engine.Dedup); ("ref", C.Engine.Reference) ])
-        [ ("skipflow", C.Config.skipflow); ("pta", C.Config.pta) ])
+        [
+          ("skipflow", C.Config.skipflow);
+          ( "skipflow-product",
+            { C.Config.skipflow with C.Config.pval = C.Pval.Product } );
+          ("pta", C.Config.pta);
+        ])
     corpus;
   Alcotest.(check bool)
     "the corpus exercised the pause path" true (!paused_cases >= 8)
@@ -308,6 +313,27 @@ let test_snapshot_disk_round_trip () =
           Alcotest.failf "foreign kind: %s" (C.Snapshot.error_message e)
       | Ok _ -> Alcotest.fail "cache entry loaded as an engine snapshot")
 
+(* Snapshots written before the interval × constant primitive domain
+   carry flat-only value states, so the payload schema was bumped; a
+   pre-bump blob must be rejected as [Bad_version], never decoded into a
+   product-domain engine. *)
+let test_pre_product_snapshot_rejected () =
+  Alcotest.(check bool)
+    "payload schema bumped for the product domain" true
+    (C.Engine.snapshot_version >= 2);
+  in_temp_dir (fun dir ->
+      let path = Filename.concat dir "old.snap" in
+      write_exn ~path ~kind:C.Engine.snapshot_kind
+        ~version:(C.Engine.snapshot_version - 1)
+        "flat-era payload";
+      match C.Engine.load_snapshot path with
+      | Error (C.Snapshot.Bad_version { found; expected; _ }) ->
+          Alcotest.(check int) "found the stale version" (C.Engine.snapshot_version - 1) found;
+          Alcotest.(check int) "expected the current version" C.Engine.snapshot_version expected
+      | Error e ->
+          Alcotest.failf "expected Bad_version, got %s" (C.Snapshot.error_message e)
+      | Ok _ -> Alcotest.fail "flat-era snapshot decoded under the product schema")
+
 (* An intact container whose payload is not a marshaled engine must be a
    reported [Bad_payload], never a segfault or exception. *)
 let test_bad_payload_reported () =
@@ -334,6 +360,8 @@ let suite =
         test_double_resume_deterministic;
       Alcotest.test_case "snapshot survives a disk round trip" `Quick
         test_snapshot_disk_round_trip;
+      Alcotest.test_case "pre-product snapshots are rejected by version" `Quick
+        test_pre_product_snapshot_rejected;
       Alcotest.test_case "undecodable payload is a reported error" `Quick
         test_bad_payload_reported;
     ] )

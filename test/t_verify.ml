@@ -125,7 +125,7 @@ let test_detects_dropped_use_join () =
             match f.C.Flow.uses with
             | t :: _ ->
                 t.C.Flow.raw <- C.Vstate.empty;
-                t.C.Flow.state <- C.Flow.apply_filter t C.Vstate.empty;
+                t.C.Flow.state <- C.Flow.apply_filter ~pval:C.Pval.Flat t C.Vstate.empty;
                 corrupted := true
             | [] -> ())
         g.C.Graph.g_flows)

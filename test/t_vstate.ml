@@ -1,22 +1,38 @@
 (* Tests for the combined value-state lattice 𝕃 (Appendix B.2, Figure 11)
    and the Compare function (Appendix C) — including the paper's worked
-   examples verbatim. *)
+   examples verbatim.  The deterministic filter tests and the qcheck
+   properties run under both primitive lattices (--pval flat and
+   product): on singleton constants the two must agree exactly, which is
+   the byte-identity contract flat mode promises; mode-specific behaviour
+   (interval joins, range narrowing) gets its own pinned cases. *)
 
 module V = Skipflow_core.Vstate
+module P = Skipflow_core.Pval
+module Pr = Skipflow_core.Prim
+module I = Skipflow_core.Interval
 module TS = Skipflow_core.Typeset
 
 let vs = Alcotest.testable V.pp V.equal
 let tset l = V.types (TS.of_list l)
+let modes = [ ("flat", P.Flat); ("product", P.Product) ]
+
+(* the product-mode range [lo, hi] as a value state *)
+let range lo hi = V.of_prim (Pr.of_interval (I.of_bounds (Some lo) (Some hi)))
 
 (* In these tests class ids are plain ints; 0 is null. *)
 
-let test_join () =
-  Alcotest.check vs "empty ∨ x" (V.const 5) (V.join V.empty (V.const 5));
-  Alcotest.check vs "c ∨ c" (V.const 5) (V.join (V.const 5) (V.const 5));
-  Alcotest.check vs "c ∨ c' = Any" V.any (V.join (V.const 5) (V.const 6));
-  Alcotest.check vs "types union" (tset [ 1; 2; 3 ]) (V.join (tset [ 1; 2 ]) (tset [ 2; 3 ]));
-  Alcotest.check vs "prim ∨ types = Any (⊤)" V.any (V.join (V.const 1) (tset [ 2 ]));
-  Alcotest.check vs "any absorbs" V.any (V.join V.any (tset [ 2 ]))
+let test_join ~pval () =
+  let join = V.join ~pval in
+  Alcotest.check vs "empty ∨ x" (V.const 5) (join V.empty (V.const 5));
+  Alcotest.check vs "c ∨ c" (V.const 5) (join (V.const 5) (V.const 5));
+  (match pval with
+  | P.Flat ->
+      Alcotest.check vs "c ∨ c' = Any" V.any (join (V.const 5) (V.const 6))
+  | P.Product ->
+      Alcotest.check vs "c ∨ c' = range" (range 5 6) (join (V.const 5) (V.const 6)));
+  Alcotest.check vs "types union" (tset [ 1; 2; 3 ]) (join (tset [ 1; 2 ]) (tset [ 2; 3 ]));
+  Alcotest.check vs "prim ∨ types = Any (⊤)" V.any (join (V.const 1) (tset [ 2 ]));
+  Alcotest.check vs "any absorbs" V.any (join V.any (tset [ 2 ]))
 
 let test_leq () =
   Alcotest.(check bool) "empty ≤ all" true (V.leq V.empty (V.const 1));
@@ -24,59 +40,70 @@ let test_leq () =
   Alcotest.(check bool) "ts ≰ smaller" false (V.leq (tset [ 1; 2 ]) (tset [ 1 ]));
   Alcotest.(check bool) "ts ≤ Any" true (V.leq (tset [ 1; 2 ]) V.any);
   Alcotest.(check bool) "const ≤ Any" true (V.leq (V.const 9) V.any);
-  Alcotest.(check bool) "const ≰ types" false (V.leq (V.const 9) (tset [ 1 ]))
+  Alcotest.(check bool) "const ≰ types" false (V.leq (V.const 9) (tset [ 1 ]));
+  Alcotest.(check bool) "const ≤ covering range" true (V.leq (V.const 5) (range 0 9));
+  Alcotest.(check bool) "const ≰ disjoint range" false (V.leq (V.const 5) (range 6 9))
 
 (* ---- the Compare examples of Appendix C, verbatim ---- *)
 
-let test_compare_paper_examples () =
+let test_compare_paper_examples ~pval () =
+  let cf = V.compare_filter ~pval in
   (* Compare('=', {Any}, {5}) = {5} *)
-  Alcotest.check vs "eq any 5" (V.const 5) (V.compare_filter V.Eq V.any (V.const 5));
+  Alcotest.check vs "eq any 5" (V.const 5) (cf V.Eq V.any (V.const 5));
   (* Compare('=', {Any}, {Any}) = {Any} *)
-  Alcotest.check vs "eq any any" V.any (V.compare_filter V.Eq V.any V.any);
+  Alcotest.check vs "eq any any" V.any (cf V.Eq V.any V.any);
   (* Compare('=', {A,B}, {B,C}) = {B} *)
   Alcotest.check vs "eq typesets" (tset [ 2 ])
-    (V.compare_filter V.Eq (tset [ 1; 2 ]) (tset [ 2; 3 ]));
+    (cf V.Eq (tset [ 1; 2 ]) (tset [ 2; 3 ]));
   (* Compare('=', {5}, {5}) = {5};  Compare('=', {5}, {3}) = {} *)
-  Alcotest.check vs "eq 5 5" (V.const 5) (V.compare_filter V.Eq (V.const 5) (V.const 5));
-  Alcotest.check vs "eq 5 3" V.empty (V.compare_filter V.Eq (V.const 5) (V.const 3));
+  Alcotest.check vs "eq 5 5" (V.const 5) (cf V.Eq (V.const 5) (V.const 5));
+  Alcotest.check vs "eq 5 3" V.empty (cf V.Eq (V.const 5) (V.const 3));
   (* Compare('≠', {0}, {0}) = {};  Compare('≠', {5}, {3}) = {5} *)
-  Alcotest.check vs "ne 0 0" V.empty (V.compare_filter V.Ne (V.const 0) (V.const 0));
-  Alcotest.check vs "ne 5 3" (V.const 5) (V.compare_filter V.Ne (V.const 5) (V.const 3));
+  Alcotest.check vs "ne 0 0" V.empty (cf V.Ne (V.const 0) (V.const 0));
+  Alcotest.check vs "ne 5 3" (V.const 5) (cf V.Ne (V.const 5) (V.const 3));
   (* Compare('<', {3}, {5}) = {3};  Compare('<', {3}, {1}) = {} *)
-  Alcotest.check vs "lt 3 5" (V.const 3) (V.compare_filter V.Lt (V.const 3) (V.const 5));
-  Alcotest.check vs "lt 3 1" V.empty (V.compare_filter V.Lt (V.const 3) (V.const 1))
+  Alcotest.check vs "lt 3 5" (V.const 3) (cf V.Lt (V.const 3) (V.const 5));
+  Alcotest.check vs "lt 3 1" V.empty (cf V.Lt (V.const 3) (V.const 1))
 
-let test_compare_empty_and_any () =
-  Alcotest.check vs "empty left" V.empty (V.compare_filter V.Lt V.empty (V.const 1));
-  Alcotest.check vs "empty right" V.empty (V.compare_filter V.Lt (V.const 1) V.empty);
-  (* relational with Any anywhere: no filtering *)
-  Alcotest.check vs "lt any r" (V.const 3) (V.compare_filter V.Lt (V.const 3) V.any);
-  Alcotest.check vs "lt any l" V.any (V.compare_filter V.Lt V.any (V.const 3));
-  Alcotest.check vs "ne any l" V.any (V.compare_filter V.Ne V.any (V.const 3));
-  Alcotest.check vs "ne any r" (V.const 3) (V.compare_filter V.Ne (V.const 3) V.any)
+let test_compare_empty_and_any ~pval () =
+  let cf = V.compare_filter ~pval in
+  Alcotest.check vs "empty left" V.empty (cf V.Lt V.empty (V.const 1));
+  Alcotest.check vs "empty right" V.empty (cf V.Lt (V.const 1) V.empty);
+  (* relational with Any on the right: no filtering under either mode *)
+  Alcotest.check vs "lt any r" (V.const 3) (cf V.Lt (V.const 3) V.any);
+  (* relational with Any on the left: flat passes through (the paper's
+     all-or-nothing Compare); product narrows to the implied range *)
+  (match pval with
+  | P.Flat -> Alcotest.check vs "lt any l" V.any (cf V.Lt V.any (V.const 3))
+  | P.Product ->
+      Alcotest.check vs "lt any l narrows"
+        (V.of_prim (Pr.of_interval (I.of_bounds None (Some 2))))
+        (cf V.Lt V.any (V.const 3)));
+  Alcotest.check vs "ne any l" V.any (cf V.Ne V.any (V.const 3));
+  Alcotest.check vs "ne any r" (V.const 3) (cf V.Ne (V.const 3) V.any)
 
-let test_compare_null_checks () =
+let test_compare_null_checks ~pval () =
+  let cf = V.compare_filter ~pval in
   let null = tset [ 0 ] in
   let maybe_null = tset [ 0; 4 ] in
   (* x == null keeps only null *)
-  Alcotest.check vs "eq null" null (V.compare_filter V.Eq maybe_null null);
+  Alcotest.check vs "eq null" null (cf V.Eq maybe_null null);
   (* x != null drops null *)
-  Alcotest.check vs "ne null" (tset [ 4 ]) (V.compare_filter V.Ne maybe_null null);
+  Alcotest.check vs "ne null" (tset [ 4 ]) (cf V.Ne maybe_null null);
   (* null != x where x may be null: null can still differ from an object;
      the paper's raw set difference would unsoundly return {} here (see the
      comment in Vstate.compare_filter) *)
-  Alcotest.check vs "ne non-singleton rhs" null (V.compare_filter V.Ne null maybe_null);
+  Alcotest.check vs "ne non-singleton rhs" null (cf V.Ne null maybe_null);
   (* object != object on the type abstraction must not filter: two distinct
      objects of the same type are different references *)
-  Alcotest.check vs "ne same typeset" (tset [ 4 ])
-    (V.compare_filter V.Ne (tset [ 4 ]) (tset [ 4 ]))
+  Alcotest.check vs "ne same typeset" (tset [ 4 ]) (cf V.Ne (tset [ 4 ]) (tset [ 4 ]))
 
-let test_relational_ops () =
+let test_relational_ops ~pval () =
   let chk op l r expect =
     Alcotest.check vs
       (Format.asprintf "%a" V.pp_cmp_op op)
       expect
-      (V.compare_filter op (V.const l) (V.const r))
+      (V.compare_filter ~pval op (V.const l) (V.const r))
   in
   chk V.Ge 5 5 (V.const 5);
   chk V.Ge 4 5 V.empty;
@@ -84,6 +111,34 @@ let test_relational_ops () =
   chk V.Gt 5 5 V.empty;
   chk V.Le 5 5 (V.const 5);
   chk V.Le 6 5 V.empty
+
+(* Product-only: range meets, endpoint trims, and the backward narrowing
+   a flat lattice cannot express. *)
+let test_product_ranges () =
+  let cf = V.compare_filter ~pval:P.Product in
+  (* Eq on overlapping ranges is the interval meet *)
+  Alcotest.check vs "eq ranges meet" (range 3 5) (cf V.Eq (range 0 5) (range 3 9));
+  Alcotest.check vs "eq disjoint ranges" V.empty (cf V.Eq (range 0 2) (range 5 9));
+  (* Ne with a singleton rhs trims a matching endpoint *)
+  Alcotest.check vs "ne trims low endpoint" (range 1 5) (cf V.Ne (range 0 5) (V.const 0));
+  Alcotest.check vs "ne interior hole keeps range" (range 0 5)
+    (cf V.Ne (range 0 5) (V.const 3));
+  (* relational narrowing on both range sides: exists-semantics *)
+  Alcotest.check vs "lt range range" (range 0 5) (cf V.Lt (range 0 5) (range 2 6));
+  Alcotest.check vs "lt range cuts" (range 0 4) (cf V.Lt (range 0 9) (range 2 5));
+  Alcotest.check vs "ge range cuts" (range 2 9) (cf V.Ge (range 0 9) (range 2 5));
+  Alcotest.check vs "gt disjoint kills" V.empty (cf V.Gt (range 0 4) (V.const 9));
+  (* the motivating example: x ∈ [0,3] can never be > 10 *)
+  Alcotest.check vs "range guard dies" V.empty (cf V.Gt (range 0 3) (V.const 10))
+
+let test_arith () =
+  let a = V.arith in
+  Alcotest.check vs "const fold" (V.const 7) (a Pr.Add (V.const 3) (V.const 4));
+  Alcotest.check vs "range add" (range 3 14) (a Pr.Add (range 0 9) (range 3 5));
+  Alcotest.check vs "empty operand" V.empty (a Pr.Mul V.empty (V.const 2));
+  Alcotest.check vs "any operand" V.any (a Pr.Mul V.any (V.const 2));
+  Alcotest.check vs "div by definite zero" V.empty (a Pr.Div (V.const 4) (V.const 0));
+  Alcotest.check vs "rem bounds" (range 0 6) (a Pr.Rem (range 0 100) (V.const 7))
 
 let test_inv_flip () =
   Alcotest.(check bool) "inv eq" true (V.inv V.Eq = V.Ne);
@@ -122,6 +177,7 @@ let gen_v =
       [
         (1, return V.empty);
         (3, map V.const (int_range (-3) 3));
+        (2, map2 (fun a b -> range (min a b) (max a b)) (int_range (-3) 3) (int_range (-3) 3));
         (3, map (fun l -> V.types (TS.of_list l)) (list_size (int_bound 4) (int_bound 8)));
         (1, return V.any);
       ])
@@ -137,25 +193,42 @@ let arb_op =
    to both) *)
 let same_kind vs =
   let prims = List.for_all (function V.Types _ -> false | _ -> true) vs in
-  let objs = List.for_all (function V.Const _ -> false | _ -> true) vs in
+  let objs = List.for_all (function V.Prim _ -> false | _ -> true) vs in
   prims || objs
 
 let prop name g f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 g f)
 
-let props =
+(* Under the flat lattice only singleton primitive payloads arise (the
+   engine never builds a range there); restrict the generated states so
+   the flat properties quantify over the states flat runs can reach. *)
+let flat_reachable v = match v with V.Prim p -> Pr.as_const p <> None | _ -> true
+
+let props_of (mode_name, pval) =
+  let join = V.join ~pval and cf = V.compare_filter ~pval in
+  let n s = Printf.sprintf "%s [%s]" s mode_name in
+  let assume_reachable vs =
+    if pval = P.Flat then QCheck.assume (List.for_all flat_reachable vs)
+  in
   [
-    prop "join comm" (QCheck.pair arb_v arb_v) (fun (a, b) ->
-        V.equal (V.join a b) (V.join b a));
-    prop "join assoc" (QCheck.triple arb_v arb_v arb_v) (fun (a, b, c) ->
-        V.equal (V.join a (V.join b c)) (V.join (V.join a b) c));
-    prop "join idem" arb_v (fun a -> V.equal (V.join a a) a);
-    prop "leq defines join" (QCheck.pair arb_v arb_v) (fun (a, b) ->
-        V.leq a b = V.equal (V.join a b) b);
-    prop "compare result ≤ lhs or rhs-bounded"
+    prop (n "join comm") (QCheck.pair arb_v arb_v) (fun (a, b) ->
+        assume_reachable [ a; b ];
+        V.equal (join a b) (join b a));
+    prop (n "join assoc") (QCheck.triple arb_v arb_v arb_v) (fun (a, b, c) ->
+        assume_reachable [ a; b; c ];
+        V.equal (join a (join b c)) (join (join a b) c));
+    prop (n "join idem") arb_v (fun a ->
+        assume_reachable [ a ];
+        V.equal (join a a) a);
+    prop (n "leq defines join") (QCheck.pair arb_v arb_v) (fun (a, b) ->
+        assume_reachable [ a; b ];
+        V.leq a b = V.equal (join a b) b);
+    prop
+      (n "compare result ≤ lhs or rhs-bounded")
       (QCheck.triple arb_op arb_v arb_v)
       (fun (op, l, r) ->
+        assume_reachable [ l; r ];
         (* the filtered value never exceeds the unfiltered lhs *)
-        V.leq (V.compare_filter op l r) l
+        V.leq (cf op l r) l
         ||
         (* ...except Eq with Any on the left, which returns the rhs *)
         (op = V.Eq && V.equal l V.any));
@@ -164,25 +237,32 @@ let props =
        primitive with a type set in a type-checked program.  On ill-typed
        mixtures the paper's Compare (Eq-with-Any returning the lower value)
        is not monotone, so the generators here are kinded. *)
-    prop "compare monotone in lhs (well-typed)"
+    prop
+      (n "compare monotone in lhs (well-typed)")
       (QCheck.triple arb_op (QCheck.pair arb_v arb_v) arb_v)
       (fun (op, (l1, l2), r) ->
         QCheck.assume (same_kind [ l1; l2; r ]);
-        let l2 = V.join l1 l2 in
-        V.leq (V.compare_filter op l1 r) (V.compare_filter op l2 r));
-    prop "compare monotone in rhs (well-typed)"
+        assume_reachable [ l1; l2; r ];
+        let l2 = join l1 l2 in
+        V.leq (cf op l1 r) (cf op l2 r));
+    prop
+      (n "compare monotone in rhs (well-typed)")
       (QCheck.triple arb_op (QCheck.pair arb_v arb_v) arb_v)
       (fun (op, (r1, r2), l) ->
         QCheck.assume (same_kind [ l; r1; r2 ]);
-        let r2 = V.join r1 r2 in
-        V.leq (V.compare_filter op l r1) (V.compare_filter op l r2));
-    prop "instanceof filter monotone"
+        assume_reachable [ l; r1; r2 ];
+        let r2 = join r1 r2 in
+        V.leq (cf op l r1) (cf op l r2));
+    prop
+      (n "instanceof filter monotone")
       (QCheck.triple (QCheck.pair arb_v arb_v) QCheck.bool
          (QCheck.make QCheck.Gen.(map TS.of_list (list_size (int_bound 4) (int_bound 8)))))
       (fun ((a, b), negated, mask) ->
-        let b = V.join a b in
+        assume_reachable [ a; b ];
+        let b = join a b in
         V.leq (V.filter_instanceof ~mask ~negated a) (V.filter_instanceof ~mask ~negated b));
-    prop "compare soundness on concrete ints"
+    prop
+      (n "compare soundness on concrete ints")
       (QCheck.triple arb_op (QCheck.int_range (-3) 3) (QCheck.int_range (-3) 3))
       (fun (op, x, y) ->
         (* if concrete x op y holds, the abstraction of x survives
@@ -196,23 +276,57 @@ let props =
           | V.Gt -> x > y
           | V.Le -> x <= y
         in
-        (not holds) || V.leq (V.const x) (V.compare_filter op (V.const x) (V.const y)));
-    prop "compare soundness under Any rhs"
+        (not holds) || V.leq (V.const x) (cf op (V.const x) (V.const y)));
+    prop (n "compare soundness under Any rhs")
       (QCheck.pair arb_op (QCheck.int_range (-3) 3))
-      (fun (op, x) -> V.leq (V.const x) (V.compare_filter op (V.const x) V.any));
+      (fun (op, x) -> V.leq (V.const x) (cf op (V.const x) V.any));
+    (* concrete soundness of relational narrowing: whatever x op y holds
+       for members x of l and y of r, x survives the filter of l by r *)
+    prop (n "compare soundness on range members")
+      (QCheck.triple arb_op
+         (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range 0 3))
+         (QCheck.pair (QCheck.int_range (-3) 3) (QCheck.int_range 0 3)))
+      (fun (op, (xl, xw), (yl, yw)) ->
+        let l = range xl (xl + xw) and r = range yl (yl + yw) in
+        assume_reachable [ l; r ];
+        let filtered = cf op l r in
+        List.for_all
+          (fun x ->
+            List.for_all
+              (fun y ->
+                let holds =
+                  match op with
+                  | V.Eq -> x = y
+                  | V.Ne -> x <> y
+                  | V.Lt -> x < y
+                  | V.Ge -> x >= y
+                  | V.Gt -> x > y
+                  | V.Le -> x <= y
+                in
+                (not holds) || V.leq (V.const x) filtered)
+              (List.init (yw + 1) (fun i -> yl + i)))
+          (List.init (xw + 1) (fun i -> xl + i)));
   ]
+
+let per_mode name f =
+  List.map
+    (fun (mn, pval) ->
+      Alcotest.test_case (Printf.sprintf "%s [%s]" name mn) `Quick (f ~pval))
+    modes
 
 let suite =
   ( "vstate",
-    [
-      Alcotest.test_case "join" `Quick test_join;
-      Alcotest.test_case "leq" `Quick test_leq;
-      Alcotest.test_case "Compare: paper examples" `Quick test_compare_paper_examples;
-      Alcotest.test_case "Compare: empty and Any" `Quick test_compare_empty_and_any;
-      Alcotest.test_case "Compare: null checks" `Quick test_compare_null_checks;
-      Alcotest.test_case "Compare: relational" `Quick test_relational_ops;
-      Alcotest.test_case "inv and flip" `Quick test_inv_flip;
-      Alcotest.test_case "instanceof filter" `Quick test_instanceof_filter;
-      Alcotest.test_case "declared-type filter" `Quick test_declared_filter;
-    ]
-    @ props )
+    per_mode "join" test_join
+    @ [ Alcotest.test_case "leq" `Quick test_leq ]
+    @ per_mode "Compare: paper examples" test_compare_paper_examples
+    @ per_mode "Compare: empty and Any" test_compare_empty_and_any
+    @ per_mode "Compare: null checks" test_compare_null_checks
+    @ per_mode "Compare: relational" test_relational_ops
+    @ [
+        Alcotest.test_case "Compare: product ranges" `Quick test_product_ranges;
+        Alcotest.test_case "arith transfer" `Quick test_arith;
+        Alcotest.test_case "inv and flip" `Quick test_inv_flip;
+        Alcotest.test_case "instanceof filter" `Quick test_instanceof_filter;
+        Alcotest.test_case "declared-type filter" `Quick test_declared_filter;
+      ]
+    @ List.concat_map props_of modes )
