@@ -80,6 +80,18 @@ let pval_arg =
            product (reduced product of constants and integer intervals — \
            predicate edges then filter ranges, not just constants)")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the fixed-point solve (default 1: the \
+           sequential engine, unchanged).  With N > 1 the PVPG is \
+           sharded by method over call-graph SCC regions and drained in \
+           parallel; the fixed point is identical, flow by flow, for \
+           every N")
+
 let analysis_arg =
   let base =
     Arg.(
@@ -91,9 +103,13 @@ let analysis_arg =
           C.Config.skipflow
       & info [ "a"; "analysis" ] ~doc:"Analysis configuration: skipflow, pta, preds-only, prims-only")
   in
-  (* --pval composes with every configuration, so every subcommand that
-     takes --analysis accepts it with no extra plumbing *)
-  Term.(const (fun config pval -> { config with C.Config.pval }) $ base $ pval_arg)
+  (* --pval and --jobs compose with every configuration, so every
+     subcommand that takes --analysis accepts them with no extra
+     plumbing *)
+  Term.(
+    const (fun config pval jobs ->
+        { config with C.Config.pval; jobs = max 1 jobs })
+    $ base $ pval_arg $ jobs_arg)
 
 let roots_arg =
   Arg.(value & opt_all string [] & info [ "root" ] ~docv:"Class.method" ~doc:"Root method (repeatable); defaults to the static main")
@@ -166,10 +182,10 @@ let phases_json trace =
 let counters_json trace =
   K.Json.Obj (List.map (fun (name, v) -> (name, K.Json.Int v)) (C.Trace.counters trace))
 
-let analyze_summary_json ~file ~config ~mode (s : Api.summary) =
+let analyze_summary_json ~file ~config ~mode ~timings (s : Api.summary) =
   let m = s.Api.metrics in
   K.Json.Obj
-    [
+    ([
       ("schema_version", K.Json.Int K.Json.current_schema_version);
       ("file", K.Json.Str (Filename.basename file));
       ("analysis", K.Json.Str (C.Config.name config));
@@ -193,11 +209,19 @@ let analyze_summary_json ~file ~config ~mode (s : Api.summary) =
             ("flows", K.Json.Int m.C.Metrics.flows);
             ("instantiated_types", K.Json.Int m.C.Metrics.instantiated_types);
           ] );
-      ("wall_us", K.Json.Int (int_of_float (s.Api.wall_s *. 1e6)));
-      ("cpu_us", K.Json.Int (int_of_float (s.Api.cpu_s *. 1e6)));
-      ("phases", phases_json s.Api.trace);
-      ("counters", counters_json s.Api.trace);
     ]
+    @
+    (* timings, phases and counters are run-dependent (and, under
+       --jobs, schedule-dependent); dropping them makes summaries
+       byte-comparable across runs and job counts *)
+    if not timings then []
+    else
+      [
+        ("wall_us", K.Json.Int (int_of_float (s.Api.wall_s *. 1e6)));
+        ("cpu_us", K.Json.Int (int_of_float (s.Api.cpu_s *. 1e6)));
+        ("phases", phases_json s.Api.trace);
+        ("counters", counters_json s.Api.trace);
+      ])
 
 let format_arg =
   let deprecated_json =
@@ -236,6 +260,17 @@ let trace_jsonl_arg =
 let timings_arg =
   Arg.(value & flag & info [ "timings" ] ~doc:"Print the per-phase wall/CPU breakdown and the counter registry")
 
+let analyze_no_timings_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "no-timings" ]
+        ~doc:
+          "Omit wall/CPU times, phases, and counters from the output, \
+           making summaries byte-comparable across runs and across \
+           $(b,--jobs) values (scheduling changes counters, never \
+           results)")
+
 let snapshot_arg =
   Arg.(
     value
@@ -260,8 +295,8 @@ let resume_from_arg =
 
 let analyze_cmd =
   let run file config roots list_reachable dot dump_ir saturation max_tasks timeout
-      max_flows allow_degraded mode format trace_out trace_jsonl timings snapshot
-      resume_from =
+      max_flows allow_degraded mode format trace_out trace_jsonl timings
+      no_timings snapshot resume_from =
     let want_trace = trace_out <> None || trace_jsonl <> None in
     let trace =
       C.Trace.create
@@ -329,12 +364,16 @@ let analyze_cmd =
     | None -> ());
     (match format with
     | `Json ->
-        print_string (K.Json.to_string (analyze_summary_json ~file ~config ~mode s))
+        print_string
+          (K.Json.to_string
+             (analyze_summary_json ~file ~config ~mode ~timings:(not no_timings)
+                s))
     | `Text ->
         Format.printf "analysis: %s@." (C.Config.name config);
         Format.printf "%a@." C.Metrics.pp s.Api.metrics;
         Format.printf "%a@." pp_engine_stats (C.Engine.stats s.Api.engine);
-        Format.printf "wall time:        %.3f s@." s.Api.wall_s;
+        if not no_timings then
+          Format.printf "wall time:        %.3f s@." s.Api.wall_s;
         if timings then
           Format.printf "@.%a@.%a@." C.Trace.pp_phases trace C.Trace.pp_counters trace;
         if list_reachable then
@@ -368,7 +407,7 @@ let analyze_cmd =
       const run $ file_arg $ analysis_arg $ roots_arg $ list_arg $ dot_arg $ ir_arg
       $ sat_arg $ max_tasks_arg $ timeout_arg $ max_flows_arg $ allow_degraded_arg
       $ engine_arg $ format_arg $ trace_arg $ trace_jsonl_arg $ timings_arg
-      $ snapshot_arg $ resume_from_arg)
+      $ analyze_no_timings_arg $ snapshot_arg $ resume_from_arg)
 
 (* ------------------------------- compare ------------------------------ *)
 
@@ -576,13 +615,15 @@ let run_cmd =
 (* -------------------------------- fuzz -------------------------------- *)
 
 let fuzz_cmd =
-  let run seeds quiet crash =
+  let run seeds quiet crash jobs =
     let progress =
       if quiet then fun _ -> ()
       else fun s ->
         if (s + 1) mod 25 = 0 then Format.eprintf "fuzz: %d/%d seeds@." (s + 1) seeds
     in
-    let report = Skipflow_fuzz.Fuzz.run ~progress ~crash ~seeds () in
+    let report =
+      Skipflow_fuzz.Fuzz.run ~progress ~crash ~jobs:(max 1 jobs) ~seeds ()
+    in
     Format.printf "%a@." Skipflow_fuzz.Fuzz.pp_report report;
     if report.Skipflow_fuzz.Fuzz.r_failures <> [] then exit exit_analysis_error
   in
@@ -598,10 +639,20 @@ let fuzz_cmd =
              persisted snapshots and cache entries, and check every damaged \
              file is detected, quarantined, and recoverable")
   in
+  let fuzz_jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Run the deterministic-order cases of the matrix on the \
+             sharded parallel solver with N worker domains (same \
+             oracles, same expected fixed points)")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Fuzz the pipeline: generated programs, every configuration, random worklist orders, tiny budgets; certify every fixed point against the interpreter")
-    Term.(const run $ seeds $ quiet $ crash)
+    Term.(const run $ seeds $ quiet $ crash $ fuzz_jobs)
 
 (* -------------------------------- batch ------------------------------- *)
 
@@ -880,10 +931,17 @@ let load_manifest path =
 let batch_cmd =
   let run manifest config roots mode max_tasks timeout max_flows allow_degraded
       timeout_per_job retries cache_dir journal resume quarantine no_isolate
-      no_timings out =
+      no_timings solver_jobs out =
     let timings = not no_timings in
     let config =
       { config with C.Config.budget = budget_of ~max_tasks ~timeout ~max_flows }
+    in
+    (* [--solver-jobs] overrides [--jobs]; either way the value rides in
+       the config into each forked worker *)
+    let config =
+      match solver_jobs with
+      | Some n -> { config with C.Config.jobs = max 1 n }
+      | None -> config
     in
     if resume && journal = None then begin
       Format.eprintf "error: --resume needs --journal@.";
@@ -1178,6 +1236,22 @@ let batch_cmd =
             "Zero all wall_us fields, making summaries byte-comparable \
              across runs")
   in
+  let solver_jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "solver-jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the fixed-point solve $(i,inside) each \
+             job's worker process (overrides $(b,--jobs)).  Batch has \
+             two distinct parallelism levels: the driver forks one \
+             isolated worker process per manifest job (crash \
+             containment, per-job watchdog; jobs still run one at a \
+             time), and within a worker the solver can shard the PVPG \
+             across N domains.  This flag sets only the inner, \
+             per-solve level; it never changes results (the result \
+             cache deliberately ignores it)")
+  in
   let out_arg =
     Arg.(
       value
@@ -1196,7 +1270,7 @@ let batch_cmd =
       $ max_tasks_arg $ timeout_arg $ max_flows_arg $ allow_degraded_arg
       $ timeout_per_job_arg $ retries_arg $ cache_arg $ journal_arg
       $ resume_arg $ quarantine_arg $ no_isolate_arg $ no_timings_arg
-      $ out_arg)
+      $ solver_jobs_arg $ out_arg)
 
 (* -------------------------------- serve ------------------------------- *)
 
@@ -1525,6 +1599,25 @@ let profile_cmd =
               (C.Config.name config)
               s.Api.metrics.C.Metrics.reachable_methods;
             Format.printf "%a@.%a@." C.Trace.pp_phases trace C.Trace.pp_counters trace;
+            (* per-shard utilization of the parallel pre-pass (the
+               ["par.*"] counters exist only when --jobs > 1 actually
+               sharded the solve) *)
+            (let cs = C.Trace.counters trace in
+             let v name = Option.value ~default:0 (List.assoc_opt name cs) in
+             let shards = v "par.shards" in
+             if shards > 0 then begin
+               Format.printf
+                 "@.parallel shards (%d domains over %d call-graph regions):@."
+                 shards (v "par.regions");
+               Format.printf "  %5s %10s %8s %9s %9s %7s %9s@." "shard"
+                 "weight" "tasks" "sent" "recv" "q_hwm" "idle_us";
+               for i = 0 to shards - 1 do
+                 let sv name = v (Printf.sprintf "par.shard%d.%s" i name) in
+                 Format.printf "  %5d %10d %8d %9d %9d %7d %9d@." i
+                   (sv "weight") (sv "tasks") (sv "msgs_sent")
+                   (sv "msgs_recv") (sv "queue_hwm") (sv "idle_us")
+               done
+             end);
             let take n l = List.filteri (fun i _ -> i < n) l in
             Format.printf "@.event kinds:@.";
             List.iter

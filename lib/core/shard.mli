@@ -1,0 +1,23 @@
+(** Static shard partition for the parallel solver ({!Engine} with
+    [Config.jobs > 1]): the CHA call graph is condensed to its strongly
+    connected regions and the regions are distributed over [jobs] shards
+    by greedy (LPT) weight balancing, so mutually recursive methods — the
+    heaviest propagation traffic — stay on one shard.
+
+    Any partition is sound; the choice only affects throughput.  The
+    result is deterministic given [(program, jobs, seed)]. *)
+
+type t = {
+  shards : int;  (** number of shards (= [jobs]) *)
+  owner : int array;  (** method id -> owning shard, [0 .. shards-1] *)
+  regions : int;  (** SCC regions of the call graph that were distributed *)
+  weights : int array;  (** per-shard total instruction weight *)
+}
+
+val compute : ?seed:int -> jobs:int -> Skipflow_ir.Program.t -> t
+(** Compute the partition.  [seed] (default 0) varies tie-breaking between
+    equal-weight regions — used by the property tests to check the fixed
+    point is partition-independent.  With [jobs <= 1] every method maps to
+    shard 0. *)
+
+val owner_of : t -> Skipflow_ir.Ids.Meth.t -> int
