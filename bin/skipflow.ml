@@ -92,6 +92,24 @@ let jobs_arg =
            parallel; the fixed point is identical, flow by flow, for \
            every N")
 
+let durability_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("none", C.Io.D_none); ("flush", C.Io.D_flush);
+             ("fsync", C.Io.D_fsync) ])
+        C.Io.D_flush
+    & info [ "durability" ] ~docv:"LEVEL"
+        ~doc:
+          "How hard persisted state (snapshots, cache entries, journals, \
+           trace exports) hits the disk: none (buffer in user space until \
+           close), flush (complete every write(2) before reporting \
+           success; the default, byte-identical to previous releases), or \
+           fsync (additionally fsync files, parent directories, and every \
+           journal line — survives power loss).  Never changes analysis \
+           results, only when bytes are safe")
+
 let analysis_arg =
   let base =
     Arg.(
@@ -105,11 +123,14 @@ let analysis_arg =
   in
   (* --pval and --jobs compose with every configuration, so every
      subcommand that takes --analysis accepts them with no extra
-     plumbing *)
+     plumbing.  --durability rides along the same way but is process
+     state, not configuration: like jobs it can never change results
+     (which is why the cache fingerprint ignores both). *)
   Term.(
-    const (fun config pval jobs ->
+    const (fun config pval jobs durability ->
+        C.Io.set_durability durability;
         { config with C.Config.pval; jobs = max 1 jobs })
-    $ base $ pval_arg $ jobs_arg)
+    $ base $ pval_arg $ jobs_arg $ durability_arg)
 
 let roots_arg =
   Arg.(value & opt_all string [] & info [ "root" ] ~docv:"Class.method" ~doc:"Root method (repeatable); defaults to the static main")
@@ -356,11 +377,17 @@ let analyze_cmd =
     let prog = C.Engine.prog_of s.Api.engine in
     if dump_ir then Format.printf "%a@." Ir_pp.pp_program prog;
     let meth_name id = Program.qualified_name prog (Ids.Meth.of_int id) in
+    let warn_trace = function
+      | Ok () -> ()
+      | Error e ->
+          Format.eprintf "warning: trace export failed: %s@."
+            (C.Io.error_message e)
+    in
     (match trace_out with
-    | Some path -> C.Trace.write_chrome ~meth_name trace path
+    | Some path -> warn_trace (C.Trace.write_chrome ~meth_name trace path)
     | None -> ());
     (match trace_jsonl with
-    | Some path -> C.Trace.write_jsonl ~meth_name trace path
+    | Some path -> warn_trace (C.Trace.write_jsonl ~meth_name trace path)
     | None -> ());
     (match format with
     | `Json ->
@@ -418,7 +445,7 @@ let compare_cmd =
     let time f =
       let t0 = Unix.gettimeofday () in
       let r = f () in
-      (r, Unix.gettimeofday () -. t0)
+      (r, Float.max 0.0 (Unix.gettimeofday () -. t0))
     in
     let pta, t_pta =
       time (fun () ->
@@ -615,14 +642,16 @@ let run_cmd =
 (* -------------------------------- fuzz -------------------------------- *)
 
 let fuzz_cmd =
-  let run seeds quiet crash jobs =
+  let run seeds quiet crash chaos jobs =
     let progress =
       if quiet then fun _ -> ()
+      else if chaos then fun s ->
+        Format.eprintf "fuzz: %d/%d seeds@." (s + 1) seeds
       else fun s ->
         if (s + 1) mod 25 = 0 then Format.eprintf "fuzz: %d/%d seeds@." (s + 1) seeds
     in
     let report =
-      Skipflow_fuzz.Fuzz.run ~progress ~crash ~jobs:(max 1 jobs) ~seeds ()
+      Skipflow_fuzz.Fuzz.run ~progress ~crash ~chaos ~jobs:(max 1 jobs) ~seeds ()
     in
     Format.printf "%a@." Skipflow_fuzz.Fuzz.pp_report report;
     if report.Skipflow_fuzz.Fuzz.r_failures <> [] then exit exit_analysis_error
@@ -639,6 +668,20 @@ let fuzz_cmd =
              persisted snapshots and cache entries, and check every damaged \
              file is detected, quarantined, and recoverable")
   in
+  let chaos =
+    Arg.(
+      value
+      & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Also run the syscall-level crash-point matrix: enumerate \
+             every IO operation of every durable-write site (engine \
+             snapshot, cache store, serve journal + snapshot), fork a \
+             child per operation and kill it there, then demand \
+             recovery is the old bytes, the new bytes, or a detected \
+             miss — never a torn read; seeded EIO/ENOSPC/EINTR/\
+             short-write/torn-rename fault plans run on top")
+  in
   let fuzz_jobs =
     Arg.(
       value
@@ -652,7 +695,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:"Fuzz the pipeline: generated programs, every configuration, random worklist orders, tiny budgets; certify every fixed point against the interpreter")
-    Term.(const run $ seeds $ quiet $ crash $ fuzz_jobs)
+    Term.(const run $ seeds $ quiet $ crash $ chaos $ fuzz_jobs)
 
 (* -------------------------------- batch ------------------------------- *)
 
@@ -666,12 +709,7 @@ let fuzz_cmd =
 
 let batch_schema_version = 1
 
-let rec mkdir_p path =
-  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
-  then begin
-    mkdir_p (Filename.dirname path);
-    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+let mkdir_p path = ignore (C.Io.mkdir_p path)
 
 (** What one job produced, as exchanged between the forked worker and the
     driver (a single JSON object on a temp file). *)
@@ -765,9 +803,9 @@ let record_of_json rj =
     leaves a torn last line; skipping it merely re-runs that job — replay
     is idempotent). *)
 let read_journal path =
-  match F.Frontend.read_file path with
-  | exception Sys_error _ -> []
-  | contents ->
+  match C.Io.read_file path with
+  | Error _ -> []
+  | Ok contents ->
       List.filter_map
         (fun line ->
           if String.trim line = "" then None
@@ -788,7 +826,9 @@ let read_journal path =
     comes back as a typed error, never an escape. *)
 let execute_job ~config ~mode ~roots path =
   let t0 = Unix.gettimeofday () in
-  let wall_us () = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  let wall_us () =
+    int_of_float (Float.max 0.0 (Unix.gettimeofday () -. t0) *. 1e6)
+  in
   match Api.analyze ~config ~mode ~source:(`File path) ~roots () with
   | Ok s ->
       let degraded = s.Api.metrics.C.Metrics.degraded in
@@ -836,21 +876,17 @@ let execute_isolated ~timeout_per_job run =
       Sys.set_signal Sys.sigterm Sys.Signal_default;
       (try
          let r = run () in
-         (* tmp + rename: the parent either sees the whole result or the
-            empty pre-created file, never a torn write *)
-         let tmp = result_file ^ ".tmp" in
-         let oc = open_out tmp in
-         output_string oc (K.Json.to_compact_string (job_result_json r));
-         close_out oc;
-         Sys.rename tmp result_file
+         (* atomic tmp + rename via the IO layer: the parent either sees
+            the whole result or the empty pre-created file, never a torn
+            write *)
+         ignore
+           (C.Io.write_file_atomic ~path:result_file
+              (K.Json.to_compact_string (job_result_json r)))
        with _ -> ());
       (* _exit, not exit: the child inherited the parent's at_exit
          handlers and buffered channels, and must not flush or run them *)
       Unix._exit 0
   | pid ->
-      let deadline =
-        Option.map (fun s -> Unix.gettimeofday () +. s) timeout_per_job
-      in
       let rec wait () =
         match Unix.waitpid [ Unix.WNOHANG ] pid with
         | 0, _ when !batch_interrupted <> None ->
@@ -860,8 +896,12 @@ let execute_isolated ~timeout_per_job run =
             (try Sys.remove (result_file ^ ".tmp") with Sys_error _ -> ());
             raise Batch_interrupted
         | 0, _ -> (
-            match deadline with
-            | Some d when Unix.gettimeofday () > d ->
+            (* elapsed-vs-limit, with the delta clamped at zero: a
+               backwards clock step must neither kill the job early nor
+               produce a negative elapsed time *)
+            match timeout_per_job with
+            | Some limit
+              when Float.max 0.0 (Unix.gettimeofday () -. t0) > limit ->
                 Unix.kill pid Sys.sigkill;
                 ignore (Unix.waitpid [] pid);
                 `Timeout
@@ -872,7 +912,9 @@ let execute_isolated ~timeout_per_job run =
         | _, (Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _) -> `Crashed
       in
       let verdict = wait () in
-      let wall_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+      let wall_us =
+        int_of_float (Float.max 0.0 (Unix.gettimeofday () -. t0) *. 1e6)
+      in
       let failure kind detail =
         {
           b_status = "failed";
@@ -889,11 +931,11 @@ let execute_isolated ~timeout_per_job run =
             failure "timeout"
               "job exceeded --timeout-per-job and was killed"
         | `Exited | `Crashed -> (
-            match F.Frontend.read_file result_file with
-            | exception Sys_error _ ->
+            match C.Io.read_file result_file with
+            | Error _ ->
                 failure "crash" "worker died without reporting a result"
-            | "" -> failure "crash" "worker died without reporting a result"
-            | contents -> (
+            | Ok "" -> failure "crash" "worker died without reporting a result"
+            | Ok contents -> (
                 match K.Json.of_string contents with
                 | exception K.Json.Parse_error _ ->
                     failure "crash" "worker wrote a torn result"
@@ -961,11 +1003,18 @@ let batch_cmd =
             (fun r -> Hashtbl.replace completed (r.r_index, r.r_path) r)
             (read_journal jp))
         journal;
-    let journal_oc =
+    (* the journal goes through the durable-IO appender: one write(2)
+       per record (SIGKILL tears at most the last line), fsync per line
+       under --durability fsync *)
+    let journal_ap =
       Option.map
         (fun jp ->
-          mkdir_p (Filename.dirname jp);
-          open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 jp)
+          match C.Io.open_append jp with
+          | Ok ap -> ap
+          | Error e ->
+              Format.eprintf "error: cannot open journal: %s@."
+                (C.Io.error_message e);
+              exit exit_input_error)
         journal
     in
     let trace = C.Trace.create () in
@@ -983,9 +1032,9 @@ let batch_cmd =
       match cache with
       | None -> (None, None)
       | Some c -> (
-          match F.Frontend.read_file path with
-          | exception Sys_error _ -> (None, None)
-          | source ->
+          match C.Io.read_file path with
+          | Error _ -> (None, None)
+          | Ok source ->
               let k = C.Cache.key ~config ~scope:cache_scope ~source in
               (Some k, C.Cache.find c k))
     in
@@ -1043,15 +1092,12 @@ let batch_cmd =
                   Filename.concat qdir
                     (Printf.sprintf "%d-%s" i (Filename.basename path))
                 in
-                match F.Frontend.read_file path with
-                | exception Sys_error _ -> res
-                | contents -> (
-                    try
-                      let oc = open_out_bin dst in
-                      output_string oc contents;
-                      close_out oc;
-                      { res with b_status = "quarantined" }
-                    with Sys_error _ -> res))
+                match C.Io.read_file path with
+                | Error _ -> res
+                | Ok contents -> (
+                    match C.Io.write_file_atomic ~path:dst contents with
+                    | Ok () -> { res with b_status = "quarantined" }
+                    | Error _ -> res))
             | _ -> res
           in
           {
@@ -1070,13 +1116,7 @@ let batch_cmd =
     Sys.set_signal Sys.sigint (note Sys.sigint);
     Sys.set_signal Sys.sigterm (note Sys.sigterm);
     let on_interrupt () =
-      Option.iter
-        (fun oc ->
-          try
-            flush oc;
-            close_out oc
-          with Sys_error _ -> ())
-        journal_oc;
+      Option.iter C.Io.close_append journal_ap;
       let signal_name, code =
         if !batch_interrupted = Some Sys.sigterm then ("SIGTERM", 143)
         else ("SIGINT", 130)
@@ -1099,23 +1139,28 @@ let batch_cmd =
               (* journal before moving on: a crash between jobs loses at
                  most the in-flight one *)
                 Option.iter
-                  (fun oc ->
-                    output_string oc
-                      (K.Json.to_compact_string
-                         (K.Json.Obj
-                            [ ( "schema_version",
-                                K.Json.Int batch_schema_version );
-                              ("record", record_json ~timings r);
-                            ]));
-                    output_char oc '\n';
-                    flush oc)
-                  journal_oc;
+                  (fun ap ->
+                    match
+                      C.Io.append_line ap
+                        (K.Json.to_compact_string
+                           (K.Json.Obj
+                              [ ( "schema_version",
+                                  K.Json.Int batch_schema_version );
+                                ("record", record_json ~timings r);
+                              ]))
+                    with
+                    | Ok () -> ()
+                    | Error e ->
+                        Format.eprintf
+                          "warning: journal append failed: %s@."
+                          (C.Io.error_message e))
+                  journal_ap;
                 r)
           jobs
       with Batch_interrupted -> on_interrupt ()
     in
     if !batch_interrupted <> None then on_interrupt ();
-    Option.iter close_out journal_oc;
+    Option.iter C.Io.close_append journal_ap;
     let count st =
       List.length
         (List.filter (fun r -> r.r_result.b_status = st) records)
@@ -1137,10 +1182,13 @@ let batch_cmd =
         ]
     in
     (match out with
-    | Some path ->
-        let oc = open_out path in
-        output_string oc (K.Json.to_string summary);
-        close_out oc
+    | Some path -> (
+        match C.Io.write_file_atomic ~path (K.Json.to_string summary) with
+        | Ok () -> ()
+        | Error e ->
+            Format.eprintf "error: cannot write summary: %s@."
+              (C.Io.error_message e);
+            exit exit_input_error)
     | None -> print_string (K.Json.to_string summary));
     Format.eprintf
       "batch: %d job(s) — %d ok, %d degraded, %d failed, %d quarantined, %d \
@@ -1357,45 +1405,125 @@ let serve_socket srv ~quit path =
   (try Unix.close sock with Unix.Unix_error _ -> ());
   try Unix.unlink path with Unix.Unix_error _ -> ()
 
+(** The supervisor: fork the server, wait, and restart it when it dies
+    abnormally.  Clean exits (0), signal-driven shutdowns the child
+    itself chose (130/143), and input errors (2) pass through — only
+    crashes (any other exit, or death by signal: SIGKILL, SIGSEGV, the
+    OOM killer) consume the restart budget.  Backoff doubles from 100ms
+    up to 5s; a child that survives {!supervise_healthy_s} earns the
+    budget and backoff back.  Restarted children always resume, so the
+    snapshot + journal machinery turns a kill storm into warm restarts. *)
+let supervise_healthy_s = 30.0
+
+let supervise ~max_restarts ~log serve_child =
+  let child = ref (-1) in
+  let forward sg =
+    Sys.Signal_handle
+      (fun _ -> if !child > 0 then try Unix.kill !child sg with Unix.Unix_error _ -> ())
+  in
+  Sys.set_signal Sys.sigint (forward Sys.sigint);
+  Sys.set_signal Sys.sigterm (forward Sys.sigterm);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let rec loop ~restarts ~used =
+    flush stdout;
+    flush stderr;
+    let born = Unix.gettimeofday () in
+    (match Unix.fork () with
+    | 0 ->
+        (* the child is a fresh server: default signal disposition back
+           (serve installs its own), then never returns *)
+        Sys.set_signal Sys.sigint Sys.Signal_default;
+        Sys.set_signal Sys.sigterm Sys.Signal_default;
+        serve_child ~restarts;
+        exit 0
+    | pid -> child := pid);
+    let rec wait () =
+      match Unix.waitpid [] !child with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      | _, status -> status
+    in
+    let status = wait () in
+    child := -1;
+    let lived = Float.max 0.0 (Unix.gettimeofday () -. born) in
+    let used = if lived >= supervise_healthy_s then 0 else used in
+    match status with
+    | Unix.WEXITED ((0 | 130 | 143 | 2) as code) -> exit code
+    | Unix.WEXITED _ | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+        let describe =
+          match status with
+          | Unix.WEXITED c -> Printf.sprintf "exited %d" c
+          | Unix.WSIGNALED sg -> Printf.sprintf "killed by signal %d" sg
+          | Unix.WSTOPPED sg -> Printf.sprintf "stopped by signal %d" sg
+        in
+        if used >= max_restarts then begin
+          log
+            (Printf.sprintf
+               "server %s; restart budget (%d) exhausted, giving up" describe
+               max_restarts);
+          exit exit_analysis_error
+        end
+        else begin
+          let backoff = Float.min 5.0 (0.1 *. (2. ** float_of_int used)) in
+          log
+            (Printf.sprintf "server %s; restarting in %.1fs (%d/%d used)"
+               describe backoff (used + 1) max_restarts);
+          Unix.sleepf backoff;
+          loop ~restarts:(restarts + 1) ~used:(used + 1)
+        end
+  in
+  loop ~restarts:0 ~used:0
+
 let serve_cmd =
   let run file config roots mode max_tasks timeout max_flows state resume
       socket deadline_ms max_queue retry_after_ms snapshot_every memo_entries
-      no_timings =
+      no_timings max_heap_mb supervise_flag max_restarts =
     let config =
       { config with C.Config.budget = budget_of ~max_tasks ~timeout ~max_flows }
     in
-    let cfg =
-      {
-        S.Server.sv_config = config;
-        sv_mode = mode;
-        sv_roots = roots;
-        sv_state_dir = state;
-        sv_snapshot_every = snapshot_every;
-        sv_deadline_ms = deadline_ms;
-        sv_max_queue = max_queue;
-        sv_retry_after_ms = retry_after_ms;
-        sv_memo_entries = memo_entries;
-        sv_timings = not no_timings;
-        sv_log = (fun msg -> Format.eprintf "serve: %s@." msg);
-      }
+    let serve_once ~resume ~restarts =
+      let cfg =
+        {
+          S.Server.sv_config = config;
+          sv_mode = mode;
+          sv_roots = roots;
+          sv_state_dir = state;
+          sv_snapshot_every = snapshot_every;
+          sv_deadline_ms = deadline_ms;
+          sv_max_queue = max_queue;
+          sv_retry_after_ms = retry_after_ms;
+          sv_memo_entries = memo_entries;
+          sv_timings = not no_timings;
+          sv_max_heap_mb = max_heap_mb;
+          sv_restarts = restarts;
+          sv_log = (fun msg -> Format.eprintf "serve: %s@." msg);
+        }
+      in
+      let initial = Option.map (fun f -> `File f) file in
+      match S.Server.create ?initial ~resume cfg with
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit exit_input_error
+      | Ok srv ->
+          let quit = ref None in
+          let note code = Sys.Signal_handle (fun _ -> quit := Some code) in
+          Sys.set_signal Sys.sigint (note 130);
+          Sys.set_signal Sys.sigterm (note 143);
+          (* a client that hangs up must cost a response, not the daemon *)
+          Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+          (match socket with
+          | Some path -> serve_socket srv ~quit path
+          | None -> serve_fd srv ~quit ~in_fd:Unix.stdin ~out_fd:Unix.stdout);
+          S.Server.finalize srv;
+          match !quit with Some code -> exit code | None -> ()
     in
-    let initial = Option.map (fun f -> `File f) file in
-    match S.Server.create ?initial ~resume cfg with
-    | Error msg ->
-        Format.eprintf "error: %s@." msg;
-        exit exit_input_error
-    | Ok srv ->
-        let quit = ref None in
-        let note code = Sys.Signal_handle (fun _ -> quit := Some code) in
-        Sys.set_signal Sys.sigint (note 130);
-        Sys.set_signal Sys.sigterm (note 143);
-        (* a client that hangs up must cost a response, not the daemon *)
-        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-        (match socket with
-        | Some path -> serve_socket srv ~quit path
-        | None -> serve_fd srv ~quit ~in_fd:Unix.stdin ~out_fd:Unix.stdout);
-        S.Server.finalize srv;
-        match !quit with Some code -> exit code | None -> ()
+    if not supervise_flag then serve_once ~resume ~restarts:0
+    else
+      supervise ~max_restarts
+        ~log:(fun msg -> Format.eprintf "supervise: %s@." msg)
+        (fun ~restarts ->
+          (* a restarted child must warm-start or the kill would have
+             cost the resident state; the first child honors --resume *)
+          serve_once ~resume:(resume || restarts > 0) ~restarts)
   in
   let file_opt =
     Arg.(
@@ -1486,6 +1614,39 @@ let serve_cmd =
             "Zero all wall_us fields and drop wall-clock counters, making \
              responses byte-comparable across runs")
   in
+  let max_heap_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-heap-mb" ] ~docv:"MB"
+          ~doc:
+            "Memory ceiling: past it the daemon degrades gracefully — \
+             drops the memo and buffered trace events, compacts the \
+             heap, and if still over sheds mutating requests with a \
+             retry_after_ms hint (health and shutdown always answer) — \
+             instead of meeting the OOM killer")
+  in
+  let supervise_arg =
+    Arg.(
+      value
+      & flag
+      & info [ "supervise" ]
+          ~doc:
+            "Fork the server and restart it when it crashes (exponential \
+             backoff from 100ms to 5s, budget of --max-restarts; clean \
+             exits and signal-driven shutdowns pass through).  Restarted \
+             servers warm-start from --state, so a crash costs at most \
+             the in-flight request")
+  in
+  let max_restarts_arg =
+    Arg.(
+      value
+      & opt int 5
+      & info [ "max-restarts" ] ~docv:"N"
+          ~doc:
+            "Supervisor restart budget; earned back by a server that \
+             stays up 30s.  Surfaced as restarts in health responses")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1493,12 +1654,14 @@ let serve_cmd =
           requests (analyze, lint, profile, edit, health, shutdown) over \
           stdin/stdout or a Unix socket, with a resident solved program, \
           incremental re-analysis on edit, per-request deadlines, \
-          overload shedding, and snapshot/journal recovery")
+          overload shedding, snapshot/journal recovery, an optional \
+          supervisor, and a graceful memory ceiling")
     Term.(
       const run $ file_opt $ analysis_arg $ roots_arg $ engine_arg
       $ max_tasks_arg $ timeout_arg $ max_flows_arg $ state_arg $ resume_arg
       $ socket_arg $ deadline_arg $ max_queue_arg $ retry_after_arg
-      $ snapshot_every_arg $ memo_entries_arg $ no_timings_arg)
+      $ snapshot_every_arg $ memo_entries_arg $ no_timings_arg $ max_heap_arg
+      $ supervise_arg $ max_restarts_arg)
 
 (* --------------------------------- gen -------------------------------- *)
 

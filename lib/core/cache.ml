@@ -17,13 +17,6 @@ type t = {
   c_corrupt : Trace.counter;
 }
 
-let rec mkdir_p path =
-  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
-  then begin
-    mkdir_p (Filename.dirname path);
-    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
 let dir t = t.dir
 let quarantine_dir t = Filename.concat t.dir "quarantine"
 
@@ -58,9 +51,50 @@ let sweep_stale_tmp dir =
               | exception Unix.Unix_error _ -> false
               | st -> now -. st.Unix.st_mtime > stale_tmp_age_s
             in
-            if stale then try Sys.remove p with Sys_error _ -> ()
+            if stale then ignore (Io.unlink p)
           end)
         names
+
+(** The quarantine directory preserves evidence, but evidence must not
+    fill the disk: a workload that corrupts entries repeatedly (or a
+    fault-injection run) would otherwise grow [quarantine/] without
+    bound, since nothing ever read it back.  Two caps, both swept at
+    {!create} and after every {!quarantine}: entries older than
+    {!quarantine_max_age_s} go first, then the oldest beyond
+    {!quarantine_max_entries} (newest kept — recent corruption is the
+    evidence worth keeping).  Ordering ties on [st_mtime] break by path,
+    same rationale as {!evict}. *)
+let quarantine_max_entries = 64
+
+let quarantine_max_age_s = 7. *. 24. *. 3600.
+
+let sweep_quarantine t =
+  let qdir = quarantine_dir t in
+  match Sys.readdir qdir with
+  | exception Sys_error _ -> ()
+  | names ->
+      let now = Unix.gettimeofday () in
+      let stamped =
+        Array.map
+          (fun name ->
+            let p = Filename.concat qdir name in
+            let mtime =
+              try (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> 0.0
+            in
+            (mtime, p))
+          names
+      in
+      let order (ma, pa) (mb, pb) =
+        let c = Float.compare ma mb in
+        if c <> 0 then c else String.compare pa pb
+      in
+      Array.sort order stamped;
+      Array.iteri
+        (fun i (mtime, p) ->
+          let age = Float.max 0.0 (now -. mtime) in
+          let excess = Array.length stamped - i > quarantine_max_entries in
+          if age > quarantine_max_age_s || excess then ignore (Io.unlink p))
+        stamped
 
 let create ?trace ?(max_entries = 512) dir =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
@@ -74,9 +108,10 @@ let create ?trace ?(max_entries = 512) dir =
       c_corrupt = Trace.counter trace "cache.corrupt";
     }
   in
-  mkdir_p dir;
-  mkdir_p (quarantine_dir t);
+  ignore (Io.mkdir_p dir);
+  ignore (Io.mkdir_p (quarantine_dir t));
   sweep_stale_tmp dir;
+  sweep_quarantine t;
   t
 
 (** Every result-affecting configuration field goes into the fingerprint —
@@ -105,8 +140,10 @@ let entry_path t k = Filename.concat t.dir (k ^ entry_suffix)
     lookups. *)
 let quarantine t path =
   let dst = Filename.concat (quarantine_dir t) (Filename.basename path) in
-  try Sys.rename path dst
-  with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ())
+  (match Io.rename ~src:path ~dst with
+  | Ok () -> ()
+  | Error _ -> ignore (Io.unlink path));
+  sweep_quarantine t
 
 let find t k =
   let path = entry_path t k in
@@ -177,7 +214,7 @@ let evict t =
         Array.sort lru_order stamped;
         for i = 0 to excess - 1 do
           let _, p = stamped.(i) in
-          (try Sys.remove p with Sys_error _ -> ());
+          ignore (Io.unlink p);
           Trace.incr t.c_evict
         done
       end

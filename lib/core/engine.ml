@@ -1174,7 +1174,8 @@ let worker_loop t ln h =
             Condition.wait ib.ib_cond ib.ib_mutex
           done;
           ln.lidle_us <-
-            ln.lidle_us + int_of_float ((Unix.gettimeofday () -. t0) *. 1e6);
+            ln.lidle_us
+            + int_of_float (Float.max 0.0 (Unix.gettimeofday () -. t0) *. 1e6);
           Atomic.set h.h_idle.(ln.lid) false;
           Atomic.incr h.h_act
         end;
@@ -1399,7 +1400,9 @@ let run ?random_order ?(on_budget = `Degrade) ?(shard_seed = 0) t =
   let ln = t.lane0 in
   let budget = t.config.Config.budget in
   let start = Unix.gettimeofday () in
-  let elapsed_s () = Unix.gettimeofday () -. start in
+  (* clamped against backwards clock steps: a negative elapsed time
+     would make the wall budget unreachable *)
+  let elapsed_s () = Float.max 0.0 (Unix.gettimeofday () -. start) in
   let trip_reaction trip =
     match on_budget with
     | `Degrade -> degrade t trip

@@ -9,6 +9,7 @@ module Metrics = Skipflow_core.Metrics
 module Analysis = Skipflow_core.Analysis
 module Budget = Skipflow_core.Budget
 module Report = Skipflow_core.Report
+module Io = Skipflow_core.Io
 module Frontend = Skipflow_frontend.Frontend
 module Diag = Skipflow_frontend.Diag
 
@@ -79,8 +80,9 @@ let spanner_of trace =
 let read_source = function
   | `Text src -> Ok (None, src)
   | `File path -> (
-      try Ok (Some path, Frontend.read_file path)
-      with Sys_error message -> Error (Io_error { path; message }))
+      match Io.read_file path with
+      | Ok src -> Ok (Some path, src)
+      | Error e -> Error (Io_error { path; message = Io.error_message e }))
 
 let compile ?trace source =
   let trace = match trace with Some tr -> tr | None -> Trace.create () in
@@ -110,8 +112,10 @@ let summary_of_result ~trace ~w0 ~c0 (r : Analysis.result) =
     metrics = r.Analysis.metrics;
     trace;
     reachable = Analysis.reachable_names r;
-    wall_s = Unix.gettimeofday () -. w0;
-    cpu_s = Sys.time () -. c0;
+    (* clamped: gettimeofday can step backwards (NTP), and a negative
+       wall time would poison every downstream rate computation *)
+    wall_s = Float.max 0.0 (Unix.gettimeofday () -. w0);
+    cpu_s = Float.max 0.0 (Sys.time () -. c0);
   }
 
 let analyze_program ?config ?mode ?random_order ?on_budget ?trace prog ~roots =
@@ -150,6 +154,6 @@ let analyze ?config ?mode ?random_order ?on_budget ?trace ~source ~roots () =
                   Ok
                     {
                       s with
-                      wall_s = Unix.gettimeofday () -. w0;
-                      cpu_s = Sys.time () -. c0;
+                      wall_s = Float.max 0.0 (Unix.gettimeofday () -. w0);
+                      cpu_s = Float.max 0.0 (Sys.time () -. c0);
                     })))

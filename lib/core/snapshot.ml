@@ -81,34 +81,17 @@ let encode ~kind ~version payload =
   Buffer.add_string b payload;
   Buffer.contents b
 
+(* All blob IO goes through the durable-IO layer: [Io.write_file_atomic]
+   owns the tmp-file discipline (closed and unlinked on every failure
+   path, fsync per the process durability level) and the EINTR/backoff
+   retries, and is where the fault-injection plans hook in. *)
 let write ~path ~kind ~version payload =
   let bytes = encode ~kind ~version payload in
-  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
-  try
-    let oc = open_out_bin tmp in
-    (try
-       output_string oc bytes;
-       close_out oc
-     with e ->
-       close_out_noerr oc;
-       raise e);
-    Sys.rename tmp path;
-    Ok ()
-  with
-  | Sys_error message | Failure message ->
-      (try Sys.remove tmp with Sys_error _ -> ());
-      Error (Io { path; message })
-  | Unix.Unix_error (e, _, _) ->
-      (try Sys.remove tmp with Sys_error _ -> ());
-      Error (Io { path; message = Unix.error_message e })
+  match Io.write_file_atomic ~path bytes with
+  | Ok () -> Ok ()
+  | Error e -> Error (Io { path; message = e.Io.io_op ^ ": " ^ e.Io.io_message })
 
 (* -------------------------------- read -------------------------------- *)
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 let get_u32 s off =
   let b i = Char.code s.[off + i] in
@@ -117,11 +100,9 @@ let get_u32 s off =
 let get_u64 s off = get_u32 s off lor (get_u32 s (off + 4) lsl 32)
 
 let read ~path ~kind ~version =
-  match read_file path with
-  | exception Sys_error message -> Error (Io { path; message })
-  | exception End_of_file ->
-      Error (Truncated { path; expected = String.length magic; got = 0 })
-  | s ->
+  match Io.read_file path with
+  | Error e -> Error (Io { path; message = e.Io.io_message })
+  | Ok s ->
       let len = String.length s in
       let need n = if len < n then Error (Truncated { path; expected = n; got = len }) else Ok () in
       let ( let* ) = Result.bind in

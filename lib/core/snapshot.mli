@@ -4,11 +4,13 @@
 
     A blob is a header (magic, a short ASCII {e kind} tag, a caller-owned
     schema version, the payload length) followed by the payload and
-    guarded by a CRC-32 of the payload.  Writes are {e atomic}: the bytes
-    go to a temporary file in the target directory which is then
-    [rename]d over the destination, so a reader never observes a
-    half-written blob and a crash mid-write leaves at worst a stray
-    [.tmp.*] file.
+    guarded by a CRC-32 of the payload.  Writes are {e atomic} and go
+    through the durable-IO layer ({!Io.write_file_atomic}): the bytes go
+    to a temporary file in the target directory which is then [rename]d
+    over the destination, so a reader never observes a half-written
+    blob; every in-process failure closes and unlinks the temp file
+    before the error is returned, and the write honors the process
+    durability level ([--durability]).
 
     Reads are {e total}: every way a file can be wrong — unreadable,
     truncated (including mid-header), foreign (bad magic), of another

@@ -102,7 +102,14 @@ let counters t =
     (fun (a, _) (b, _) -> String.compare a b)
     (List.rev_map (fun c -> (c.c_name, c.c_value)) t.counters_rev)
 
-let now_us t = int_of_float ((Unix.gettimeofday () -. t.tr_t0_wall) *. 1e6)
+(* Wall-clock deltas are clamped at zero: [gettimeofday] is not
+   monotone (NTP steps, VM migrations), and a backwards jump must not
+   produce negative durations — the JSON consumers treat the integer-us
+   fields as unsigned, and [add] rejects negative deltas by contract. *)
+let elapsed_us since =
+  int_of_float (Float.max 0.0 (Unix.gettimeofday () -. since) *. 1e6)
+
+let now_us t = elapsed_us t.tr_t0_wall
 
 let phase_acc t name =
   let key = (name, t.depth) in
@@ -132,8 +139,9 @@ let with_phase t name f =
     Fun.protect
       ~finally:(fun () ->
         t.depth <- t.depth - 1;
-        p.pa_wall_us <- p.pa_wall_us + int_of_float ((Unix.gettimeofday () -. w0) *. 1e6);
-        p.pa_cpu_us <- p.pa_cpu_us + int_of_float ((Sys.time () -. c0) *. 1e6);
+        p.pa_wall_us <- p.pa_wall_us + elapsed_us w0;
+        p.pa_cpu_us <-
+          p.pa_cpu_us + int_of_float (Float.max 0.0 (Sys.time () -. c0) *. 1e6);
         p.pa_count <- p.pa_count + 1)
       f
   end
@@ -155,9 +163,7 @@ let timed t c f =
   if not t.tr_timers then f ()
   else begin
     let w0 = Unix.gettimeofday () in
-    Fun.protect
-      ~finally:(fun () -> add c (int_of_float ((Unix.gettimeofday () -. w0) *. 1e6)))
-      f
+    Fun.protect ~finally:(fun () -> add c (elapsed_us w0)) f
   end
 
 (* ------------------------------- events ------------------------------- *)
@@ -177,6 +183,13 @@ let event t ~kind ?(flow = -1) ?(meth = -1) ?(arg = 0) () =
 let events t = List.rev t.events_rev
 let event_count t = t.n_events
 let dropped_events t = t.n_dropped
+
+(* memory-pressure relief: the buffer is the only unbounded-ish
+   allocation a trace holds.  Dropped events are still accounted. *)
+let drop_events t =
+  t.n_dropped <- t.n_dropped + t.n_events;
+  t.n_events <- 0;
+  t.events_rev <- []
 
 let count_by key_of t =
   let tbl = Hashtbl.create 64 in
@@ -303,13 +316,14 @@ let chrome_string ?(meth_name = default_meth_name) t =
   Buffer.add_string b "\n  ]\n}\n";
   Buffer.contents b
 
-let write_file path s =
-  let oc = open_out path in
-  output_string oc s;
-  close_out oc
+(* Exports go through the durable-IO layer: atomic tmp+rename (a crash
+   mid-export never leaves a half-written trace for tooling to choke
+   on), durability per [--durability], and fault-injection coverage. *)
+let write_jsonl ?meth_name t path =
+  Io.write_file_atomic ~path (jsonl_string ?meth_name t)
 
-let write_jsonl ?meth_name t path = write_file path (jsonl_string ?meth_name t)
-let write_chrome ?meth_name t path = write_file path (chrome_string ?meth_name t)
+let write_chrome ?meth_name t path =
+  Io.write_file_atomic ~path (chrome_string ?meth_name t)
 
 (* ----------------------------- pretty print --------------------------- *)
 

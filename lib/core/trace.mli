@@ -105,6 +105,10 @@ val events : t -> event list
 val event_count : t -> int
 val dropped_events : t -> int
 
+val drop_events : t -> unit
+(** Discard the buffered events (they count as dropped) — the memory
+    ceiling's relief valve; counters and phases are untouched. *)
+
 val by_kind : t -> (string * int) list
 (** Event counts per kind, most frequent first. *)
 
@@ -132,8 +136,10 @@ val chrome_string : ?meth_name:(int -> string) -> t -> string
     [{"traceEvents": [...], ...}]): phases as complete ["X"] events,
     solver events as instants ["i"], counters in the top-level metadata. *)
 
-val write_jsonl : ?meth_name:(int -> string) -> t -> string -> unit
-val write_chrome : ?meth_name:(int -> string) -> t -> string -> unit
+val write_jsonl : ?meth_name:(int -> string) -> t -> string -> (unit, Io.error) result
+val write_chrome : ?meth_name:(int -> string) -> t -> string -> (unit, Io.error) result
+(** Atomic writes through the durable-IO layer; a failed export is
+    reported, never raised and never a half-written file. *)
 
 val pp_phases : Format.formatter -> t -> unit
 (** Human-readable phase table (name indented by depth, wall/CPU ms,

@@ -51,6 +51,14 @@ type report = {
           request lines answered with structured errors, corrupt serve
           snapshots recovered by cold start, and every final resident
           fixed point certified flow-by-flow against a fresh solve *)
+  r_chaos_checked : int;
+      (** crash-point-matrix probes: one per fault plan exercised —
+          forked children killed before each IO operation of each
+          durable-write site (engine snapshot, cache store, serve
+          journal + snapshot), plus seeded EIO / ENOSPC / EINTR /
+          short-write / torn-rename plans run in process — every one of
+          which had to recover to old bytes, new bytes, or a detected
+          miss, never a torn read, never an escaping exception *)
   r_failures : failure list;
 }
 
@@ -60,9 +68,9 @@ let pp_failure ppf f =
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>fuzz: %d seeds, %d runs (%d degraded), %d lint facts, %d prim \
-     values, %d crash probes, %d daemon probes, %d failure%s"
+     values, %d crash probes, %d daemon probes, %d chaos plans, %d failure%s"
     r.r_seeds r.r_runs r.r_degraded r.r_lint_checked r.r_prim_checked
-    r.r_crash_checked r.r_serve_checked
+    r.r_crash_checked r.r_serve_checked r.r_chaos_checked
     (List.length r.r_failures)
     (if List.length r.r_failures = 1 then "" else "s");
   List.iter (fun f -> Format.fprintf ppf "@,  %a" pp_failure f) r.r_failures;
@@ -253,17 +261,18 @@ let fuzz_seed ?(jobs = 1) seed =
    exception), the fallback full solve reaches the straight run's fixed
    point, and a damaged cache entry is quarantined and recomputed. *)
 
+(* corpus IO rides the durable-IO layer like every other persistence
+   path; errors surface as [Sys_error] to keep the probes' exception
+   accounting unchanged *)
 let read_bytes path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+  match C.Io.read_file path with
+  | Ok s -> s
+  | Error e -> raise (Sys_error (C.Io.error_message e))
 
 let write_bytes path s =
-  let oc = open_out_bin path in
-  output_string oc s;
-  close_out oc
+  match C.Io.write_file_atomic ~path s with
+  | Ok () -> ()
+  | Error e -> raise (Sys_error (C.Io.error_message e))
 
 (** The mutation schedule for a file of [len] bytes: truncations at the
     start, a third, and two thirds, plus seed-derived single-bit flips in
@@ -685,18 +694,317 @@ let serve_seed seed =
           rm_tree dir2));
       (List.rev !failures, !checked)
 
+(* ------------------------- crash-point matrix -------------------------- *)
+
+(* The syscall-level counterpart of the corruption probes above: instead
+   of damaging bytes after the fact, enumerate every IO operation a
+   durable-write site performs (via a counting {!C.Io.plan}), then for
+   each operation index [k] fork a child, let the fault plan [_exit] it
+   at point [k] — the faithful kill -9, no cleanup, no at_exit — and
+   demand recovery in the parent:
+
+   - the engine-snapshot site: the file holds the old bytes or the new
+     bytes, never a mixture, and always loads and resumes to the
+     straight run's fixed point;
+   - the cache site: a lookup serves the old value, the new value, or a
+     miss — never a torn entry, never an exception;
+   - the serve site (journal + serve snapshot): a resumed daemon always
+     comes up (replay or cold start), serves the full request stream,
+     and lands on the same resident fixed point as an uninterrupted
+     session.
+
+   On top of the crash matrix, seeded fault plans (EIO / ENOSPC / EINTR
+   / short writes / torn renames at rate 1-in-2) run each site in
+   process and demand structured errors or clean absorption — never an
+   escaping exception, never an undetected torn file.  The whole matrix
+   runs at [D_fsync] so the fsync operations are enumerated too. *)
+
+let chaos_fault_plans = 3
+
+let chaos_seed seed =
+  let failures = ref [] in
+  let checked = ref 0 in
+  let fail ~case fmt =
+    Format.kasprintf
+      (fun f_detail ->
+        failures :=
+          { f_seed = seed; f_config = "skipflow"; f_case = case; f_detail }
+          :: !failures)
+      fmt
+  in
+  (* one in-process run of [work] under a seeded fault plan: the only
+     acceptable outcomes are a normal return (faults absorbed or
+     reported) — anything escaping is a contract breach *)
+  let fault_probe ~case ~plan_seed work =
+    let plan = C.Io.plan ~rate:2 ~seed:plan_seed () in
+    match C.Io.with_plan plan work with
+    | _ -> ()
+    | exception e ->
+        fail ~case "exception escaped under injected faults: %s"
+          (Printexc.to_string e)
+  in
+  let with_temp_dir f =
+    let dir = Filename.temp_file "skipflow-chaos" ".d" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o755;
+    Fun.protect ~finally:(fun () -> rm_tree dir) (fun () -> f dir)
+  in
+  (* count the IO operations one run of [work] performs, plan-governed *)
+  let count_ops work =
+    C.Io.with_plan
+      (C.Io.plan ~seed ())
+      (fun () ->
+        work ();
+        C.Io.ops_performed ())
+  in
+  let prev_durability = C.Io.durability () in
+  C.Io.set_durability C.Io.D_fsync;
+  Fun.protect ~finally:(fun () -> C.Io.set_durability prev_durability)
+  @@ fun () ->
+  (match W.Gen_random.compile (cfg_of_seed seed) with
+  | exception e ->
+      fail ~case:"chaos:generate" "exception escaped the generator: %s"
+        (Printexc.to_string e)
+  | prog, main ->
+      let straight = C.Analysis.run prog ~roots:[ main ] in
+      let oracle = C.Engine.reachable_count straight.C.Analysis.engine in
+      (* --- site 1: the engine snapshot ------------------------------- *)
+      with_temp_dir (fun dir ->
+          let path = Filename.concat dir "engine.snap" in
+          let small =
+            {
+              C.Config.skipflow with
+              C.Config.budget = C.Budget.make ~max_tasks:25 ();
+            }
+          in
+          let paused =
+            C.Analysis.run ~config:small ~on_budget:`Pause prog ~roots:[ main ]
+          in
+          match paused.C.Analysis.outcome with
+          | C.Engine.Completed -> () (* too small to pause; nothing to kill *)
+          | C.Engine.Paused _ -> (
+              let engine = paused.C.Analysis.engine in
+              let save () = ignore (C.Engine.save_snapshot engine ~path) in
+              (* the pre-state: a complete snapshot already on disk *)
+              save ();
+              match read_bytes path with
+              | exception Sys_error m ->
+                  fail ~case:"chaos:snap" "cannot establish pre-state: %s" m
+              | old_bytes ->
+                  let total = count_ops save in
+                  if total = 0 then
+                    fail ~case:"chaos:snap"
+                      "snapshot write ticked no IO operations";
+                  (* recovering (load + resume) mints flow ids through
+                     the global counter, which the next snapshot
+                     captures — so the expected "new" bytes must be
+                     recomputed right before each run, while parent and
+                     child still share the exact same state *)
+                  let expected_new () =
+                    save ();
+                    let b = read_bytes path in
+                    write_bytes path old_bytes;
+                    b
+                  in
+                  let check_recovered ~case ~new_bytes k =
+                    match read_bytes path with
+                    | exception Sys_error m ->
+                        fail ~case "snapshot missing after op %d: %s" k m
+                    | b -> (
+                        match
+                          C.Engine.load_snapshot ~budget:C.Budget.unlimited
+                            path
+                        with
+                        | Ok eng ->
+                            if
+                              not
+                                (String.equal b old_bytes
+                                || String.equal b new_bytes)
+                            then
+                              fail ~case "op %d left a mixed snapshot" k
+                            else begin
+                              ignore (C.Engine.run eng);
+                              if C.Engine.reachable_count eng <> oracle then
+                                fail ~case
+                                  "op %d: recovered resume reached %d \
+                                   methods, straight run %d"
+                                  k
+                                  (C.Engine.reachable_count eng)
+                                  oracle
+                            end
+                        | Error _ ->
+                            (* detected damage (e.g. a torn rename's CRC
+                               trip) is a clean recovery: the caller
+                               falls back to a full solve, which
+                               [crash_seed] already certifies *)
+                            ()
+                        | exception e ->
+                            fail ~case
+                              "op %d: exception escaped the loader: %s" k
+                              (Printexc.to_string e))
+                  in
+                  for k = 0 to total - 1 do
+                    incr checked;
+                    let new_bytes = expected_new () in
+                    C.Io.fork_crashing
+                      ~plan:(C.Io.plan ~crash_at:k ~seed ())
+                      save;
+                    check_recovered ~case:"chaos:snap-crash" ~new_bytes k
+                  done;
+                  for i = 0 to chaos_fault_plans - 1 do
+                    incr checked;
+                    let new_bytes = expected_new () in
+                    fault_probe ~case:"chaos:snap-fault"
+                      ~plan_seed:((seed * 97) + i)
+                      save;
+                    check_recovered ~case:"chaos:snap-fault" ~new_bytes i
+                  done));
+      (* --- site 2: a cache store ------------------------------------- *)
+      with_temp_dir (fun dir ->
+          let trace = C.Trace.create () in
+          let cache = C.Cache.create ~trace dir in
+          let key =
+            C.Cache.key ~config:C.Config.skipflow ~scope:""
+              ~source:(string_of_int seed)
+          in
+          let reset () = ignore (C.Cache.store cache key "v-old") in
+          let store_new () = ignore (C.Cache.store cache key "v-new") in
+          reset ();
+          let total = count_ops store_new in
+          if total = 0 then
+            fail ~case:"chaos:cache" "cache store ticked no IO operations";
+          let check_recovered ~case k =
+            (* a fresh open sweeps crashed writers' droppings, exactly
+               what the next process would do *)
+            let reopened = C.Cache.create ~trace dir in
+            match C.Cache.find reopened key with
+            | Some ("v-old" | "v-new") | None -> ()
+            | Some other ->
+                fail ~case "op %d served a torn entry %S" k other
+            | exception e ->
+                fail ~case "op %d: exception escaped the lookup: %s" k
+                  (Printexc.to_string e)
+          in
+          for k = 0 to total - 1 do
+            incr checked;
+            reset ();
+            C.Io.fork_crashing ~plan:(C.Io.plan ~crash_at:k ~seed ()) store_new;
+            check_recovered ~case:"chaos:cache-crash" k
+          done;
+          for i = 0 to chaos_fault_plans - 1 do
+            incr checked;
+            reset ();
+            fault_probe ~case:"chaos:cache-fault"
+              ~plan_seed:((seed * 89) + i)
+              store_new;
+            check_recovered ~case:"chaos:cache-fault" i
+          done);
+      (* --- site 3: a serve session (journal + serve snapshot) --------- *)
+      with_temp_dir (fun dir ->
+          let src_of cfg =
+            Skipflow_frontend.Ast_pp.to_string (W.Gen_random.generate cfg)
+          in
+          match
+            ( src_of (cfg_of_seed seed),
+              src_of
+                { (cfg_of_seed (seed + 1)) with W.Gen_random.seed = seed + 1001 }
+            )
+          with
+          | exception e ->
+              fail ~case:"chaos:serve" "exception escaped the generator: %s"
+                (Printexc.to_string e)
+          | base, alt -> (
+              let lines =
+                [ edit_req 1 base;
+                  req [ ("op", K.Json.Str "health"); ("id", K.Json.Int 2) ];
+                  edit_req 3 alt;
+                ]
+              in
+              let session ~resume dir lines =
+                match Sv.create ~resume (serve_cfg dir) with
+                | Error msg -> Error msg
+                | Ok srv ->
+                    List.iter (fun l -> ignore (Sv.handle_line srv l)) lines;
+                    Sv.finalize srv;
+                    Ok srv
+              in
+              let work () =
+                ignore (session ~resume:true (Some dir) lines)
+              in
+              (* the uninterrupted session's resident fixed point is the
+                 oracle every recovery must land on *)
+              match session ~resume:false None lines with
+              | exception e ->
+                  fail ~case:"chaos:serve" "exception escaped the daemon: %s"
+                    (Printexc.to_string e)
+              | Error msg -> fail ~case:"chaos:serve" "create failed: %s" msg
+              | Ok straight_srv ->
+                  let reset () =
+                    rm_tree dir;
+                    Unix.mkdir dir 0o755
+                  in
+                  let total = count_ops work in
+                  reset ();
+                  if total = 0 then
+                    fail ~case:"chaos:serve"
+                      "serve session ticked no IO operations";
+                  let check_recovered ~case k =
+                    match session ~resume:true (Some dir) lines with
+                    | exception e ->
+                        fail ~case
+                          "op %d: exception escaped the recovered daemon: %s"
+                          k (Printexc.to_string e)
+                    | Error msg -> fail ~case "op %d: recovery refused: %s" k msg
+                    | Ok srv -> (
+                        match (Sv.state srv, Sv.state straight_srv) with
+                        | Some a, Some b -> (
+                            match
+                              Incr.same_fixed_point a.Incr.engine b.Incr.engine
+                            with
+                            | Ok () -> ()
+                            | Error msg ->
+                                fail ~case
+                                  "op %d: recovered fixed point diverged: %s"
+                                  k msg)
+                        | _ ->
+                            fail ~case
+                              "op %d: recovered daemon has no resident state"
+                              k)
+                  in
+                  for k = 0 to total - 1 do
+                    incr checked;
+                    reset ();
+                    C.Io.fork_crashing
+                      ~plan:(C.Io.plan ~crash_at:k ~seed ())
+                      work;
+                    check_recovered ~case:"chaos:serve-crash" k
+                  done;
+                  for i = 0 to chaos_fault_plans - 1 do
+                    incr checked;
+                    reset ();
+                    fault_probe ~case:"chaos:serve-fault"
+                      ~plan_seed:((seed * 83) + i)
+                      work;
+                    check_recovered ~case:"chaos:serve-fault" i
+                  done)));
+  (List.rev !failures, !checked)
+
 (** [run ~seeds ()] fuzzes seeds [0 .. seeds-1]; [progress] is called
     after each seed (for CLI feedback).  [crash] additionally runs the
     crash-injection matrix (snapshot + cache corruption) on every seed.
-    [jobs] (default 1) runs every deterministic-order case of the matrix
-    on the sharded parallel solver instead — same oracles, same expected
-    fixed points. *)
-let run ?(progress = fun _ -> ()) ?(crash = false) ?(jobs = 1) ~seeds () :
-    report =
+    [chaos] additionally runs the syscall-level crash-point matrix
+    ({!chaos_seed}: forked kills before every IO operation of every
+    durable-write site, plus seeded fault plans).  [jobs] (default 1)
+    runs every deterministic-order case of the matrix on the sharded
+    parallel solver instead — same oracles, same expected fixed
+    points. *)
+let run ?(progress = fun _ -> ()) ?(crash = false) ?(chaos = false)
+    ?(jobs = 1) ~seeds () : report =
   let failures = ref [] and runs = ref 0 and degraded = ref 0 in
   let lint_checked = ref 0 and crash_checked = ref 0 in
   let prim_checked = ref 0 in
   let serve_checked = ref 0 in
+  let chaos_checked = ref 0 in
   for s = 0 to seeds - 1 do
     let fs, r, d, l, p = fuzz_seed ~jobs s in
     failures := List.rev_append fs !failures;
@@ -712,6 +1020,11 @@ let run ?(progress = fun _ -> ()) ?(crash = false) ?(jobs = 1) ~seeds () :
       failures := List.rev_append sfs !failures;
       serve_checked := !serve_checked + sc
     end;
+    if chaos then begin
+      let hfs, hc = chaos_seed s in
+      failures := List.rev_append hfs !failures;
+      chaos_checked := !chaos_checked + hc
+    end;
     progress s
   done;
   {
@@ -722,5 +1035,6 @@ let run ?(progress = fun _ -> ()) ?(crash = false) ?(jobs = 1) ~seeds () :
     r_prim_checked = !prim_checked;
     r_crash_checked = !crash_checked;
     r_serve_checked = !serve_checked;
+    r_chaos_checked = !chaos_checked;
     r_failures = List.rev !failures;
   }

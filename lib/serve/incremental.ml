@@ -123,6 +123,10 @@ module Memo = struct
 
   let add m (key, v) =
     m.items <- take m.cap ((key, v) :: List.remove_assoc key m.items)
+
+  (* the memory ceiling's first relief valve: memo entries are pure
+     caches, dropping them costs recomputation, never correctness *)
+  let clear m = m.items <- []
 end
 
 let memo_key ~config ~mode ~roots ~source =

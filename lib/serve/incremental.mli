@@ -103,6 +103,10 @@ module Memo : sig
       serializable image persisted into the serve snapshot. *)
 
   val restore : int -> (string * string) list -> t
+
+  val clear : t -> unit
+  (** Drop every entry (capacity kept) — the memory ceiling's first
+      relief valve; costs recomputation, never correctness. *)
 end
 
 val memo_key : config:C.Config.t -> mode:C.Engine.mode -> roots:string list -> source:string -> string

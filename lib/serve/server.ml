@@ -24,6 +24,8 @@ type cfg = {
   sv_retry_after_ms : int;
   sv_memo_entries : int;
   sv_timings : bool;
+  sv_max_heap_mb : int option;
+  sv_restarts : int;
   sv_log : string -> unit;
 }
 
@@ -39,6 +41,8 @@ let default_cfg =
     sv_retry_after_ms = 50;
     sv_memo_entries = 8;
     sv_timings = false;
+    sv_max_heap_mb = None;
+    sv_restarts = 0;
     sv_log = (fun _ -> ());
   }
 
@@ -54,12 +58,13 @@ type t = {
   cfg : cfg;
   memo : I.Memo.t;
   mutable st : I.state option;
-  mutable journal_oc : out_channel option;
+  mutable journal : C.Io.appender option;
   mutable replay : replay_entry list;
   mutable since_snapshot : int;
   mutable shutdown : bool;
   mutable finalized : bool;
   mutable served : int;
+  mutable mem_shed : int;  (** requests shed by the memory ceiling *)
   queue : string Queue.t;
 }
 
@@ -78,13 +83,6 @@ let serve_snapshot_kind = "serve-state"
 let serve_snapshot_version = 1
 let snap_path dir = Filename.concat dir "serve.snap"
 let journal_path dir = Filename.concat dir "journal.jsonl"
-
-let rec mkdir_p path =
-  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
-  then begin
-    mkdir_p (Filename.dirname path);
-    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
 
 let digest_line line = Digest.to_hex (Digest.string (String.trim line))
 
@@ -135,9 +133,9 @@ let maybe_snapshot t =
     and is skipped — losing at most the in-flight request, which the
     client re-sends and the daemon recomputes. *)
 let read_journal path =
-  match F.Frontend.read_file path with
-  | exception Sys_error _ -> []
-  | contents ->
+  match C.Io.read_file path with
+  | Error _ -> []
+  | Ok contents ->
       List.filter_map
         (fun line ->
           if String.trim line = "" then None
@@ -170,24 +168,30 @@ let read_journal path =
                 | _ -> None))
         (String.split_on_char '\n' contents)
 
+(* One [write(2)] per line on an O_APPEND descriptor (the {!C.Io}
+   appender), so a SIGKILL tears at most the final line; [--durability
+   fsync] additionally syncs each line before the response is emitted. *)
 let journal_append t ~digest ~ok resp_json =
-  match t.journal_oc with
+  match t.journal with
   | None -> ()
-  | Some oc ->
-      output_string oc
-        (Json.to_compact_string
-           (Json.Obj
-              [ ("schema_version", Json.Int P.schema_version);
-                ( "journal",
-                  Json.Obj
-                    [ ("gen", Json.Int (generation t));
-                      ("digest", Json.Str digest);
-                      ("ok", Json.Bool ok);
-                      ("response", resp_json);
-                    ] );
-              ]));
-      output_char oc '\n';
-      flush oc
+  | Some ap -> (
+      let line =
+        Json.to_compact_string
+          (Json.Obj
+             [ ("schema_version", Json.Int P.schema_version);
+               ( "journal",
+                 Json.Obj
+                   [ ("gen", Json.Int (generation t));
+                     ("digest", Json.Str digest);
+                     ("ok", Json.Bool ok);
+                     ("response", resp_json);
+                   ] );
+             ])
+      in
+      match C.Io.append_line ap line with
+      | Ok () -> ()
+      | Error e ->
+          t.cfg.sv_log ("serve journal append failed: " ^ C.Io.error_message e))
 
 (* ------------------------------ responses ----------------------------- *)
 
@@ -236,6 +240,11 @@ let health_json t =
       ("reachable_methods", Json.Int reachable);
       ("flows", Json.Int flows);
       ("requests_served", Json.Int t.served);
+      (* supervisor observability: how many times this daemon has been
+         restarted ([serve --supervise] passes the count down), and how
+         many requests the memory ceiling has shed *)
+      ("restarts", Json.Int t.cfg.sv_restarts);
+      ("memory_shed", Json.Int t.mem_shed);
     ]
 
 let profile_json t (st : I.state) =
@@ -285,7 +294,8 @@ let dispatch t (env : P.envelope) ~deadline_ms ~t0 =
   let config = t.cfg.sv_config and mode = t.cfg.sv_mode in
   let wall_us () =
     if t.cfg.sv_timings then
-      int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+      (* clamped: a backwards clock step must not report negative time *)
+      int_of_float (Float.max 0.0 (Unix.gettimeofday () -. t0) *. 1e6)
     else 0
   in
   let need_state f =
@@ -353,6 +363,38 @@ let emit t ~line ~ok resp_json =
   maybe_snapshot t;
   P.response_line resp_json
 
+(* ---------------------------- memory ceiling --------------------------- *)
+
+let heap_mb () =
+  (Gc.quick_stat ()).Gc.heap_words * (Sys.word_size / 8) / (1024 * 1024)
+
+(** Graceful degradation before the OOM killer arrives: when the major
+    heap crosses [sv_max_heap_mb], drop the cheap-to-recompute state
+    first — the memo LRU and the resident trace's event buffer — and
+    compact; only if the heap is {e still} over the ceiling is the
+    request shed (with the retry hint).  Shed-by-memory responses are
+    not journaled, same rationale as queue shedding: memory pressure
+    depends on timing, and replay must stay deterministic. *)
+let over_ceiling t =
+  match t.cfg.sv_max_heap_mb with
+  | None -> false
+  | Some cap ->
+      heap_mb () > cap
+      && begin
+           I.Memo.clear t.memo;
+           (match t.st with
+           | Some st -> C.Trace.drop_events (C.Engine.trace_of st.I.engine)
+           | None -> ());
+           Gc.compact ();
+           heap_mb () > cap
+         end
+
+(* health and shutdown must stay responsive under memory pressure —
+   they allocate almost nothing and are how an operator finds out *)
+let sheddable = function
+  | P.Health | P.Shutdown -> false
+  | P.Edit _ | P.Analyze _ | P.Lint _ | P.Profile -> true
+
 let process t line =
   let t0 = Unix.gettimeofday () in
   if t.shutdown then
@@ -363,6 +405,12 @@ let process t line =
     | Error err ->
         let id = P.request_id line in
         [ emit t ~line ~ok:false (P.response_error ~id err) ]
+    | Ok env when sheddable env.P.req && over_ceiling t ->
+        t.mem_shed <- t.mem_shed + 1;
+        [ P.response_line
+            (P.response_error ~id:env.P.req_id
+               (P.Overloaded { retry_after_ms = t.cfg.sv_retry_after_ms }));
+        ]
     | Ok env -> (
         let deadline_ms =
           match env.P.req_deadline_ms with
@@ -449,16 +497,17 @@ let create ?initial ~resume cfg =
       cfg;
       memo = I.Memo.create cfg.sv_memo_entries;
       st = None;
-      journal_oc = None;
+      journal = None;
       replay = [];
       since_snapshot = 0;
       shutdown = false;
       finalized = false;
       served = 0;
+      mem_shed = 0;
       queue = Queue.create ();
     }
   in
-  Option.iter mkdir_p cfg.sv_state_dir;
+  Option.iter (fun dir -> ignore (C.Io.mkdir_p dir)) cfg.sv_state_dir;
   (* warm start: snapshot (guarded by CRC, schema version, configuration
      fingerprint, and the Verify certifier — any suspicion falls back to
      a cold start with a warning) plus the journal for replay *)
@@ -516,9 +565,12 @@ let create ?initial ~resume cfg =
             match src with
             | `Text s -> Ok s
             | `File p -> (
-                try Ok (F.Frontend.read_file p)
-                with Sys_error message ->
-                  Error (Printf.sprintf "cannot read %s: %s" p message))
+                match C.Io.read_file p with
+                | Ok s -> Ok s
+                | Error e ->
+                    Error
+                      (Printf.sprintf "cannot read %s: %s" p
+                         (C.Io.error_message e)))
           in
           match source_text with
           | Error _ as e -> e
@@ -540,11 +592,12 @@ let create ?initial ~resume cfg =
   | Ok () ->
       Option.iter
         (fun dir ->
-          t.journal_oc <-
-            Some
-              (open_out_gen
-                 [ Open_wronly; Open_append; Open_creat ]
-                 0o644 (journal_path dir)))
+          match C.Io.open_append (journal_path dir) with
+          | Ok ap -> t.journal <- Some ap
+          | Error e ->
+              cfg.sv_log
+                ("serve journal open failed (journaling disabled): "
+                ^ C.Io.error_message e))
         cfg.sv_state_dir;
       maybe_snapshot t;
       Ok t
@@ -553,12 +606,9 @@ let finalize t =
   if not t.finalized then begin
     t.finalized <- true;
     write_snapshot t;
-    match t.journal_oc with
-    | Some oc ->
-        (try
-           flush oc;
-           close_out oc
-         with Sys_error _ -> ());
-        t.journal_oc <- None
+    match t.journal with
+    | Some ap ->
+        C.Io.close_append ap;
+        t.journal <- None
     | None -> ()
   end

@@ -31,6 +31,14 @@ type cfg = {
   sv_retry_after_ms : int;  (** the hint shed responses carry *)
   sv_memo_entries : int;  (** memo capacity (solved states) *)
   sv_timings : bool;  (** report wall_us; off = 0, byte-comparable *)
+  sv_max_heap_mb : int option;
+      (** memory ceiling: past it, memo and trace events are dropped and
+          the heap compacted; if still over, mutating requests are shed
+          with the retry hint ([health]/[shutdown] always answer).
+          Shed-by-memory responses are never journaled. *)
+  sv_restarts : int;
+      (** how many times the supervisor has restarted this daemon
+          (surfaced in [health]; 0 when unsupervised) *)
   sv_log : string -> unit;  (** diagnostics (recovery warnings etc.) *)
 }
 
